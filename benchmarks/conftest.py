@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Each ``benchmarks/test_e*.py`` file regenerates one of the paper's tables
+or figures (writing it to ``results/`` and stdout) and wires one
+representative simulation into pytest-benchmark so the harness also tracks
+the simulator's own performance.
+
+Scale: ``REPRO_SCALE`` env var (``tiny`` / ``small`` / ``large``),
+default ``small`` — the fidelity/runtime sweet spot on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+#: experiment drivers import this
+SCALE = os.environ.get("REPRO_SCALE", "small")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one un-cached invocation (simulations are seconds-long)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def fresh_simulation(workload_name: str, config, scale: str | None = None):
+    """Build-and-run one SDT simulation with no caching (for timing)."""
+    from repro.sdt.vm import SDTVM
+    from repro.workloads import get_workload
+
+    workload = get_workload(workload_name, scale or SCALE)
+    return SDTVM(workload.compile(), config=config).run()
+
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,25 @@
+"""Ablations: IBTC inlining, IBTC hash, sieve insertion policy, linking.
+
+Regenerates the ablation table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation so pytest-benchmark tracks simulator performance too.
+
+Run: ``pytest benchmarks/test_e10_ablations.py --benchmark-only -s``
+"""
+
+from conftest import SCALE, fresh_simulation, run_once
+from repro.eval.experiments import e10_ablations
+from repro.host.profile import X86_P4
+from repro.sdt.config import SDTConfig
+
+
+def test_e10_ablations(benchmark):
+    headers, rows = e10_ablations(SCALE)
+    assert rows, "experiment produced no rows"
+    result = run_once(
+        benchmark,
+        fresh_simulation,
+        "gcc_like",
+        SDTConfig(profile=X86_P4, ib="ibtc", ibtc_inline=False),
+    )
+    assert result.exit_code == 0

@@ -1,0 +1,26 @@
+"""Table: per-site indirect-branch target fan-out (motivation table).
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation so pytest-benchmark tracks simulator performance too.
+
+Run: ``pytest benchmarks/test_e11_site_fanout.py --benchmark-only -s``
+"""
+
+from conftest import SCALE, fresh_simulation, run_once
+from repro.eval.experiments import e11_site_fanout
+from repro.host.profile import X86_P4
+from repro.sdt.config import SDTConfig
+
+
+def test_e11_site_fanout(benchmark):
+    headers, rows = e11_site_fanout(SCALE)
+    assert rows, "experiment produced no rows"
+    result = run_once(
+        benchmark,
+        fresh_simulation,
+        "perl_like",
+        SDTConfig(profile=X86_P4, ib="ibtc", ibtc_shared=False,
+                  ibtc_entries=8),
+    )
+    assert result.exit_code == 0

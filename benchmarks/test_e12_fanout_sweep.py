@@ -1,0 +1,28 @@
+"""Fig.: overhead vs dispatch-site fan-out (synthetic microbenchmark).
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation so pytest-benchmark tracks simulator performance too.
+
+Run: ``pytest benchmarks/test_e12_fanout_sweep.py --benchmark-only -s``
+"""
+
+from conftest import SCALE, run_once
+from repro.eval.experiments import e12_fanout_sweep
+from repro.host.profile import X86_P4
+from repro.sdt.config import SDTConfig
+from repro.sdt.vm import SDTVM
+from repro.workloads.microbench import dispatch_microbench
+
+
+def test_e12_fanout_sweep(benchmark):
+    headers, rows = e12_fanout_sweep(SCALE)
+    assert rows, "experiment produced no rows"
+
+    def representative():
+        workload = dispatch_microbench(16, iterations=1000)
+        config = SDTConfig(profile=X86_P4, ib="ibtc", inline_predict=True)
+        return SDTVM(workload.compile(), config=config).run()
+
+    result = run_once(benchmark, representative)
+    assert result.exit_code == 0

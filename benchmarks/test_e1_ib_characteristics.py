@@ -1,0 +1,25 @@
+"""Table 1: dynamic IB characteristics of the suite
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation so pytest-benchmark tracks simulator performance too.
+
+Run: ``pytest benchmarks/test_e1_ib_characteristics.py --benchmark-only -s``
+"""
+
+from conftest import SCALE, fresh_simulation, run_once
+from repro.eval.experiments import e1_ib_characteristics
+from repro.host.profile import SPARC_US3, X86_P4
+from repro.sdt.config import SDTConfig
+
+
+def test_e1_ib_characteristics(benchmark):
+    headers, rows = e1_ib_characteristics(SCALE)
+    assert rows, "experiment produced no rows"
+    result = run_once(
+        benchmark,
+        fresh_simulation,
+        "gcc_like",
+        SDTConfig(profile=X86_P4, ib="reentry"),
+    )
+    assert result.exit_code == 0

@@ -1,0 +1,25 @@
+"""Fig.: overhead of the unoptimised SDT (translator re-entry per IB)
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation so pytest-benchmark tracks simulator performance too.
+
+Run: ``pytest benchmarks/test_e2_baseline_overhead.py --benchmark-only -s``
+"""
+
+from conftest import SCALE, fresh_simulation, run_once
+from repro.eval.experiments import e2_baseline_overhead
+from repro.host.profile import SPARC_US3, X86_P4
+from repro.sdt.config import SDTConfig
+
+
+def test_e2_baseline_overhead(benchmark):
+    headers, rows = e2_baseline_overhead(SCALE)
+    assert rows, "experiment produced no rows"
+    result = run_once(
+        benchmark,
+        fresh_simulation,
+        "perl_like",
+        SDTConfig(profile=X86_P4, ib="reentry"),
+    )
+    assert result.exit_code == 0

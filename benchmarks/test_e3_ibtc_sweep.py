@@ -1,0 +1,25 @@
+"""Fig.: overhead vs shared-IBTC size
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation so pytest-benchmark tracks simulator performance too.
+
+Run: ``pytest benchmarks/test_e3_ibtc_sweep.py --benchmark-only -s``
+"""
+
+from conftest import SCALE, fresh_simulation, run_once
+from repro.eval.experiments import e3_ibtc_sweep
+from repro.host.profile import SPARC_US3, X86_P4
+from repro.sdt.config import SDTConfig
+
+
+def test_e3_ibtc_sweep(benchmark):
+    headers, rows = e3_ibtc_sweep(SCALE)
+    assert rows, "experiment produced no rows"
+    result = run_once(
+        benchmark,
+        fresh_simulation,
+        "gcc_like",
+        SDTConfig(profile=X86_P4, ib="ibtc", ibtc_entries=4096),
+    )
+    assert result.exit_code == 0

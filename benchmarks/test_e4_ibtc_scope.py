@@ -1,0 +1,25 @@
+"""Fig.: shared vs per-site IBTC
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation so pytest-benchmark tracks simulator performance too.
+
+Run: ``pytest benchmarks/test_e4_ibtc_scope.py --benchmark-only -s``
+"""
+
+from conftest import SCALE, fresh_simulation, run_once
+from repro.eval.experiments import e4_ibtc_scope
+from repro.host.profile import SPARC_US3, X86_P4
+from repro.sdt.config import SDTConfig
+
+
+def test_e4_ibtc_scope(benchmark):
+    headers, rows = e4_ibtc_scope(SCALE)
+    assert rows, "experiment produced no rows"
+    result = run_once(
+        benchmark,
+        fresh_simulation,
+        "eon_like",
+        SDTConfig(profile=X86_P4, ib="ibtc", ibtc_shared=False, ibtc_entries=16),
+    )
+    assert result.exit_code == 0

@@ -1,0 +1,25 @@
+"""Fig.: overhead vs sieve bucket count
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation so pytest-benchmark tracks simulator performance too.
+
+Run: ``pytest benchmarks/test_e5_sieve_sweep.py --benchmark-only -s``
+"""
+
+from conftest import SCALE, fresh_simulation, run_once
+from repro.eval.experiments import e5_sieve_sweep
+from repro.host.profile import SPARC_US3, X86_P4
+from repro.sdt.config import SDTConfig
+
+
+def test_e5_sieve_sweep(benchmark):
+    headers, rows = e5_sieve_sweep(SCALE)
+    assert rows, "experiment produced no rows"
+    result = run_once(
+        benchmark,
+        fresh_simulation,
+        "gcc_like",
+        SDTConfig(profile=X86_P4, ib="sieve", sieve_buckets=512),
+    )
+    assert result.exit_code == 0

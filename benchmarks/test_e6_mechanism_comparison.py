@@ -1,0 +1,25 @@
+"""Fig.: tuned mechanisms head-to-head
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation so pytest-benchmark tracks simulator performance too.
+
+Run: ``pytest benchmarks/test_e6_mechanism_comparison.py --benchmark-only -s``
+"""
+
+from conftest import SCALE, fresh_simulation, run_once
+from repro.eval.experiments import e6_mechanism_comparison
+from repro.host.profile import SPARC_US3, X86_P4
+from repro.sdt.config import SDTConfig
+
+
+def test_e6_mechanism_comparison(benchmark):
+    headers, rows = e6_mechanism_comparison(SCALE)
+    assert rows, "experiment produced no rows"
+    result = run_once(
+        benchmark,
+        fresh_simulation,
+        "perl_like",
+        SDTConfig(profile=X86_P4, ib="sieve", sieve_buckets=512),
+    )
+    assert result.exit_code == 0

@@ -1,0 +1,25 @@
+"""Fig.: return-handling schemes over an IBTC base
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation so pytest-benchmark tracks simulator performance too.
+
+Run: ``pytest benchmarks/test_e7_return_handling.py --benchmark-only -s``
+"""
+
+from conftest import SCALE, fresh_simulation, run_once
+from repro.eval.experiments import e7_return_handling
+from repro.host.profile import SPARC_US3, X86_P4
+from repro.sdt.config import SDTConfig
+
+
+def test_e7_return_handling(benchmark):
+    headers, rows = e7_return_handling(SCALE)
+    assert rows, "experiment produced no rows"
+    result = run_once(
+        benchmark,
+        fresh_simulation,
+        "crafty_like",
+        SDTConfig(profile=X86_P4, ib="ibtc", returns="fast"),
+    )
+    assert result.exit_code == 0

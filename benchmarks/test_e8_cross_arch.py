@@ -1,0 +1,25 @@
+"""Fig.: cross-architecture geomean overheads
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation so pytest-benchmark tracks simulator performance too.
+
+Run: ``pytest benchmarks/test_e8_cross_arch.py --benchmark-only -s``
+"""
+
+from conftest import SCALE, fresh_simulation, run_once
+from repro.eval.experiments import e8_cross_arch
+from repro.host.profile import SPARC_US3, X86_P4
+from repro.sdt.config import SDTConfig
+
+
+def test_e8_cross_arch(benchmark):
+    headers, rows = e8_cross_arch(SCALE)
+    assert rows, "experiment produced no rows"
+    result = run_once(
+        benchmark,
+        fresh_simulation,
+        "perl_like",
+        SDTConfig(profile=SPARC_US3, ib="ibtc", returns="fast"),
+    )
+    assert result.exit_code == 0

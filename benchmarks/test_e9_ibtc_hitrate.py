@@ -1,0 +1,25 @@
+"""Table: shared-IBTC hit rates by size
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation so pytest-benchmark tracks simulator performance too.
+
+Run: ``pytest benchmarks/test_e9_ibtc_hitrate.py --benchmark-only -s``
+"""
+
+from conftest import SCALE, fresh_simulation, run_once
+from repro.eval.experiments import e9_ibtc_hitrate
+from repro.host.profile import SPARC_US3, X86_P4
+from repro.sdt.config import SDTConfig
+
+
+def test_e9_ibtc_hitrate(benchmark):
+    headers, rows = e9_ibtc_hitrate(SCALE)
+    assert rows, "experiment produced no rows"
+    result = run_once(
+        benchmark,
+        fresh_simulation,
+        "vortex_like",
+        SDTConfig(profile=X86_P4, ib="ibtc", ibtc_entries=64),
+    )
+    assert result.exit_code == 0

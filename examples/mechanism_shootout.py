@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Mechanism shootout: every IB mechanism on one interpreter workload.
+
+Runs the ``perl_like`` workload (the paper's worst case: a megamorphic
+indirect-call site plus dense call/return traffic) under every mechanism
+and prints the overhead ladder — a one-workload slice of experiment E6.
+
+Usage: python examples/mechanism_shootout.py [workload] [scale]
+"""
+
+import sys
+
+from repro.eval.report import format_table
+from repro.eval.runner import measure, run_native
+from repro.host import X86_P4
+from repro.sdt import SDTConfig
+
+CONFIGS = [
+    SDTConfig(profile=X86_P4, ib="reentry"),
+    SDTConfig(profile=X86_P4, ib="reentry", linking=False),
+    SDTConfig(profile=X86_P4, ib="ibtc", ibtc_entries=64),
+    SDTConfig(profile=X86_P4, ib="ibtc", ibtc_entries=4096),
+    SDTConfig(profile=X86_P4, ib="ibtc", ibtc_entries=64, ibtc_shared=False),
+    SDTConfig(profile=X86_P4, ib="sieve", sieve_buckets=64),
+    SDTConfig(profile=X86_P4, ib="sieve", sieve_buckets=512),
+    SDTConfig(profile=X86_P4, ib="ibtc", returns="shadow"),
+    SDTConfig(profile=X86_P4, ib="ibtc", returns="retcache"),
+    SDTConfig(profile=X86_P4, ib="ibtc", returns="fast"),
+    SDTConfig(profile=X86_P4, ib="sieve", returns="fast"),
+]
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "perl_like"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "small"
+
+    baseline = run_native(workload, X86_P4, scale=scale)
+    print(
+        f"{workload} [{scale}]: {baseline.retired} instructions, "
+        f"{baseline.indirect_branches} IBs "
+        f"(1 per {baseline.retired // baseline.indirect_branches}), "
+        f"{baseline.cycles} native cycles\n"
+    )
+
+    rows = []
+    for config in CONFIGS:
+        m = measure(workload, config, scale=scale)
+        rows.append([
+            config.label,
+            m.overhead,
+            m.ib_overhead_cycles,
+            m.breakdown["translate"],
+        ])
+    rows.sort(key=lambda row: row[1], reverse=True)
+    print(format_table(
+        f"IB mechanism shootout — {workload}",
+        ["configuration", "overhead", "IB-handling cycles", "translate"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

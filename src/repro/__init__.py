@@ -1,0 +1,16 @@
+"""Reproduction of *Evaluating Indirect Branch Handling Mechanisms in
+Software Dynamic Translation Systems* (Hiser et al., CGO 2007).
+
+The package builds a complete software-dynamic-translation stack over a
+synthetic 32-bit RISC guest:
+
+- :mod:`repro.isa` — guest ISA and toolchain (assembler/disassembler),
+- :mod:`repro.machine` — guest machine and reference interpreter,
+- :mod:`repro.lang` — MiniC, a small C-like language compiled to the guest,
+- :mod:`repro.host` — host microarchitecture cost models and predictors,
+- :mod:`repro.sdt` — the SDT itself, with all indirect-branch mechanisms,
+- :mod:`repro.workloads` — the SPEC-CPU2000-inspired benchmark suite,
+- :mod:`repro.eval` — experiment drivers reproducing the paper's artefacts.
+"""
+
+__version__ = "1.0.0"

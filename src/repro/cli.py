@@ -1,0 +1,251 @@
+"""Command-line interface.
+
+::
+
+    repro-sdt run <workload> [--scale S] [--ib M] [--returns R]
+                             [--profile P] [--json]
+    repro-sdt experiment <e1..e12|all> [--scale S]
+    repro-sdt fragments <workload> [--disassemble]  # fragment-cache dump
+    repro-sdt fanout <workload>                     # per-site IB targets
+    repro-sdt compile <file.mc> [-O] [-o out.s]     # MiniC -> assembly
+    repro-sdt asm <file.s> [--run]                  # assemble (and run)
+    repro-sdt list                                  # workloads & profiles
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.experiments import ALL_EXPERIMENTS
+from repro.eval.runner import measure, run_native
+from repro.host.profile import PROFILES, get_profile
+from repro.isa.assembler import assemble
+from repro.lang import compile_source
+from repro.machine.interpreter import run_program
+from repro.sdt.config import SDTConfig
+from repro.workloads import get_workload, workload_names
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads: ", ", ".join(workload_names()))
+    print("profiles:  ", ", ".join(sorted(PROFILES)))
+    print("mechanisms: reentry, ibtc, sieve")
+    print("returns:    same, fast, shadow, retcache")
+    print("experiments:", ", ".join(ALL_EXPERIMENTS))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    profile = get_profile(args.profile)
+    config = SDTConfig(
+        profile=profile,
+        ib=args.ib,
+        ibtc_entries=args.ibtc_entries,
+        ibtc_shared=not args.ibtc_persite,
+        sieve_buckets=args.sieve_buckets,
+        returns=args.returns,
+        linking=not args.no_linking,
+    )
+    workload = get_workload(args.workload, args.scale)
+    baseline = run_native(workload, profile, scale=args.scale)
+    result = measure(workload, config, scale=args.scale)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "workload": workload.name,
+            "scale": args.scale,
+            "config": config.label,
+            "profile": profile.name,
+            "retired": baseline.retired,
+            "ib": {"ijump": baseline.ijumps, "icall": baseline.icalls,
+                   "ret": baseline.rets},
+            "native_cycles": result.native_cycles,
+            "sdt_cycles": result.sdt_cycles,
+            "overhead": result.overhead,
+            "breakdown": result.breakdown,
+            "hit_rates": result.hit_rates,
+        }, indent=2))
+        return 0
+    print(f"workload : {workload.name} [{args.scale}] ({workload.spec_analog})")
+    print(f"config   : {config.label} on {profile.name}")
+    print(f"output   : {baseline.output.strip()}")
+    print(f"retired  : {baseline.retired}")
+    print(
+        f"IBs      : ijump={baseline.ijumps} icall={baseline.icalls} "
+        f"ret={baseline.rets}"
+    )
+    print(f"native   : {result.native_cycles} cycles")
+    print(f"sdt      : {result.sdt_cycles} cycles")
+    print(f"overhead : {result.overhead:.3f}x")
+    print("breakdown:")
+    for category, cycles in sorted(
+        result.breakdown.items(), key=lambda item: -item[1]
+    ):
+        if cycles:
+            share = cycles / result.sdt_cycles
+            print(f"  {category:15s} {cycles:12d}  ({share:6.1%})")
+    if result.hit_rates:
+        for mechanism, rate in sorted(result.hit_rates.items()):
+            print(f"hit rate : {mechanism} = {rate:.4f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        ALL_EXPERIMENTS[name](args.scale)
+    return 0
+
+
+def _cmd_fragments(args: argparse.Namespace) -> int:
+    from repro.sdt.debug import dump_fragment_cache
+    from repro.sdt.vm import SDTVM
+
+    workload = get_workload(args.workload, args.scale)
+    config = SDTConfig(profile=get_profile(args.profile), ib=args.ib,
+                       trace_jumps=args.traces)
+    vm = SDTVM(workload.compile(), config=config)
+    vm.run()
+    print(dump_fragment_cache(vm, disassemble=args.disassemble,
+                              limit=args.limit))
+    return 0
+
+
+def _cmd_fanout(args: argparse.Namespace) -> int:
+    from repro.eval.fanout import collect_fanout
+
+    profile = collect_fanout(args.workload, scale=args.scale)
+    print(
+        f"{args.workload} [{args.scale}]: {len(profile.sites)} IB sites, "
+        f"{profile.total_dispatches} dynamic dispatches"
+    )
+    print(
+        f"monomorphic sites: {profile.sites_with_fanout(1, 1)} "
+        f"({profile.dispatch_share(1, 1):.1%} of dispatches)"
+    )
+    print(f"max fan-out: {profile.max_fanout}, "
+          f"dispatch-weighted mean: {profile.weighted_mean_fanout:.2f}")
+    for site in sorted(profile.sites.values(),
+                       key=lambda s: -s.fanout)[: args.limit]:
+        print(
+            f"  {site.kind:5s} @ {site.pc:#010x}: "
+            f"{site.fanout} targets, {site.dispatches} dispatches"
+        )
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    assembly = compile_source(source, optimize=args.optimize)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(assembly)
+    else:
+        print(assembly)
+    return 0
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    program = assemble(source)
+    print(
+        f"text: {len(program.text.data)} bytes, "
+        f"data: {len(program.data.data)} bytes, "
+        f"entry: {program.entry:#x}"
+    )
+    if args.run:
+        result = run_program(program)
+        print(result.output, end="")
+        return result.exit_code
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sdt",
+        description="SDT indirect-branch mechanism evaluation (CGO'07 "
+        "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads/profiles/experiments")
+
+    run = sub.add_parser("run", help="run one workload under one SDT config")
+    run.add_argument("workload")
+    run.add_argument("--scale", default="small",
+                     choices=("tiny", "small", "large"))
+    run.add_argument("--profile", default="x86_p4")
+    run.add_argument("--ib", default="ibtc",
+                     choices=("reentry", "ibtc", "sieve"))
+    run.add_argument("--ibtc-entries", type=int, default=4096)
+    run.add_argument("--ibtc-persite", action="store_true")
+    run.add_argument("--sieve-buckets", type=int, default=512)
+    run.add_argument("--returns", default="same",
+                     choices=("same", "fast", "shadow", "retcache"))
+    run.add_argument("--no-linking", action="store_true")
+    run.add_argument("--json", action="store_true",
+                     help="machine-readable output")
+
+    experiment = sub.add_parser("experiment", help="run an E1..E11 driver")
+    experiment.add_argument("name")
+    experiment.add_argument("--scale", default=None)
+
+    fragments = sub.add_parser(
+        "fragments", help="dump a workload's fragment cache after a run"
+    )
+    fragments.add_argument("workload")
+    fragments.add_argument("--scale", default="tiny",
+                           choices=("tiny", "small", "large"))
+    fragments.add_argument("--profile", default="x86_p4")
+    fragments.add_argument("--ib", default="ibtc",
+                           choices=("reentry", "ibtc", "sieve"))
+    fragments.add_argument("--traces", action="store_true")
+    fragments.add_argument("--disassemble", action="store_true")
+    fragments.add_argument("--limit", type=int, default=10)
+
+    fanout = sub.add_parser(
+        "fanout", help="per-site indirect-branch target fan-out profile"
+    )
+    fanout.add_argument("workload")
+    fanout.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "large"))
+    fanout.add_argument("--limit", type=int, default=10)
+
+    compile_cmd = sub.add_parser("compile", help="compile MiniC to assembly")
+    compile_cmd.add_argument("file")
+    compile_cmd.add_argument("-o", "--output")
+    compile_cmd.add_argument("-O", "--optimize", action="store_true",
+                             help="enable constant folding/simplification")
+
+    asm = sub.add_parser("asm", help="assemble (and optionally run) SR32 asm")
+    asm.add_argument("file")
+    asm.add_argument("--run", action="store_true")
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "experiment": _cmd_experiment,
+    "fragments": _cmd_fragments,
+    "fanout": _cmd_fanout,
+    "compile": _cmd_compile,
+    "asm": _cmd_asm,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Experiment drivers reproducing the paper's tables and figures.
+
+- :mod:`repro.eval.runner` — measure one (workload, SDT-config, profile)
+  cell, with equivalence checking against the reference interpreter and
+  in-process caching,
+- :mod:`repro.eval.report` — text/CSV table rendering,
+- :mod:`repro.eval.experiments` — E1…E9 drivers (see DESIGN.md for the
+  experiment index).
+"""
+
+from repro.eval.runner import Measurement, NativeBaseline, measure, run_native
+from repro.eval.report import format_table, geomean, write_results
+
+__all__ = [
+    "Measurement",
+    "NativeBaseline",
+    "format_table",
+    "geomean",
+    "measure",
+    "run_native",
+    "write_results",
+]

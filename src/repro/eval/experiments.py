@@ -1,0 +1,509 @@
+"""E1–E9: drivers that regenerate the paper's tables and figures.
+
+Each driver returns ``(headers, rows)`` and persists the table under
+``results/`` via :func:`repro.eval.report.write_results`.  See DESIGN.md
+for the experiment index and EXPERIMENTS.md for paper-vs-measured notes.
+
+The default host profile for single-architecture experiments is the
+P4-like x86 profile (the paper's headline machine); E8 sweeps all three.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.eval.report import geomean, write_results
+from repro.eval.runner import measure, run_native
+from repro.host.profile import ArchProfile, SPARC_US3, X86_K8, X86_P4
+from repro.sdt.config import SDTConfig
+from repro.workloads import workload_names
+
+DEFAULT_PROFILE = X86_P4
+
+#: IBTC sizes swept in E3/E4/E9 (entries).
+IBTC_SIZES = (16, 64, 256, 1024, 4096, 16384)
+#: Sieve bucket counts swept in E5.
+SIEVE_SIZES = (32, 128, 512, 2048)
+#: The tuned configurations compared head-to-head in E6/E8.
+BEST_IBTC = 4096
+BEST_SIEVE = 512
+
+
+def bench_scale() -> str:
+    """Workload scale for experiment runs (``REPRO_SCALE`` overrides)."""
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+def _suite_names() -> list[str]:
+    return workload_names()
+
+
+def _overhead_row_foot(
+    rows: list[list[object]], first_data_col: int = 1
+) -> list[object]:
+    """Geomean row across the numeric columns of per-workload rows."""
+    foot: list[object] = ["geomean"]
+    for col in range(first_data_col, len(rows[0])):
+        foot.append(geomean([float(row[col]) for row in rows]))
+    return foot
+
+
+# -- E1: Table 1 — indirect branch characteristics ---------------------------
+
+
+def e1_ib_characteristics(scale: str | None = None) -> tuple[list[str], list[list[object]]]:
+    """Dynamic IB counts and rates per benchmark (native run)."""
+    scale = scale or bench_scale()
+    headers = [
+        "benchmark", "retired", "ijump", "icall", "ret",
+        "IB total", "instrs/IB",
+    ]
+    rows: list[list[object]] = []
+    for name in _suite_names():
+        base = run_native(name, DEFAULT_PROFILE, scale=scale)
+        total = base.indirect_branches
+        rows.append(
+            [
+                name, base.retired, base.ijumps, base.icalls, base.rets,
+                total, round(base.retired / max(total, 1), 1),
+            ]
+        )
+    write_results(
+        "e1_ib_characteristics",
+        f"E1 (Table 1): dynamic indirect-branch characteristics "
+        f"[scale={scale}]",
+        headers,
+        rows,
+    )
+    return headers, rows
+
+
+# -- E2: baseline overhead (translator re-entry on every IB) -----------------
+
+
+def e2_baseline_overhead(scale: str | None = None):
+    """Slowdown of the unoptimised SDT, with and without fragment linking."""
+    scale = scale or bench_scale()
+    headers = ["benchmark", "reentry", "reentry+nolink"]
+    rows: list[list[object]] = []
+    for name in _suite_names():
+        linked = measure(
+            name, SDTConfig(profile=DEFAULT_PROFILE, ib="reentry"), scale
+        )
+        nolink = measure(
+            name,
+            SDTConfig(profile=DEFAULT_PROFILE, ib="reentry", linking=False),
+            scale,
+        )
+        rows.append([name, linked.overhead, nolink.overhead])
+    rows.append(_overhead_row_foot(rows))
+    write_results(
+        "e2_baseline_overhead",
+        f"E2 (Fig.): baseline SDT overhead vs native "
+        f"({DEFAULT_PROFILE.name}) [scale={scale}]",
+        headers,
+        rows,
+    )
+    return headers, rows
+
+
+# -- E3: shared IBTC size sweep ------------------------------------------------
+
+
+def e3_ibtc_sweep(scale: str | None = None):
+    """Overhead vs shared-IBTC size."""
+    scale = scale or bench_scale()
+    headers = ["benchmark"] + [str(size) for size in IBTC_SIZES]
+    rows: list[list[object]] = []
+    for name in _suite_names():
+        row: list[object] = [name]
+        for size in IBTC_SIZES:
+            m = measure(
+                name,
+                SDTConfig(
+                    profile=DEFAULT_PROFILE, ib="ibtc",
+                    ibtc_entries=size, ibtc_shared=True,
+                ),
+                scale,
+            )
+            row.append(m.overhead)
+        rows.append(row)
+    rows.append(_overhead_row_foot(rows))
+    write_results(
+        "e3_ibtc_sweep",
+        f"E3 (Fig.): overhead vs shared IBTC entries [scale={scale}]",
+        headers,
+        rows,
+    )
+    return headers, rows
+
+
+# -- E4: shared vs per-site IBTC ------------------------------------------------
+
+
+def e4_ibtc_scope(scale: str | None = None):
+    """Shared tables vs per-site tables across sizes."""
+    scale = scale or bench_scale()
+    shared_sizes = (64, 1024, 4096)
+    persite_sizes = (4, 16, 64)
+    headers = (
+        ["benchmark"]
+        + [f"shared/{s}" for s in shared_sizes]
+        + [f"persite/{s}" for s in persite_sizes]
+    )
+    rows: list[list[object]] = []
+    for name in _suite_names():
+        row: list[object] = [name]
+        for size in shared_sizes:
+            m = measure(
+                name,
+                SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                          ibtc_entries=size, ibtc_shared=True),
+                scale,
+            )
+            row.append(m.overhead)
+        for size in persite_sizes:
+            m = measure(
+                name,
+                SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                          ibtc_entries=size, ibtc_shared=False),
+                scale,
+            )
+            row.append(m.overhead)
+        rows.append(row)
+    rows.append(_overhead_row_foot(rows))
+    write_results(
+        "e4_ibtc_scope",
+        f"E4 (Fig.): shared vs per-site IBTC [scale={scale}]",
+        headers,
+        rows,
+    )
+    return headers, rows
+
+
+# -- E5: sieve bucket sweep -------------------------------------------------------
+
+
+def e5_sieve_sweep(scale: str | None = None):
+    """Overhead vs sieve bucket count."""
+    scale = scale or bench_scale()
+    headers = ["benchmark"] + [str(b) for b in SIEVE_SIZES]
+    rows: list[list[object]] = []
+    for name in _suite_names():
+        row: list[object] = [name]
+        for buckets in SIEVE_SIZES:
+            m = measure(
+                name,
+                SDTConfig(profile=DEFAULT_PROFILE, ib="sieve",
+                          sieve_buckets=buckets),
+                scale,
+            )
+            row.append(m.overhead)
+        rows.append(row)
+    rows.append(_overhead_row_foot(rows))
+    write_results(
+        "e5_sieve_sweep",
+        f"E5 (Fig.): overhead vs sieve buckets [scale={scale}]",
+        headers,
+        rows,
+    )
+    return headers, rows
+
+
+# -- E6: tuned mechanism comparison --------------------------------------------------
+
+
+def _e6_configs(profile: ArchProfile) -> dict[str, SDTConfig]:
+    return {
+        "reentry": SDTConfig(profile=profile, ib="reentry"),
+        "ibtc": SDTConfig(profile=profile, ib="ibtc", ibtc_entries=BEST_IBTC),
+        "sieve": SDTConfig(profile=profile, ib="sieve",
+                           sieve_buckets=BEST_SIEVE),
+        "ibtc+fastret": SDTConfig(profile=profile, ib="ibtc",
+                                  ibtc_entries=BEST_IBTC, returns="fast"),
+    }
+
+
+def e6_mechanism_comparison(scale: str | None = None):
+    """Baseline vs tuned IBTC vs tuned sieve vs IBTC+fast-returns."""
+    scale = scale or bench_scale()
+    configs = _e6_configs(DEFAULT_PROFILE)
+    headers = ["benchmark"] + list(configs)
+    rows: list[list[object]] = []
+    for name in _suite_names():
+        row: list[object] = [name]
+        for config in configs.values():
+            row.append(measure(name, config, scale).overhead)
+        rows.append(row)
+    rows.append(_overhead_row_foot(rows))
+    write_results(
+        "e6_mechanism_comparison",
+        f"E6 (Fig.): tuned mechanism comparison [scale={scale}]",
+        headers,
+        rows,
+    )
+    return headers, rows
+
+
+# -- E7: return handling ------------------------------------------------------------
+
+
+def e7_return_handling(scale: str | None = None):
+    """Return schemes over an IBTC base configuration."""
+    scale = scale or bench_scale()
+    schemes = ("same", "shadow", "retcache", "fast")
+    headers = ["benchmark"] + [f"ret={s}" for s in schemes]
+    rows: list[list[object]] = []
+    for name in _suite_names():
+        row: list[object] = [name]
+        for scheme in schemes:
+            m = measure(
+                name,
+                SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                          ibtc_entries=BEST_IBTC, returns=scheme),
+                scale,
+            )
+            row.append(m.overhead)
+        rows.append(row)
+    rows.append(_overhead_row_foot(rows))
+    write_results(
+        "e7_return_handling",
+        f"E7 (Fig.): return-handling mechanisms (generic=IBTC/"
+        f"{BEST_IBTC}) [scale={scale}]",
+        headers,
+        rows,
+    )
+    return headers, rows
+
+
+# -- E8: cross-architecture sensitivity ------------------------------------------------
+
+
+def e8_cross_arch(scale: str | None = None):
+    """Geomean overhead of each mechanism under each host profile."""
+    scale = scale or bench_scale()
+    profiles = (X86_P4, X86_K8, SPARC_US3)
+    config_names = list(_e6_configs(X86_P4))
+    headers = ["profile"] + config_names + ["winner"]
+    rows: list[list[object]] = []
+    for profile in profiles:
+        configs = _e6_configs(profile)
+        row: list[object] = [profile.name]
+        means = []
+        for config in configs.values():
+            overheads = [
+                measure(name, config, scale).overhead
+                for name in _suite_names()
+            ]
+            means.append(geomean(overheads))
+        row.extend(means)
+        row.append(config_names[means.index(min(means))])
+        rows.append(row)
+    write_results(
+        "e8_cross_arch",
+        f"E8 (Fig.): cross-architecture geomean overhead [scale={scale}]",
+        headers,
+        rows,
+    )
+    return headers, rows
+
+
+# -- E9: IBTC hit rates -----------------------------------------------------------------
+
+
+def e9_ibtc_hitrate(scale: str | None = None):
+    """IBTC hit rate per benchmark per size (explains the E3 knee)."""
+    scale = scale or bench_scale()
+    headers = ["benchmark"] + [str(size) for size in IBTC_SIZES]
+    rows: list[list[object]] = []
+    for name in _suite_names():
+        row: list[object] = [name]
+        for size in IBTC_SIZES:
+            m = measure(
+                name,
+                SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                          ibtc_entries=size, ibtc_shared=True),
+                scale,
+            )
+            mechanism = f"ibtc-shared-{size}"
+            row.append(m.hit_rates.get(mechanism, 0.0))
+        rows.append(row)
+    write_results(
+        "e9_ibtc_hitrate",
+        f"E9 (Table): shared IBTC hit rates by size [scale={scale}]",
+        headers,
+        rows,
+    )
+    return headers, rows
+
+
+# -- E10: design-choice ablations ---------------------------------------------------
+
+
+def e10_ablations(scale: str | None = None):
+    """Ablations of the design choices DESIGN.md calls out.
+
+    Columns (geomean overhead over the suite):
+
+    - IBTC probe inlined at each site vs. one shared out-of-line stub,
+    - IBTC hash: xor-fold vs. plain shift/mask,
+    - sieve stub insertion: MRU-prepend vs. append,
+    - fragment linking on vs. off (the E2 companion, aggregated).
+    """
+    scale = scale or bench_scale()
+    ablations: dict[str, tuple[SDTConfig, SDTConfig]] = {
+        "ibtc inline vs outline": (
+            SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                      ibtc_entries=BEST_IBTC, ibtc_inline=True),
+            SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                      ibtc_entries=BEST_IBTC, ibtc_inline=False),
+        ),
+        "ibtc hash fold vs shift": (
+            SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                      ibtc_entries=64, ibtc_hash="fold"),
+            SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                      ibtc_entries=64, ibtc_hash="shift"),
+        ),
+        "sieve prepend vs append": (
+            SDTConfig(profile=DEFAULT_PROFILE, ib="sieve",
+                      sieve_buckets=16, sieve_policy="prepend"),
+            SDTConfig(profile=DEFAULT_PROFILE, ib="sieve",
+                      sieve_buckets=16, sieve_policy="append"),
+        ),
+        "linking on vs off": (
+            SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                      ibtc_entries=BEST_IBTC, linking=True),
+            SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                      ibtc_entries=BEST_IBTC, linking=False),
+        ),
+        "blocks vs traces": (
+            SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                      ibtc_entries=BEST_IBTC, trace_jumps=False),
+            SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                      ibtc_entries=BEST_IBTC, trace_jumps=True),
+        ),
+    }
+    headers = ["ablation", "base", "variant", "variant/base"]
+    rows: list[list[object]] = []
+    for name, (base_config, variant_config) in ablations.items():
+        base = geomean(
+            [measure(w, base_config, scale).overhead for w in _suite_names()]
+        )
+        variant = geomean(
+            [measure(w, variant_config, scale).overhead
+             for w in _suite_names()]
+        )
+        rows.append([name, base, variant, variant / base])
+    write_results(
+        "e10_ablations",
+        f"E10 (ablations): design choices, geomean overhead [scale={scale}]",
+        headers,
+        rows,
+    )
+    return headers, rows
+
+
+# -- E11: per-site target fan-out ------------------------------------------------
+
+
+def e11_site_fanout(scale: str | None = None):
+    """Distribution of distinct dynamic targets per IB site.
+
+    The paper's motivation table: most sites are monomorphic (a BTB/IBTC
+    entry suffices), while a handful of megamorphic sites carry most of
+    the dynamic dispatches on interpreter-style codes.
+    """
+    from repro.eval.fanout import collect_fanout
+
+    scale = scale or bench_scale()
+    headers = [
+        "benchmark", "IB sites", "mono", "2-4", "5-16", ">16",
+        "mono disp%", ">16 disp%", "max fanout", "wmean fanout",
+    ]
+    rows: list[list[object]] = []
+    for name in _suite_names():
+        profile = collect_fanout(name, scale=scale)
+        rows.append(
+            [
+                name,
+                len(profile.sites),
+                profile.sites_with_fanout(1, 1),
+                profile.sites_with_fanout(2, 4),
+                profile.sites_with_fanout(5, 16),
+                profile.sites_with_fanout(17),
+                round(100 * profile.dispatch_share(1, 1), 1),
+                round(100 * profile.dispatch_share(17), 1),
+                profile.max_fanout,
+                round(profile.weighted_mean_fanout, 2),
+            ]
+        )
+    write_results(
+        "e11_site_fanout",
+        f"E11 (Table): per-site indirect-branch target fan-out "
+        f"[scale={scale}]",
+        headers,
+        rows,
+    )
+    return headers, rows
+
+
+# -- E12: overhead vs site fan-out (synthetic sweep) -----------------------------
+
+
+def e12_fanout_sweep(scale: str | None = None):
+    """Overhead of each mechanism as one site's fan-out grows.
+
+    A controlled version of the paper's polymorphism discussion: with a
+    uniform (round-robin) target pattern the host BTB — and the inline
+    target prediction — collapse as fan-out passes 1, while table-based
+    mechanisms only pay the hardware misprediction; a skewed pattern
+    restores the cheap cases.  ``scale`` selects iteration count.
+    """
+    from repro.eval.runner import measure
+    from repro.workloads.microbench import dispatch_microbench
+
+    scale = scale or bench_scale()
+    iterations = {"tiny": 500, "small": 2000, "large": 8000}[scale]
+    fanouts = (1, 2, 4, 8, 16, 32)
+    configs = {
+        "reentry": SDTConfig(profile=DEFAULT_PROFILE, ib="reentry"),
+        "ibtc": SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc"),
+        "ibtc+predict": SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                                  inline_predict=True),
+        "sieve": SDTConfig(profile=DEFAULT_PROFILE, ib="sieve"),
+    }
+    headers = ["site", *configs]
+    rows: list[list[object]] = []
+    for skewed in (False, True):
+        for fanout in fanouts:
+            workload = dispatch_microbench(
+                fanout, iterations=iterations, skewed=skewed
+            )
+            label = f"{'skew' if skewed else 'unif'}/{fanout}"
+            row: list[object] = [label]
+            for config in configs.values():
+                row.append(measure(workload, config, scale).overhead)
+            rows.append(row)
+    write_results(
+        "e12_fanout_sweep",
+        f"E12 (Fig.): overhead vs dispatch-site fan-out [scale={scale}]",
+        headers,
+        rows,
+    )
+    return headers, rows
+
+
+ALL_EXPERIMENTS = {
+    "e1": e1_ib_characteristics,
+    "e2": e2_baseline_overhead,
+    "e3": e3_ibtc_sweep,
+    "e4": e4_ibtc_scope,
+    "e5": e5_sieve_sweep,
+    "e6": e6_mechanism_comparison,
+    "e7": e7_return_handling,
+    "e8": e8_cross_arch,
+    "e9": e9_ibtc_hitrate,
+    "e10": e10_ablations,
+    "e11": e11_site_fanout,
+    "e12": e12_fanout_sweep,
+}

@@ -1,0 +1,73 @@
+"""Table rendering and result persistence for the experiment drivers."""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+
+#: Default artefact directory (created on first write).
+RESULTS_DIR = Path("results")
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean — the paper's suite-level aggregate."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: list[str], rows: list[list[object]]
+) -> str:
+    """Render an aligned text table."""
+    cells = [[format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells))
+        if cells
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(value.rjust(w) if i else value.ljust(w)
+                      for i, (value, w) in enumerate(zip(row, widths)))
+        )
+    return "\n".join(lines)
+
+
+def write_results(
+    name: str,
+    title: str,
+    headers: list[str],
+    rows: list[list[object]],
+    results_dir: Path | None = None,
+) -> str:
+    """Render a table, persist it as ``<name>.txt``/``<name>.csv``, print it.
+
+    Returns the rendered text (also printed to stdout so ``pytest -s``
+    shows it live).
+    """
+    directory = results_dir if results_dir is not None else RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    text = format_table(title, headers, rows)
+    (directory / f"{name}.txt").write_text(text + "\n")
+    with open(directory / f"{name}.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow([format_cell(value) for value in row])
+    print()
+    print(text)
+    return text

@@ -1,0 +1,205 @@
+"""Measurement runner: one (workload, config, profile) cell at a time.
+
+Every SDT measurement is verified against the reference interpreter
+(output, exit code, retired-instruction count) before its cycles are
+trusted — a run that diverges raises instead of producing a number.
+
+Native baselines and SDT measurements are cached in-process keyed on
+(workload, scale, profile/config), so experiment drivers can share cells
+(e.g. the `ibtc(shared,4096)` column appears in E3, E6 and E7 but is
+simulated once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.costs import Category, HostModel, NativeCostObserver
+from repro.host.profile import ArchProfile
+from repro.machine.interpreter import Interpreter
+from repro.sdt.config import SDTConfig
+from repro.sdt.vm import SDTRunResult, SDTVM
+from repro.workloads import Workload, get_workload
+
+DEFAULT_FUEL = 30_000_000
+
+
+class DivergenceError(AssertionError):
+    """The SDT produced different behaviour than the interpreter."""
+
+
+@dataclass(frozen=True)
+class NativeBaseline:
+    """Reference-interpreter run with native cycle accounting."""
+
+    workload: str
+    scale: str
+    profile: str
+    output: str
+    exit_code: int
+    retired: int
+    cycles: int
+    ijumps: int
+    icalls: int
+    rets: int
+
+    @property
+    def indirect_branches(self) -> int:
+        return self.ijumps + self.icalls + self.rets
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One verified SDT measurement, normalised to its native baseline."""
+
+    workload: str
+    scale: str
+    profile: str
+    config_label: str
+    native_cycles: int
+    sdt_cycles: int
+    breakdown: dict[str, int]
+    stats: dict[str, object]
+    hit_rates: dict[str, float]
+
+    @property
+    def overhead(self) -> float:
+        """Slowdown vs native — the paper's y-axis."""
+        return self.sdt_cycles / self.native_cycles
+
+    @property
+    def ib_overhead_cycles(self) -> int:
+        """Cycles attributable to IB handling (dispatch + slow paths)."""
+        ib_categories = (
+            Category.CONTEXT_SWITCH,
+            Category.MAP_LOOKUP,
+            Category.IBTC,
+            Category.SIEVE,
+            Category.SHADOW_STACK,
+            Category.FAST_RETURN,
+            Category.RETCACHE,
+        )
+        return sum(self.breakdown.get(cat.value, 0) for cat in ib_categories)
+
+
+_NATIVE_CACHE: dict[tuple[str, str, str], NativeBaseline] = {}
+_MEASURE_CACHE: dict[tuple, Measurement] = {}
+
+
+def clear_caches() -> None:
+    """Drop all cached runs (tests use this for isolation)."""
+    _NATIVE_CACHE.clear()
+    _MEASURE_CACHE.clear()
+
+
+def run_native(
+    workload: Workload | str,
+    profile: ArchProfile,
+    scale: str = "small",
+    fuel: int = DEFAULT_FUEL,
+) -> NativeBaseline:
+    """Interpreter run of a workload with native cost accounting (cached)."""
+    if isinstance(workload, str):
+        workload = get_workload(workload, scale)
+    key = (workload.name, scale, profile.name)
+    cached = _NATIVE_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    from repro.isa.opcodes import InstrClass
+
+    model = HostModel(profile)
+    interp = Interpreter(workload.compile(), observer=NativeCostObserver(model))
+    result = interp.run(fuel)
+    baseline = NativeBaseline(
+        workload=workload.name,
+        scale=scale,
+        profile=profile.name,
+        output=result.output,
+        exit_code=result.exit_code,
+        retired=result.retired,
+        cycles=model.total_cycles,
+        ijumps=result.iclass_counts[InstrClass.IJUMP],
+        icalls=result.iclass_counts[InstrClass.ICALL],
+        rets=result.iclass_counts[InstrClass.RET],
+    )
+    _NATIVE_CACHE[key] = baseline
+    return baseline
+
+
+def _config_key(config: SDTConfig) -> tuple:
+    return (
+        config.profile.name,
+        config.label,
+        config.ibtc_entries,
+        config.ibtc_shared,
+        config.ibtc_inline,
+        config.ibtc_hash,
+        config.inline_predict,
+        config.sieve_buckets,
+        config.sieve_policy,
+        config.shadow_depth,
+        config.retcache_entries,
+        config.fragment_cache_bytes,
+        config.max_fragment_instrs,
+        config.trace_jumps,
+    )
+
+
+def _verify(
+    baseline: NativeBaseline, result: SDTRunResult, label: str
+) -> None:
+    if result.output != baseline.output:
+        raise DivergenceError(
+            f"{baseline.workload}/{label}: output diverged "
+            f"({result.output!r} vs {baseline.output!r})"
+        )
+    if result.exit_code != baseline.exit_code:
+        raise DivergenceError(
+            f"{baseline.workload}/{label}: exit code diverged"
+        )
+    if result.retired != baseline.retired:
+        raise DivergenceError(
+            f"{baseline.workload}/{label}: retired count diverged "
+            f"({result.retired} vs {baseline.retired})"
+        )
+
+
+def measure(
+    workload: Workload | str,
+    config: SDTConfig,
+    scale: str = "small",
+    fuel: int = DEFAULT_FUEL,
+) -> Measurement:
+    """Run a workload under an SDT config; verify and normalise (cached)."""
+    if isinstance(workload, str):
+        workload = get_workload(workload, scale)
+    key = (workload.name, scale) + _config_key(config)
+    cached = _MEASURE_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    baseline = run_native(workload, config.profile, scale=scale, fuel=fuel)
+    vm = SDTVM(workload.compile(), config=config)
+    result = vm.run(fuel)
+    _verify(baseline, result, config.label)
+
+    hit_rates = {}
+    for counter_key in result.stats.mechanism:
+        mechanism = counter_key.rsplit(".", 1)[0]
+        if mechanism not in hit_rates:
+            hit_rates[mechanism] = result.stats.hit_rate(mechanism)
+
+    measurement = Measurement(
+        workload=workload.name,
+        scale=scale,
+        profile=config.profile.name,
+        config_label=config.label,
+        native_cycles=baseline.cycles,
+        sdt_cycles=result.total_cycles,
+        breakdown=dict(result.cycles),
+        stats=result.stats.as_dict(),
+        hit_rates=hit_rates,
+    )
+    _MEASURE_CACHE[key] = measurement
+    return measurement

@@ -1,0 +1,43 @@
+"""Host microarchitecture cost model.
+
+The paper's results are driven by a handful of host-microarchitecture
+parameters: the penalty of a mispredicted indirect jump, the effectiveness
+of the hardware return-address stack, the price of a full context switch
+into the translator, and the per-probe cost of software lookup code.  This
+package makes those parameters explicit:
+
+- :mod:`repro.host.profile` — :class:`ArchProfile` presets (``x86_p4``,
+  ``x86_k8``, ``sparc_us3``, ``simple``),
+- :mod:`repro.host.predictors` — bimodal conditional predictor, branch
+  target buffer, return-address stack,
+- :mod:`repro.host.costs` — the :class:`HostModel` cycle accumulator shared
+  by native and SDT runs.
+"""
+
+from repro.host.costs import Category, HostModel, NativeCostObserver
+from repro.host.predictors import BimodalPredictor, BranchTargetBuffer, ReturnAddressStack
+from repro.host.profile import (
+    ArchProfile,
+    PROFILES,
+    SIMPLE,
+    SPARC_US3,
+    X86_K8,
+    X86_P4,
+    get_profile,
+)
+
+__all__ = [
+    "ArchProfile",
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "Category",
+    "HostModel",
+    "NativeCostObserver",
+    "PROFILES",
+    "ReturnAddressStack",
+    "SIMPLE",
+    "SPARC_US3",
+    "X86_K8",
+    "X86_P4",
+    "get_profile",
+]

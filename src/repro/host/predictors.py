@@ -1,0 +1,122 @@
+"""Host branch-prediction structures.
+
+These are deliberately simple, classical designs — the paper's argument
+does not depend on predictor sophistication, only on the *kind* of host
+branch each SDT mechanism executes:
+
+- a conditional direct branch (sieve stage) trains a :class:`BimodalPredictor`,
+- an indirect jump (IBTC hit, translator dispatch) trains a
+  :class:`BranchTargetBuffer`, whose accuracy collapses for megamorphic sites,
+- a host ``call``/``ret`` pair (fast returns) keeps the
+  :class:`ReturnAddressStack` usable, which generic IB handling forfeits.
+"""
+
+from __future__ import annotations
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit saturating counter predictor for conditional branches."""
+
+    __slots__ = ("_mask", "_table", "hits", "misses")
+
+    def __init__(self, entries: int):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self._mask = entries - 1
+        self._table = bytearray([1] * entries)
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, pc: int, taken: bool) -> bool:
+        """Predict, update, and return True on a *misprediction*."""
+        index = (pc >> 2) & self._mask
+        counter = self._table[index]
+        predicted_taken = counter >= 2
+        if taken and counter < 3:
+            self._table[index] = counter + 1
+        elif not taken and counter > 0:
+            self._table[index] = counter - 1
+        if predicted_taken == taken:
+            self.hits += 1
+            return False
+        self.misses += 1
+        return True
+
+
+class BranchTargetBuffer:
+    """Direct-mapped, tagged BTB for indirect jumps/calls.
+
+    Predicts "same target as last time" per site — the behaviour the paper
+    assumes when it argues that an IBTC hit still pays a hardware
+    misprediction whenever an indirect site is polymorphic.
+    """
+
+    __slots__ = ("_mask", "_tags", "_targets", "hits", "misses")
+
+    def __init__(self, entries: int):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self._mask = entries - 1
+        self._tags: list[int | None] = [None] * entries
+        self._targets = [0] * entries
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, pc: int, target: int) -> bool:
+        """Predict the target of the indirect branch at ``pc``.
+
+        Updates the entry and returns True on a *misprediction* (wrong
+        target or cold/conflicting entry).
+        """
+        index = (pc >> 2) & self._mask
+        mispredicted = self._tags[index] != pc or self._targets[index] != target
+        self._tags[index] = pc
+        self._targets[index] = target
+        if mispredicted:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return mispredicted
+
+
+class ReturnAddressStack:
+    """Fixed-depth hardware return-address stack (circular, as real RAS).
+
+    Overflow overwrites the oldest entry; underflow mispredicts.
+    """
+
+    __slots__ = ("_entries", "_stack", "_top", "_depth", "hits", "misses")
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self._entries = entries
+        self._stack = [0] * entries
+        self._top = 0
+        self._depth = 0
+        self.hits = 0
+        self.misses = 0
+
+    def push(self, return_addr: int) -> None:
+        self._stack[self._top] = return_addr
+        self._top = (self._top + 1) % self._entries
+        if self._depth < self._entries:
+            self._depth += 1
+
+    def pop(self, actual_target: int) -> bool:
+        """Pop a prediction and return True on a *misprediction*."""
+        if self._depth == 0:
+            self.misses += 1
+            return True
+        self._top = (self._top - 1) % self._entries
+        self._depth -= 1
+        if self._stack[self._top] == actual_target:
+            self.hits += 1
+            return False
+        self.misses += 1
+        return True
+
+    def flush(self) -> None:
+        """Clear the stack (e.g. on context switch into the translator)."""
+        self._depth = 0
+        self._top = 0

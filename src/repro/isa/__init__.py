@@ -1,0 +1,51 @@
+"""SR32: the synthetic 32-bit RISC guest ISA used by the SDT reproduction.
+
+The package provides the full toolchain for the guest architecture:
+
+- :mod:`repro.isa.registers` — register file specification and ABI aliases,
+- :mod:`repro.isa.opcodes` — the opcode table and instruction classes,
+- :mod:`repro.isa.instruction` — the decoded-instruction data model,
+- :mod:`repro.isa.encoding` — binary encoder/decoder (32-bit fixed width),
+- :mod:`repro.isa.assembler` — two-pass assembler with labels and sections,
+- :mod:`repro.isa.disassembler` — textual disassembly,
+- :mod:`repro.isa.program` — the loadable program image.
+"""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.disassembler import disassemble, disassemble_word
+from repro.isa.encoding import DecodeError, EncodeError, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrClass, Op
+from repro.isa.program import Program, Section
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_FP,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    reg_name,
+    reg_number,
+)
+
+__all__ = [
+    "AssemblyError",
+    "DecodeError",
+    "EncodeError",
+    "InstrClass",
+    "Instruction",
+    "NUM_REGS",
+    "Op",
+    "Program",
+    "REG_FP",
+    "REG_RA",
+    "REG_SP",
+    "REG_ZERO",
+    "Section",
+    "assemble",
+    "decode",
+    "disassemble",
+    "disassemble_word",
+    "encode",
+    "reg_name",
+    "reg_number",
+]

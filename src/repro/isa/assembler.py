@@ -1,0 +1,574 @@
+"""Two-pass assembler for SR32 assembly.
+
+Supported syntax (one statement per line, ``#`` comments)::
+
+        .text
+    main:
+        addi  sp, sp, -8
+        sw    ra, 4(sp)
+        li    t0, 123456          # pseudo: lui+ori / addi
+        la    a0, message         # pseudo: lui+ori
+        jal   helper
+        lw    ra, 4(sp)
+        addi  sp, sp, 8
+        ret
+
+        .data
+    message: .asciiz "hello"
+    table:   .word helper, main, 42
+    buffer:  .space 64
+
+Directives: ``.text``, ``.data``, ``.word``, ``.half``, ``.byte``,
+``.ascii``, ``.asciiz``, ``.space``, ``.align``, ``.globl`` (accepted and
+ignored), ``.entry label``.
+
+Pseudo-instructions: ``li``, ``la``, ``mv``, ``nop``, ``not``, ``neg``,
+``b``, ``beqz``, ``bnez``, ``bltz``, ``bgez``, ``blez``, ``bgtz``, ``bgt``,
+``ble``, ``bgtu``, ``bleu``, ``call`` (alias of ``jal``), ``seqz``, ``snez``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Fmt, MNEMONIC_TO_OP, Op, spec
+from repro.isa.program import DATA_BASE, Program, Section, TEXT_BASE
+from repro.isa.registers import REG_AT, REG_RA, REG_ZERO, reg_number
+
+
+class AssemblyError(ValueError):
+    """Raised for any malformed assembly input."""
+
+    def __init__(self, message: str, line: int | None = None):
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+        self.line = line
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_MEM_RE = re.compile(r"^(-?\w+)\s*\(\s*(\$?\w+)\s*\)$")
+
+
+@dataclass(slots=True)
+class _Stmt:
+    """One parsed source statement (instruction or data directive)."""
+
+    line: int
+    mnemonic: str
+    operands: list[str]
+    section: str
+    addr: int = 0
+
+
+def _parse_int(text: str, line: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(f"expected integer, got {text!r}", line) from None
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand string on commas, honouring string literals."""
+    operands: list[str] = []
+    current = []
+    in_string = False
+    escaped = False
+    for ch in text:
+        if in_string:
+            current.append(ch)
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_string = False
+            continue
+        if ch == '"':
+            in_string = True
+            current.append(ch)
+        elif ch == ",":
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail or operands:
+        operands.append(tail)
+    return [op for op in operands if op]
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_string = False
+    escaped = False
+    for ch in line:
+        if in_string:
+            out.append(ch)
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_string = False
+            continue
+        if ch == "#" or ch == ";":
+            break
+        if ch == '"':
+            in_string = True
+        out.append(ch)
+    return "".join(out).strip()
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", '"': '"', "r": "\r"}
+
+
+def _parse_string(text: str, line: int) -> bytes:
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise AssemblyError(f"expected string literal, got {text!r}", line)
+    body = text[1:-1]
+    out = bytearray()
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            i += 1
+            if i >= len(body) or body[i] not in _ESCAPES:
+                raise AssemblyError(f"bad escape in string {text!r}", line)
+            out.append(ord(_ESCAPES[body[i]]))
+        else:
+            out.append(ord(ch))
+        i += 1
+    return bytes(out)
+
+
+# Pseudo-instruction expansion -------------------------------------------
+
+_BR_ZERO = {
+    "beqz": Op.BEQ,
+    "bnez": Op.BNE,
+    "bltz": Op.BLT,
+    "bgez": Op.BGE,
+}
+_BR_SWAP = {
+    "bgt": Op.BLT,
+    "ble": Op.BGE,
+    "bgtu": Op.BLTU,
+    "bleu": Op.BGEU,
+}
+
+PSEUDO_MNEMONICS = frozenset(
+    {
+        "li",
+        "la",
+        "mv",
+        "move",
+        "nop",
+        "not",
+        "neg",
+        "b",
+        "blez",
+        "bgtz",
+        "call",
+        "seqz",
+        "snez",
+    }
+    | set(_BR_ZERO)
+    | set(_BR_SWAP)
+)
+
+
+def _pseudo_size(mnemonic: str, operands: list[str], line: int) -> int:
+    """Number of real instructions a pseudo expands to (pass 1)."""
+    if mnemonic == "li":
+        if len(operands) != 2:
+            raise AssemblyError("li needs 2 operands", line)
+        value = _parse_int(operands[1], line)
+        if -0x8000 <= value <= 0x7FFF:
+            return 1
+        if value & 0xFFFF == 0 and 0 <= value <= 0xFFFFFFFF:
+            return 1
+        return 2
+    if mnemonic == "la":
+        return 2
+    return 1
+
+
+class _Assembler:
+    """Internal two-pass assembler state."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.symbols: dict[str, int] = {}
+        self.text_stmts: list[_Stmt] = []
+        self.data_items: list[tuple[_Stmt, int]] = []  # stmt, size
+        self.entry_label: str | None = None
+
+    # -- pass 1 -----------------------------------------------------------
+
+    def pass1(self) -> None:
+        section = "text"
+        text_addr = TEXT_BASE
+        data_addr = DATA_BASE
+        for lineno, raw in enumerate(self.source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            while line:
+                match = _LABEL_RE.match(line)
+                if match:
+                    label, line = match.group(1), match.group(2).strip()
+                    if label in self.symbols:
+                        raise AssemblyError(
+                            f"duplicate label {label!r}", lineno
+                        )
+                    self.symbols[label] = (
+                        text_addr if section == "text" else data_addr
+                    )
+                    continue
+                break
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1]) if len(parts) > 1 else []
+            if mnemonic == ".text":
+                section = "text"
+                continue
+            if mnemonic == ".data":
+                section = "data"
+                continue
+            if mnemonic == ".globl":
+                continue
+            if mnemonic == ".entry":
+                if len(operands) != 1:
+                    raise AssemblyError(".entry needs one label", lineno)
+                self.entry_label = operands[0]
+                continue
+            stmt = _Stmt(lineno, mnemonic, operands, section)
+            if mnemonic.startswith("."):
+                if section != "data":
+                    raise AssemblyError(
+                        f"data directive {mnemonic} outside .data", lineno
+                    )
+                size, data_addr = self._sized_directive(stmt, data_addr)
+                self.data_items.append((stmt, size))
+                continue
+            if section != "text":
+                raise AssemblyError("instruction outside .text", lineno)
+            stmt.addr = text_addr
+            if mnemonic in PSEUDO_MNEMONICS:
+                count = _pseudo_size(mnemonic, operands, lineno)
+            elif mnemonic in MNEMONIC_TO_OP:
+                count = 1
+            else:
+                raise AssemblyError(f"unknown mnemonic {mnemonic!r}", lineno)
+            self.text_stmts.append(stmt)
+            text_addr += 4 * count
+
+    def _sized_directive(self, stmt: _Stmt, addr: int) -> tuple[int, int]:
+        """Size a data directive; returns (size, next_addr) with alignment."""
+        mnemonic, operands, line = stmt.mnemonic, stmt.operands, stmt.line
+        if mnemonic == ".align":
+            power = _parse_int(operands[0], line)
+            step = 1 << power
+            new_addr = (addr + step - 1) & ~(step - 1)
+            # retroactively fix the label if one pointed at the pad start
+            self._fix_labels(addr, new_addr)
+            return new_addr - addr, new_addr
+        if mnemonic == ".word":
+            new_addr = (addr + 3) & ~3
+            self._fix_labels(addr, new_addr)
+            pad = new_addr - addr
+            return pad + 4 * len(operands), new_addr + 4 * len(operands)
+        if mnemonic == ".half":
+            new_addr = (addr + 1) & ~1
+            self._fix_labels(addr, new_addr)
+            pad = new_addr - addr
+            return pad + 2 * len(operands), new_addr + 2 * len(operands)
+        if mnemonic == ".byte":
+            return len(operands), addr + len(operands)
+        if mnemonic in (".ascii", ".asciiz"):
+            data = _parse_string(operands[0], line)
+            size = len(data) + (1 if mnemonic == ".asciiz" else 0)
+            return size, addr + size
+        if mnemonic == ".space":
+            size = _parse_int(operands[0], line)
+            if size < 0:
+                raise AssemblyError(".space size must be >= 0", line)
+            return size, addr + size
+        raise AssemblyError(f"unknown directive {mnemonic!r}", line)
+
+    def _fix_labels(self, old_addr: int, new_addr: int) -> None:
+        if old_addr == new_addr:
+            return
+        for label, value in self.symbols.items():
+            if value == old_addr:
+                self.symbols[label] = new_addr
+
+    # -- pass 2 -----------------------------------------------------------
+
+    def _resolve(self, token: str, line: int) -> int:
+        token = token.strip()
+        if token in self.symbols:
+            return self.symbols[token]
+        if re.fullmatch(r"-?(0[xX][0-9a-fA-F]+|\d+)", token):
+            return int(token, 0)
+        raise AssemblyError(f"undefined symbol {token!r}", line)
+
+    def _reg(self, token: str, line: int) -> int:
+        try:
+            return reg_number(token)
+        except ValueError as exc:
+            raise AssemblyError(str(exc), line) from None
+
+    def _expand_pseudo(self, stmt: _Stmt) -> list[Instruction]:
+        m, ops, line = stmt.mnemonic, stmt.operands, stmt.line
+        if m == "nop":
+            return [Instruction(Op.SLL, rd=0, rt=0, shamt=0)]
+        if m in ("mv", "move"):
+            rd, rs = self._reg(ops[0], line), self._reg(ops[1], line)
+            return [Instruction(Op.OR, rd=rd, rs=rs, rt=REG_ZERO)]
+        if m == "not":
+            rd, rs = self._reg(ops[0], line), self._reg(ops[1], line)
+            return [Instruction(Op.NOR, rd=rd, rs=rs, rt=REG_ZERO)]
+        if m == "neg":
+            rd, rs = self._reg(ops[0], line), self._reg(ops[1], line)
+            return [Instruction(Op.SUB, rd=rd, rs=REG_ZERO, rt=rs)]
+        if m == "seqz":
+            rd, rs = self._reg(ops[0], line), self._reg(ops[1], line)
+            return [Instruction(Op.SLTIU, rt=rd, rs=rs, imm=1)]
+        if m == "snez":
+            rd, rs = self._reg(ops[0], line), self._reg(ops[1], line)
+            return [Instruction(Op.SLTU, rd=rd, rs=REG_ZERO, rt=rs)]
+        if m == "li":
+            rd = self._reg(ops[0], line)
+            value = _parse_int(ops[1], line)
+            uvalue = value & 0xFFFFFFFF
+            if -0x8000 <= value <= 0x7FFF:
+                return [Instruction(Op.ADDI, rt=rd, rs=REG_ZERO, imm=value)]
+            if uvalue & 0xFFFF == 0 and 0 <= value <= 0xFFFFFFFF:
+                return [Instruction(Op.LUI, rt=rd, imm=uvalue >> 16)]
+            return [
+                Instruction(Op.LUI, rt=rd, imm=uvalue >> 16),
+                Instruction(Op.ORI, rt=rd, rs=rd, imm=uvalue & 0xFFFF),
+            ]
+        if m == "la":
+            rd = self._reg(ops[0], line)
+            addr = self._resolve(ops[1], line) & 0xFFFFFFFF
+            return [
+                Instruction(Op.LUI, rt=rd, imm=addr >> 16),
+                Instruction(Op.ORI, rt=rd, rs=rd, imm=addr & 0xFFFF),
+            ]
+        if m == "b":
+            return [self._branch(Op.BEQ, REG_ZERO, REG_ZERO, ops[0], stmt, 0)]
+        if m == "call":
+            return [self._jump(Op.JAL, ops[0], line)]
+        if m in _BR_ZERO:
+            rs = self._reg(ops[0], line)
+            return [self._branch(_BR_ZERO[m], rs, REG_ZERO, ops[1], stmt, 0)]
+        if m == "blez":  # rs <= 0  ==  !(0 < rs)  ==  bge zero, rs? use bge
+            rs = self._reg(ops[0], line)
+            return [self._branch(Op.BGE, REG_ZERO, rs, ops[1], stmt, 0)]
+        if m == "bgtz":  # rs > 0  ==  blt zero, rs
+            rs = self._reg(ops[0], line)
+            return [self._branch(Op.BLT, REG_ZERO, rs, ops[1], stmt, 0)]
+        if m in _BR_SWAP:
+            rs = self._reg(ops[0], line)
+            rt = self._reg(ops[1], line)
+            return [self._branch(_BR_SWAP[m], rt, rs, ops[2], stmt, 0)]
+        raise AssemblyError(f"unhandled pseudo {m!r}", stmt.line)
+
+    def _branch(
+        self,
+        op: Op,
+        rs: int,
+        rt: int,
+        target: str,
+        stmt: _Stmt,
+        slot: int,
+    ) -> Instruction:
+        target_addr = self._resolve(target, stmt.line)
+        pc = stmt.addr + 4 * slot
+        delta = target_addr - (pc + 4)
+        if delta % 4:
+            raise AssemblyError("branch target not word aligned", stmt.line)
+        offset = delta >> 2
+        if not -0x8000 <= offset <= 0x7FFF:
+            raise AssemblyError("branch target out of range", stmt.line)
+        return Instruction(op, rs=rs, rt=rt, imm=offset)
+
+    def _jump(self, op: Op, target: str, line: int) -> Instruction:
+        addr = self._resolve(target, line)
+        if addr % 4:
+            raise AssemblyError("jump target not word aligned", line)
+        return Instruction(op, imm=(addr >> 2) & 0x03FFFFFF)
+
+    def _encode_stmt(self, stmt: _Stmt) -> list[Instruction]:
+        if stmt.mnemonic in PSEUDO_MNEMONICS:
+            return self._expand_pseudo(stmt)
+        op = MNEMONIC_TO_OP[stmt.mnemonic]
+        fmt = spec(op).fmt
+        ops, line = stmt.operands, stmt.line
+
+        def need(count: int) -> None:
+            if len(ops) != count:
+                raise AssemblyError(
+                    f"{stmt.mnemonic} needs {count} operands, got {len(ops)}",
+                    line,
+                )
+
+        if fmt == Fmt.R3:
+            need(3)
+            return [
+                Instruction(
+                    op,
+                    rd=self._reg(ops[0], line),
+                    rs=self._reg(ops[1], line),
+                    rt=self._reg(ops[2], line),
+                )
+            ]
+        if fmt == Fmt.SHIFT:
+            need(3)
+            return [
+                Instruction(
+                    op,
+                    rd=self._reg(ops[0], line),
+                    rt=self._reg(ops[1], line),
+                    shamt=_parse_int(ops[2], line),
+                )
+            ]
+        if fmt == Fmt.I2:
+            need(3)
+            return [
+                Instruction(
+                    op,
+                    rt=self._reg(ops[0], line),
+                    rs=self._reg(ops[1], line),
+                    imm=_parse_int(ops[2], line),
+                )
+            ]
+        if fmt == Fmt.LUI:
+            need(2)
+            return [
+                Instruction(op, rt=self._reg(ops[0], line),
+                            imm=_parse_int(ops[1], line))
+            ]
+        if fmt == Fmt.MEM:
+            need(2)
+            match = _MEM_RE.match(ops[1])
+            if not match:
+                raise AssemblyError(
+                    f"expected offset(base), got {ops[1]!r}", line
+                )
+            return [
+                Instruction(
+                    op,
+                    rt=self._reg(ops[0], line),
+                    rs=self._reg(match.group(2), line),
+                    imm=_parse_int(match.group(1), line),
+                )
+            ]
+        if fmt == Fmt.BR:
+            need(3)
+            return [
+                self._branch(
+                    op,
+                    self._reg(ops[0], line),
+                    self._reg(ops[1], line),
+                    ops[2],
+                    stmt,
+                    0,
+                )
+            ]
+        if fmt == Fmt.J:
+            need(1)
+            return [self._jump(op, ops[0], line)]
+        if fmt == Fmt.JR:
+            need(1)
+            return [Instruction(op, rs=self._reg(ops[0], line))]
+        if fmt == Fmt.JALR:
+            if len(ops) == 1:
+                return [
+                    Instruction(op, rd=REG_RA, rs=self._reg(ops[0], line))
+                ]
+            need(2)
+            return [
+                Instruction(
+                    op,
+                    rd=self._reg(ops[0], line),
+                    rs=self._reg(ops[1], line),
+                )
+            ]
+        if fmt == Fmt.NONE:
+            need(0)
+            return [Instruction(op)]
+        raise AssemblyError(f"unhandled format {fmt}", line)
+
+    def _emit_data(self) -> bytes:
+        out = bytearray()
+        addr = DATA_BASE
+        for stmt, size in self.data_items:
+            m, ops, line = stmt.mnemonic, stmt.operands, stmt.line
+            if m == ".align":
+                out.extend(b"\0" * size)
+                addr += size
+                continue
+            if m in (".word", ".half"):
+                width = 4 if m == ".word" else 2
+                pad = (-addr) % width
+                out.extend(b"\0" * pad)
+                addr += pad
+                for token in ops:
+                    value = self._resolve(token, line) & ((1 << (8 * width)) - 1)
+                    out.extend(value.to_bytes(width, "little"))
+                    addr += width
+                continue
+            if m == ".byte":
+                for token in ops:
+                    out.append(self._resolve(token, line) & 0xFF)
+                addr += len(ops)
+                continue
+            if m in (".ascii", ".asciiz"):
+                data = _parse_string(ops[0], line)
+                out.extend(data)
+                if m == ".asciiz":
+                    out.append(0)
+                addr += size
+                continue
+            if m == ".space":
+                out.extend(b"\0" * size)
+                addr += size
+                continue
+            raise AssemblyError(f"unhandled directive {m!r}", line)
+        return bytes(out)
+
+    def assemble(self) -> Program:
+        self.pass1()
+        words = bytearray()
+        for stmt in self.text_stmts:
+            for instr in self._encode_stmt(stmt):
+                try:
+                    word = encode(instr)
+                except ValueError as exc:
+                    raise AssemblyError(str(exc), stmt.line) from exc
+                words.extend(word.to_bytes(4, "little"))
+        data = self._emit_data()
+        entry = TEXT_BASE
+        if self.entry_label is not None:
+            if self.entry_label not in self.symbols:
+                raise AssemblyError(f"undefined entry {self.entry_label!r}")
+            entry = self.symbols[self.entry_label]
+        elif "main" in self.symbols:
+            entry = self.symbols["main"]
+        return Program(
+            text=Section("text", TEXT_BASE, bytes(words)),
+            data=Section("data", DATA_BASE, data),
+            entry=entry,
+            symbols=dict(self.symbols),
+        )
+
+
+def assemble(source: str) -> Program:
+    """Assemble SR32 source text into a loadable :class:`Program`."""
+    return _Assembler(source).assemble()

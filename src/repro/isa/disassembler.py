@@ -1,0 +1,77 @@
+"""Textual disassembly of SR32 instructions."""
+
+from __future__ import annotations
+
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Fmt, spec
+from repro.isa.registers import reg_name
+
+
+def format_instruction(instr: Instruction, pc: int | None = None) -> str:
+    """Render one instruction as assembly text.
+
+    If ``pc`` is given, branch/jump targets are shown as absolute addresses.
+    """
+    sp = spec(instr.op)
+    name = sp.mnemonic
+    fmt = sp.fmt
+    if fmt == Fmt.R3:
+        return (
+            f"{name} {reg_name(instr.rd)}, "
+            f"{reg_name(instr.rs)}, {reg_name(instr.rt)}"
+        )
+    if fmt == Fmt.SHIFT:
+        if instr.rd == 0 and instr.rt == 0 and instr.shamt == 0:
+            return "nop"
+        return f"{name} {reg_name(instr.rd)}, {reg_name(instr.rt)}, {instr.shamt}"
+    if fmt == Fmt.I2:
+        return (
+            f"{name} {reg_name(instr.rt)}, "
+            f"{reg_name(instr.rs)}, {instr.imm}"
+        )
+    if fmt == Fmt.LUI:
+        return f"{name} {reg_name(instr.rt)}, {instr.imm:#x}"
+    if fmt == Fmt.MEM:
+        return f"{name} {reg_name(instr.rt)}, {instr.imm}({reg_name(instr.rs)})"
+    if fmt == Fmt.BR:
+        if pc is not None:
+            target = f"{instr.branch_target(pc):#x}"
+        else:
+            target = f".{instr.imm * 4:+d}"
+        return f"{name} {reg_name(instr.rs)}, {reg_name(instr.rt)}, {target}"
+    if fmt == Fmt.J:
+        if pc is not None:
+            return f"{name} {instr.branch_target(pc):#x}"
+        return f"{name} {instr.imm * 4:#x}"
+    if fmt == Fmt.JR:
+        return f"{name} {reg_name(instr.rs)}"
+    if fmt == Fmt.JALR:
+        return f"{name} {reg_name(instr.rd)}, {reg_name(instr.rs)}"
+    return name
+
+
+def disassemble_word(word: int, pc: int | None = None) -> str:
+    """Disassemble one 32-bit word; unknown words render as ``.word``."""
+    try:
+        return format_instruction(decode(word), pc)
+    except DecodeError:
+        return f".word {word:#010x}"
+
+
+def disassemble(
+    raw: bytes, base: int = 0, symbols: dict[str, int] | None = None
+) -> str:
+    """Disassemble a byte buffer into a listing with addresses."""
+    addr_to_label = {}
+    if symbols:
+        for label, addr in symbols.items():
+            addr_to_label.setdefault(addr, label)
+    lines = []
+    for offset in range(0, len(raw) - len(raw) % 4, 4):
+        pc = base + offset
+        if pc in addr_to_label:
+            lines.append(f"{addr_to_label[pc]}:")
+        word = int.from_bytes(raw[offset : offset + 4], "little")
+        lines.append(f"  {pc:#010x}:  {disassemble_word(word, pc)}")
+    return "\n".join(lines)

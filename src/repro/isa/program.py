@@ -1,0 +1,59 @@
+"""Loadable program image for the SR32 guest."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default memory layout of a guest process.
+TEXT_BASE = 0x0040_0000
+DATA_BASE = 0x1000_0000
+STACK_TOP = 0x7FFF_F000
+HEAP_ALIGN = 16
+
+
+@dataclass(frozen=True, slots=True)
+class Section:
+    """One contiguous loadable section."""
+
+    name: str
+    base: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+
+@dataclass(slots=True)
+class Program:
+    """A fully linked guest program.
+
+    Attributes:
+        text: the executable section.
+        data: the initialised data section (may be empty).
+        entry: address of the first instruction to execute.
+        symbols: label -> address map (both sections).
+    """
+
+    text: Section
+    data: Section
+    entry: int
+    symbols: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def heap_base(self) -> int:
+        """First address past the data section, suitably aligned."""
+        end = self.data.end if self.data.data else self.data.base
+        return (end + HEAP_ALIGN - 1) & ~(HEAP_ALIGN - 1)
+
+    def symbol(self, name: str) -> int:
+        """Look up a label address; raises :class:`KeyError` if absent."""
+        return self.symbols[name]
+
+    def text_words(self) -> list[int]:
+        """The text section as a list of 32-bit little-endian words."""
+        raw = self.text.data
+        return [
+            int.from_bytes(raw[i : i + 4], "little")
+            for i in range(0, len(raw), 4)
+        ]

@@ -1,0 +1,108 @@
+"""Register file specification for the SR32 guest ISA.
+
+SR32 has 32 general-purpose 32-bit registers.  ``r0`` is hardwired to zero
+(writes are discarded), following the MIPS convention.  The ABI aliases are:
+
+========  ======  =====================================================
+alias     number  role
+========  ======  =====================================================
+zero      0       hardwired zero
+at        1       assembler temporary (used by pseudo-expansion)
+v0, v1    2-3     return values / syscall service number
+a0-a3     4-7     first four arguments
+t0-t9     8-15,   caller-saved temporaries
+          24-25
+s0-s7     16-23   callee-saved
+gp        28      global pointer (base of .data)
+sp        29      stack pointer
+fp        30      frame pointer
+ra        31      return address
+========  ======  =====================================================
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+REG_ZERO = 0
+REG_AT = 1
+REG_V0 = 2
+REG_V1 = 3
+REG_A0 = 4
+REG_A1 = 5
+REG_A2 = 6
+REG_A3 = 7
+REG_GP = 28
+REG_SP = 29
+REG_FP = 30
+REG_RA = 31
+
+_ALIAS_TO_NUM = {
+    "zero": 0,
+    "at": 1,
+    "v0": 2,
+    "v1": 3,
+    "a0": 4,
+    "a1": 5,
+    "a2": 6,
+    "a3": 7,
+    "t0": 8,
+    "t1": 9,
+    "t2": 10,
+    "t3": 11,
+    "t4": 12,
+    "t5": 13,
+    "t6": 14,
+    "t7": 15,
+    "s0": 16,
+    "s1": 17,
+    "s2": 18,
+    "s3": 19,
+    "s4": 20,
+    "s5": 21,
+    "s6": 22,
+    "s7": 23,
+    "t8": 24,
+    "t9": 25,
+    "k0": 26,
+    "k1": 27,
+    "gp": 28,
+    "sp": 29,
+    "fp": 30,
+    "ra": 31,
+}
+
+_NUM_TO_ALIAS = {num: alias for alias, num in _ALIAS_TO_NUM.items()}
+
+#: Registers a callee must preserve across a call (ABI contract).
+CALLEE_SAVED = tuple(range(16, 24)) + (REG_GP, REG_SP, REG_FP, REG_RA)
+
+#: Registers a caller cannot rely on surviving a call.
+CALLER_SAVED = (REG_V0, REG_V1, REG_A0, REG_A1, REG_A2, REG_A3) + tuple(
+    range(8, 16)
+) + (24, 25)
+
+
+def reg_number(name: str) -> int:
+    """Parse a register name (``r4``, ``$a0``, ``sp`` ...) to its number.
+
+    Raises :class:`ValueError` for anything that is not a valid register.
+    """
+    text = name.strip().lower()
+    if text.startswith("$"):
+        text = text[1:]
+    if text.startswith("r") and text[1:].isdigit():
+        num = int(text[1:])
+        if 0 <= num < NUM_REGS:
+            return num
+        raise ValueError(f"register number out of range: {name!r}")
+    if text in _ALIAS_TO_NUM:
+        return _ALIAS_TO_NUM[text]
+    raise ValueError(f"unknown register: {name!r}")
+
+
+def reg_name(num: int) -> str:
+    """Return the canonical ABI alias for a register number."""
+    if not 0 <= num < NUM_REGS:
+        raise ValueError(f"register number out of range: {num}")
+    return _NUM_TO_ALIAS[num]

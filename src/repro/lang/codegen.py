@@ -1,0 +1,921 @@
+"""MiniC code generator: AST → SR32 assembly.
+
+Code-generation model (deliberately classical — the point is realistic
+control-flow shape, not optimisation):
+
+- expressions evaluate on a register stack ``t0..t7``, spilling to frame
+  slots when the stack overflows;
+- ``t8``/``t9`` are codegen scratch (address computation, reloads);
+- scalars declared ``register`` live in ``s0..s5`` (callee-saved);
+- other locals and parameters live in ``fp``-relative frame slots;
+- dense ``switch`` statements lower to jump tables dispatched with ``jr``
+  (guest indirect jumps); sparse ones to compare chains;
+- calls through non-function identifiers lower to ``jalr`` (guest indirect
+  calls); every function returns with ``ret``.
+
+The indirect-branch profile of compiled code — the input the paper's
+mechanisms are evaluated on — is produced exactly here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import SemaError
+from repro.lang.nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    GlobalDecl,
+    Ident,
+    If,
+    Index,
+    IntLit,
+    Return,
+    Stmt,
+    StrLit,
+    Switch,
+    Ternary,
+    Unary,
+    Unit,
+    VarDecl,
+    While,
+)
+from repro.lang.sema import BUILTINS, GlobalInfo, UnitInfo
+
+_NUM_TEMPS = 8          # t0..t7 expression stack
+_NUM_REG_VARS = 6       # s0..s5 for `register` locals
+_MAX_DENSE_SPAN = 1024  # jump-table span cap
+_BINOPS = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "rem",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "sllv",
+    ">>": "srav",
+    ">>>": "srlv",
+}
+#: relational op -> (branch-if-true mnemonic, swap operands)
+_REL_BRANCH = {
+    "<": ("blt", False),
+    ">": ("blt", True),
+    "<=": ("bge", True),
+    ">=": ("bge", False),
+    "==": ("beq", False),
+    "!=": ("bne", False),
+}
+_REL_INVERSE = {"<": ">=", ">": "<=", "<=": ">", ">=": "<", "==": "!=", "!=": "=="}
+
+
+@dataclass(slots=True)
+class _StackSlot:
+    """fp-relative local or spilled value; address is ``fp - offset``."""
+
+    offset: int
+    is_array: bool = False
+    size: int = 1
+
+
+@dataclass(slots=True)
+class _RegVar:
+    reg: str
+
+
+@dataclass(slots=True)
+class _ParamSlot:
+    """Caller-stack parameter (arg index >= 4); address is ``fp + offset``."""
+
+    offset: int
+
+
+_Binding = _StackSlot | _RegVar | _ParamSlot | GlobalInfo | str
+
+
+class _FuncGen:
+    """Generates one function."""
+
+    def __init__(self, unit_gen: "CodeGen", func: FuncDef):
+        self.u = unit_gen
+        self.func = func
+        self.lines: list[str] = []
+        self.scopes: list[dict[str, _Binding]] = []
+        self.frame_words = 2  # ra + saved fp
+        self.sreg_saves: list[str] = []
+        self._label_counter = 0
+        self._spill_free: list[int] = []
+        self._break_labels: list[str] = []
+        self._continue_labels: list[str] = []
+
+    # -- small helpers ------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"        {text}")
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return f".L_{self.func.name}_{hint}{self._label_counter}"
+
+    def _alloc_slot(self, words: int = 1) -> int:
+        """Allocate ``words`` frame words; returns the fp-offset of the base.
+
+        For arrays the base is the *lowest* address so element ``i`` lives
+        at ``fp - offset + 4*i``.
+        """
+        self.frame_words += words
+        return 4 * self.frame_words
+
+    def _alloc_spill(self) -> int:
+        """A frame slot for a spilled temporary (reused via a free list)."""
+        if self._spill_free:
+            return self._spill_free.pop()
+        return self._alloc_slot()
+
+    def _free_spill(self, offset: int) -> None:
+        self._spill_free.append(offset)
+
+    # -- scope ---------------------------------------------------------------
+
+    def _lookup(self, name: str, line: int) -> _Binding:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.u.info.globals:
+            return self.u.info.globals[name]
+        if name in self.u.info.functions:
+            return "func"
+        if name in BUILTINS:
+            return "builtin"
+        raise SemaError(f"undeclared identifier {name!r}", line)
+
+    # -- function body ---------------------------------------------------------
+
+    def generate(self) -> list[str]:
+        func = self.func
+        self.scopes.append({})
+        reg_vars = self._collect_register_vars(func.body)
+
+        # parameter bindings
+        param_stores: list[str] = []
+        for index, name in enumerate(func.params):
+            if index < 4:
+                offset = self._alloc_slot()
+                self.scopes[0][name] = _StackSlot(offset)
+                param_stores.append(f"sw   a{index}, -{offset}(fp)")
+            else:
+                self.scopes[0][name] = _ParamSlot(4 * (index - 4))
+
+        # register-variable assignment (collected up front so the save
+        # area is known before the body is generated)
+        sregs = [f"s{i}" for i in range(min(len(reg_vars), _NUM_REG_VARS))]
+        self.sreg_saves = sregs
+        sreg_save_offsets = [self._alloc_slot() for _ in sregs]
+        self._reg_var_map = {
+            id(decl): sregs[i] for i, decl in enumerate(reg_vars[: len(sregs)])
+        }
+
+        # body (frame slots, including spill slots, accumulate as we go)
+        self._gen_block(func.body)
+        frame = (4 * self.frame_words + 7) & ~7
+
+        prologue = [
+            f"{func.name}:",
+            f"        addi sp, sp, -{frame}",
+            f"        sw   ra, {frame - 4}(sp)",
+            f"        sw   fp, {frame - 8}(sp)",
+            f"        addi fp, sp, {frame}",
+        ]
+        for sreg, offset in zip(sregs, sreg_save_offsets):
+            prologue.append(f"        sw   {sreg}, -{offset}(fp)")
+        prologue.extend(f"        {line}" for line in param_stores)
+
+        epilogue = [f"{self._exit_label()}:"]
+        for sreg, offset in zip(sregs, sreg_save_offsets):
+            epilogue.append(f"        lw   {sreg}, -{offset}(fp)")
+        epilogue.extend(
+            [
+                "        lw   ra, -4(fp)",
+                "        mv   sp, fp",
+                "        lw   fp, -8(sp)",
+                "        ret",
+            ]
+        )
+        # default return value 0 if control falls off the end
+        falloff = ["        li   v0, 0"]
+        return prologue + self.lines + falloff + epilogue
+
+    def _exit_label(self) -> str:
+        return f".L_{self.func.name}_exit"
+
+    def _collect_register_vars(self, stmt: Stmt) -> list[VarDecl]:
+        """All `register` declarations in the function, in source order."""
+        found: list[VarDecl] = []
+
+        def walk(node: Stmt) -> None:
+            if isinstance(node, VarDecl):
+                if node.is_register:
+                    found.append(node)
+            elif isinstance(node, Block):
+                for sub in node.stmts:
+                    walk(sub)
+            elif isinstance(node, If):
+                walk(node.then)
+                if node.otherwise is not None:
+                    walk(node.otherwise)
+            elif isinstance(node, (While, DoWhile)):
+                walk(node.body)
+            elif isinstance(node, For):
+                if node.init is not None:
+                    walk(node.init)
+                if node.step is not None:
+                    walk(node.step)
+                walk(node.body)
+            elif isinstance(node, Switch):
+                for group in node.groups:
+                    for sub in group.stmts:
+                        walk(sub)
+
+        walk(stmt)
+        return found
+
+    # -- statements ---------------------------------------------------------------
+
+    def _gen_block(self, block: Block) -> None:
+        self.scopes.append({})
+        for stmt in block.stmts:
+            self._gen_stmt(stmt)
+        self.scopes.pop()
+
+    def _gen_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, VarDecl):
+            self._gen_var_decl(stmt)
+        elif isinstance(stmt, Assign):
+            self._gen_assign(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self._gen_expr(stmt.expr, 0)
+        elif isinstance(stmt, Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, Switch):
+            self._gen_switch(stmt)
+        elif isinstance(stmt, Break):
+            self.emit(f"j    {self._break_labels[-1]}")
+        elif isinstance(stmt, Continue):
+            self.emit(f"j    {self._continue_labels[-1]}")
+        elif isinstance(stmt, Return):
+            if stmt.value is not None:
+                self._gen_expr(stmt.value, 0)
+                self.emit("mv   v0, t0")
+            else:
+                self.emit("li   v0, 0")
+            self.emit(f"j    {self._exit_label()}")
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise AssertionError(f"unhandled statement {stmt!r}")
+
+    def _gen_var_decl(self, decl: VarDecl) -> None:
+        if decl.is_register and id(decl) in self._reg_var_map:
+            reg = self._reg_var_map[id(decl)]
+            binding: _Binding = _RegVar(reg)
+            if decl.init is not None:
+                self._gen_expr(decl.init, 0)
+                self.emit(f"mv   {reg}, t0")
+            else:
+                self.emit(f"li   {reg}, 0")
+        elif decl.array_size is not None:
+            offset = self._alloc_slot(decl.array_size)
+            binding = _StackSlot(offset, is_array=True, size=decl.array_size)
+        else:
+            offset = self._alloc_slot()
+            binding = _StackSlot(offset)
+            if decl.init is not None:
+                self._gen_expr(decl.init, 0)
+                self.emit(f"sw   t0, -{offset}(fp)")
+        self.scopes[-1][decl.name] = binding
+
+    def _gen_assign(self, stmt: Assign) -> None:
+        op = stmt.op
+        target = stmt.target
+        self._gen_expr(stmt.value, 0)  # value in t0
+        if isinstance(target, Ident):
+            binding = self._lookup(target.name, target.line)
+            self._store_ident(binding, target, op)
+        elif isinstance(target, Index):
+            self._store_index(target, op)
+        else:  # pragma: no cover - parser enforces
+            raise AssertionError("bad assignment target")
+
+    def _store_ident(self, binding: _Binding, target: Ident, op: str) -> None:
+        mnemonic = _BINOPS.get(op[:-1]) if op != "=" else None
+        if isinstance(binding, _RegVar):
+            if op == "=":
+                self.emit(f"mv   {binding.reg}, t0")
+            else:
+                self.emit(f"{mnemonic} {binding.reg}, {binding.reg}, t0")
+            return
+        if isinstance(binding, _StackSlot):
+            if binding.is_array:
+                raise SemaError(f"cannot assign to array {target.name!r}", target.line)
+            where = f"-{binding.offset}(fp)"
+        elif isinstance(binding, _ParamSlot):
+            where = f"{binding.offset}(fp)"
+        elif isinstance(binding, GlobalInfo):
+            if binding.is_array:
+                raise SemaError(f"cannot assign to array {target.name!r}", target.line)
+            self.emit(f"la   t8, {binding.name}")
+            if op == "=":
+                self.emit("sw   t0, 0(t8)")
+            else:
+                self.emit("lw   t9, 0(t8)")
+                self.emit(f"{mnemonic} t9, t9, t0")
+                self.emit("sw   t9, 0(t8)")
+            return
+        else:
+            raise SemaError(f"cannot assign to {target.name!r}", target.line)
+        if op == "=":
+            self.emit(f"sw   t0, {where}")
+        else:
+            self.emit(f"lw   t9, {where}")
+            self.emit(f"{mnemonic} t9, t9, t0")
+            self.emit(f"sw   t9, {where}")
+
+    def _store_index(self, target: Index, op: str) -> None:
+        # value is in t0; compute the element address into t8
+        self._gen_address_expr(target.base, 1)
+        self._gen_expr(target.index, 2)
+        self.emit("sll  t8, t2, 2")
+        self.emit("add  t8, t1, t8")
+        if op == "=":
+            self.emit("sw   t0, 0(t8)")
+        else:
+            mnemonic = _BINOPS[op[:-1]]
+            self.emit("lw   t9, 0(t8)")
+            self.emit(f"{mnemonic} t9, t9, t0")
+            self.emit("sw   t9, 0(t8)")
+
+    def _gen_if(self, stmt: If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif") if stmt.otherwise else else_label
+        self._gen_branch(stmt.cond, else_label, branch_if_true=False)
+        self._gen_stmt(stmt.then)
+        if stmt.otherwise is not None:
+            self.emit(f"j    {end_label}")
+            self.emit_label(else_label)
+            self._gen_stmt(stmt.otherwise)
+        self.emit_label(end_label)
+
+    def _gen_while(self, stmt: While) -> None:
+        head = self.new_label("while")
+        end = self.new_label("wend")
+        self.emit_label(head)
+        self._gen_branch(stmt.cond, end, branch_if_true=False)
+        self._break_labels.append(end)
+        self._continue_labels.append(head)
+        self._gen_stmt(stmt.body)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self.emit(f"j    {head}")
+        self.emit_label(end)
+
+    def _gen_do_while(self, stmt: DoWhile) -> None:
+        head = self.new_label("do")
+        cond = self.new_label("docond")
+        end = self.new_label("doend")
+        self.emit_label(head)
+        self._break_labels.append(end)
+        self._continue_labels.append(cond)
+        self._gen_stmt(stmt.body)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self.emit_label(cond)
+        self._gen_branch(stmt.cond, head, branch_if_true=True)
+        self.emit_label(end)
+
+    def _gen_for(self, stmt: For) -> None:
+        self.scopes.append({})
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        head = self.new_label("for")
+        step_label = self.new_label("fstep")
+        end = self.new_label("fend")
+        self.emit_label(head)
+        if stmt.cond is not None:
+            self._gen_branch(stmt.cond, end, branch_if_true=False)
+        self._break_labels.append(end)
+        self._continue_labels.append(step_label)
+        self._gen_stmt(stmt.body)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self.emit_label(step_label)
+        if stmt.step is not None:
+            self._gen_stmt(stmt.step)
+        self.emit(f"j    {head}")
+        self.emit_label(end)
+        self.scopes.pop()
+
+    # -- switch --------------------------------------------------------------------
+
+    def _gen_switch(self, stmt: Switch) -> None:
+        end = self.new_label("swend")
+        group_labels = [self.new_label("case") for _ in stmt.groups]
+        default_label = end
+        value_to_label: dict[int, str] = {}
+        for label, group in zip(group_labels, stmt.groups):
+            for value in group.values:
+                value_to_label[value] = label
+            if group.is_default:
+                default_label = label
+
+        self._gen_expr(stmt.selector, 0)
+        values = sorted(value_to_label)
+        if self._is_dense(values):
+            self._emit_jump_table(values, value_to_label, default_label)
+        else:
+            for value in values:
+                label = value_to_label[value]
+                if value == 0:
+                    self.emit(f"beq  t0, zero, {label}")
+                elif -0x8000 <= value <= 0x7FFF:
+                    self.emit(f"addi t8, zero, {value}")
+                    self.emit(f"beq  t0, t8, {label}")
+                else:
+                    self.emit(f"li   t8, {value}")
+                    self.emit(f"beq  t0, t8, {label}")
+            self.emit(f"j    {default_label}")
+
+        self._break_labels.append(end)
+        for label, group in zip(group_labels, stmt.groups):
+            self.emit_label(label)
+            for sub in group.stmts:
+                self._gen_stmt(sub)
+        self._break_labels.pop()
+        self.emit_label(end)
+
+    @staticmethod
+    def _is_dense(values: list[int]) -> bool:
+        if len(values) < 4:
+            return False
+        span = values[-1] - values[0] + 1
+        return span <= min(_MAX_DENSE_SPAN, 3 * len(values))
+
+    def _emit_jump_table(
+        self,
+        values: list[int],
+        value_to_label: dict[int, str],
+        default_label: str,
+    ) -> None:
+        lo = values[0]
+        span = values[-1] - lo + 1
+        table = self.new_label("jt").lstrip(".")  # data labels: no leading dot
+        if lo != 0:
+            if -0x8000 <= -lo <= 0x7FFF:
+                self.emit(f"addi t8, t0, {-lo}")
+            else:
+                self.emit(f"li   t9, {lo}")
+                self.emit("sub  t8, t0, t9")
+        else:
+            self.emit("mv   t8, t0")
+        self.emit(f"sltiu t9, t8, {span}")
+        self.emit(f"beq  t9, zero, {default_label}")
+        self.emit("sll  t8, t8, 2")
+        self.emit(f"la   t9, {table}")
+        self.emit("add  t8, t8, t9")
+        self.emit("lw   t8, 0(t8)")
+        self.emit("jr   t8")
+        entries = [
+            value_to_label.get(lo + i, default_label) for i in range(span)
+        ]
+        self.u.data_lines.append(f"{table}:")
+        for entry in entries:
+            self.u.data_lines.append(f"        .word {entry}")
+
+    # -- conditional branches -----------------------------------------------------
+
+    def _gen_branch(
+        self, cond: Expr, label: str, branch_if_true: bool, depth: int = 0
+    ) -> None:
+        """Branch to ``label`` when ``cond`` is true (or false)."""
+        if isinstance(cond, IntLit):
+            if bool(cond.value) == branch_if_true:
+                self.emit(f"j    {label}")
+            return
+        if isinstance(cond, Unary) and cond.op == "!":
+            self._gen_branch(cond.operand, label, not branch_if_true, depth)
+            return
+        if isinstance(cond, Binary) and cond.op in _REL_BRANCH:
+            self._gen_rel_branch(cond, label, branch_if_true, depth)
+            return
+        if isinstance(cond, Binary) and cond.op == "&&":
+            if branch_if_true:
+                skip = self.new_label("andskip")
+                self._gen_branch(cond.left, skip, False, depth)
+                self._gen_branch(cond.right, label, True, depth)
+                self.emit_label(skip)
+            else:
+                self._gen_branch(cond.left, label, False, depth)
+                self._gen_branch(cond.right, label, False, depth)
+            return
+        if isinstance(cond, Binary) and cond.op == "||":
+            if branch_if_true:
+                self._gen_branch(cond.left, label, True, depth)
+                self._gen_branch(cond.right, label, True, depth)
+            else:
+                skip = self.new_label("orskip")
+                self._gen_branch(cond.left, skip, True, depth)
+                self._gen_branch(cond.right, label, False, depth)
+                self.emit_label(skip)
+            return
+        self._gen_expr(cond, depth)
+        reg = f"t{depth}"
+        mnemonic = "bne" if branch_if_true else "beq"
+        self.emit(f"{mnemonic}  {reg}, zero, {label}")
+
+    def _gen_rel_branch(
+        self, cond: Binary, label: str, branch_if_true: bool, depth: int
+    ) -> None:
+        op = cond.op if branch_if_true else _REL_INVERSE[cond.op]
+        mnemonic, swap = _REL_BRANCH[op]
+        left_reg, right_reg = self._gen_operands(cond.left, cond.right, depth)
+        if swap:
+            left_reg, right_reg = right_reg, left_reg
+        self.emit(f"{mnemonic}  {left_reg}, {right_reg}, {label}")
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _gen_operands(
+        self, left: Expr, right: Expr, depth: int
+    ) -> tuple[str, str]:
+        """Evaluate two operands; returns their (left, right) registers."""
+        if depth + 1 < _NUM_TEMPS:
+            self._gen_expr(left, depth)
+            self._gen_expr(right, depth + 1)
+            return f"t{depth}", f"t{depth + 1}"
+        top = _NUM_TEMPS - 1
+        self._gen_expr(left, top)
+        offset = self._alloc_spill()
+        self.emit(f"sw   t{top}, -{offset}(fp)")
+        self._gen_expr(right, top)
+        self.emit(f"lw   t8, -{offset}(fp)")
+        self._free_spill(offset)
+        return "t8", f"t{top}"
+
+    def _gen_expr(self, expr: Expr, depth: int) -> None:
+        """Evaluate ``expr`` into register ``t{depth}``."""
+        depth = min(depth, _NUM_TEMPS - 1)
+        reg = f"t{depth}"
+        if isinstance(expr, IntLit):
+            self.emit(f"li   {reg}, {expr.value}")
+            return
+        if isinstance(expr, Ident):
+            self._gen_ident(expr, reg)
+            return
+        if isinstance(expr, Unary):
+            self._gen_unary(expr, depth)
+            return
+        if isinstance(expr, Binary):
+            self._gen_binary(expr, depth)
+            return
+        if isinstance(expr, Ternary):
+            else_label = self.new_label("terne")
+            end_label = self.new_label("ternd")
+            self._gen_branch(expr.cond, else_label, branch_if_true=False, depth=depth)
+            self._gen_expr(expr.then, depth)
+            self.emit(f"j    {end_label}")
+            self.emit_label(else_label)
+            self._gen_expr(expr.otherwise, depth)
+            self.emit_label(end_label)
+            return
+        if isinstance(expr, Index):
+            left_reg, right_reg = self._gen_index_operands(expr, depth)
+            self.emit(f"sll  t8, {right_reg}, 2")
+            self.emit(f"add  t8, {left_reg}, t8")
+            self.emit(f"lw   {reg}, 0(t8)")
+            return
+        if isinstance(expr, Call):
+            self._gen_call(expr, depth)
+            return
+        if isinstance(expr, StrLit):
+            raise SemaError("string literal outside print_str", expr.line)
+        raise AssertionError(f"unhandled expression {expr!r}")
+
+    def _gen_index_operands(self, expr: Index, depth: int) -> tuple[str, str]:
+        if depth + 1 < _NUM_TEMPS:
+            self._gen_address_expr(expr.base, depth)
+            self._gen_expr(expr.index, depth + 1)
+            return f"t{depth}", f"t{depth + 1}"
+        top = _NUM_TEMPS - 1
+        self._gen_address_expr(expr.base, top)
+        offset = self._alloc_spill()
+        self.emit(f"sw   t{top}, -{offset}(fp)")
+        self._gen_expr(expr.index, top)
+        self.emit(f"lw   t8, -{offset}(fp)")
+        self._free_spill(offset)
+        return "t8", f"t{top}"
+
+    def _gen_ident(self, expr: Ident, reg: str) -> None:
+        binding = self._lookup(expr.name, expr.line)
+        if isinstance(binding, _RegVar):
+            self.emit(f"mv   {reg}, {binding.reg}")
+        elif isinstance(binding, _StackSlot):
+            if binding.is_array:
+                self.emit(f"addi {reg}, fp, -{binding.offset}")
+            else:
+                self.emit(f"lw   {reg}, -{binding.offset}(fp)")
+        elif isinstance(binding, _ParamSlot):
+            self.emit(f"lw   {reg}, {binding.offset}(fp)")
+        elif isinstance(binding, GlobalInfo):
+            if binding.is_array:
+                self.emit(f"la   {reg}, {binding.name}")
+            else:
+                self.emit(f"la   t8, {binding.name}")
+                self.emit(f"lw   {reg}, 0(t8)")
+        elif binding == "func":
+            self.emit(f"la   {reg}, {expr.name}")
+        else:
+            raise SemaError(
+                f"builtin {expr.name!r} cannot be used as a value", expr.line
+            )
+
+    def _gen_address_expr(self, base: Expr, depth: int) -> None:
+        """Base address of an indexing operation into ``t{depth}``.
+
+        Array-typed names decay to their base address; anything else is
+        evaluated as a value and treated as an address (pointer-style).
+        """
+        if isinstance(base, Ident):
+            binding = self._lookup(base.name, base.line)
+            reg = f"t{min(depth, _NUM_TEMPS - 1)}"
+            if isinstance(binding, _StackSlot) and binding.is_array:
+                self.emit(f"addi {reg}, fp, -{binding.offset}")
+                return
+            if isinstance(binding, GlobalInfo) and binding.is_array:
+                self.emit(f"la   {reg}, {binding.name}")
+                return
+        self._gen_expr(base, depth)
+
+    def _gen_unary(self, expr: Unary, depth: int) -> None:
+        reg = f"t{min(depth, _NUM_TEMPS - 1)}"
+        if expr.op == "&":
+            assert isinstance(expr.operand, Ident)
+            binding = self._lookup(expr.operand.name, expr.line)
+            if binding == "func":
+                self.emit(f"la   {reg}, {expr.operand.name}")
+            elif isinstance(binding, GlobalInfo):
+                self.emit(f"la   {reg}, {binding.name}")
+            elif isinstance(binding, _StackSlot):
+                self.emit(f"addi {reg}, fp, -{binding.offset}")
+            elif isinstance(binding, _ParamSlot):
+                self.emit(f"addi {reg}, fp, {binding.offset}")
+            else:
+                raise SemaError(
+                    f"cannot take the address of {expr.operand.name!r}",
+                    expr.line,
+                )
+            return
+        self._gen_expr(expr.operand, depth)
+        if expr.op == "-":
+            self.emit(f"sub  {reg}, zero, {reg}")
+        elif expr.op == "~":
+            self.emit(f"nor  {reg}, {reg}, zero")
+        elif expr.op == "!":
+            self.emit(f"sltiu {reg}, {reg}, 1")
+        else:  # pragma: no cover
+            raise AssertionError(f"unhandled unary {expr.op!r}")
+
+    def _gen_binary(self, expr: Binary, depth: int) -> None:
+        reg = f"t{min(depth, _NUM_TEMPS - 1)}"
+        op = expr.op
+        if op in ("&&", "||"):
+            false_label = self.new_label("bfalse")
+            end_label = self.new_label("bend")
+            self._gen_branch(expr, false_label, branch_if_true=False, depth=depth)
+            self.emit(f"li   {reg}, 1")
+            self.emit(f"j    {end_label}")
+            self.emit_label(false_label)
+            self.emit(f"li   {reg}, 0")
+            self.emit_label(end_label)
+            return
+        if op in _REL_BRANCH:
+            left_reg, right_reg = self._gen_operands(expr.left, expr.right, depth)
+            self._emit_relational(op, reg, left_reg, right_reg)
+            return
+        left_reg, right_reg = self._gen_operands(expr.left, expr.right, depth)
+        self.emit(f"{_BINOPS[op]} {reg}, {left_reg}, {right_reg}")
+
+    def _emit_relational(
+        self, op: str, reg: str, left: str, right: str
+    ) -> None:
+        if op == "<":
+            self.emit(f"slt  {reg}, {left}, {right}")
+        elif op == ">":
+            self.emit(f"slt  {reg}, {right}, {left}")
+        elif op == "<=":
+            self.emit(f"slt  {reg}, {right}, {left}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        elif op == ">=":
+            self.emit(f"slt  {reg}, {left}, {right}")
+            self.emit(f"xori {reg}, {reg}, 1")
+        elif op == "==":
+            self.emit(f"xor  {reg}, {left}, {right}")
+            self.emit(f"sltiu {reg}, {reg}, 1")
+        elif op == "!=":
+            self.emit(f"xor  {reg}, {left}, {right}")
+            self.emit(f"sltu {reg}, zero, {reg}")
+        else:  # pragma: no cover
+            raise AssertionError(f"unhandled relational {op!r}")
+
+    # -- calls -------------------------------------------------------------------------
+
+    def _gen_call(self, call: Call, depth: int) -> None:
+        depth = min(depth, _NUM_TEMPS - 1)
+        callee = call.callee
+        if isinstance(callee, Ident):
+            binding = self._lookup(callee.name, callee.line)
+            if binding == "builtin":
+                self._gen_builtin(callee.name, call, depth)
+                return
+            if binding == "func":
+                self._gen_plain_call(call, depth, direct=callee.name)
+                return
+        self._gen_plain_call(call, depth, direct=None)
+
+    def _gen_plain_call(
+        self, call: Call, depth: int, direct: str | None
+    ) -> None:
+        reg = f"t{depth}"
+        nargs = len(call.args)
+
+        # save live expression temps (t0..t{depth-1}) around the call
+        saved: list[tuple[str, int]] = []
+        for index in range(depth):
+            offset = self._alloc_spill()
+            self.emit(f"sw   t{index}, -{offset}(fp)")
+            saved.append((f"t{index}", offset))
+
+        # evaluate callee (indirect case) and all args to dedicated slots
+        target_offset = None
+        if direct is None:
+            self._gen_expr(call.callee, 0)
+            target_offset = self._alloc_spill()
+            self.emit(f"sw   t0, -{target_offset}(fp)")
+        arg_offsets: list[int] = []
+        for arg in call.args:
+            self._gen_expr(arg, 0)
+            offset = self._alloc_spill()
+            self.emit(f"sw   t0, -{offset}(fp)")
+            arg_offsets.append(offset)
+
+        # marshal arguments
+        extra = max(0, nargs - 4)
+        for index in range(min(nargs, 4)):
+            self.emit(f"lw   a{index}, -{arg_offsets[index]}(fp)")
+        if extra:
+            self.emit(f"addi sp, sp, -{4 * extra}")
+            for index in range(4, nargs):
+                self.emit(f"lw   t8, -{arg_offsets[index]}(fp)")
+                self.emit(f"sw   t8, {4 * (index - 4)}(sp)")
+
+        if direct is not None:
+            self.emit(f"jal  {direct}")
+        else:
+            assert target_offset is not None
+            self.emit(f"lw   t8, -{target_offset}(fp)")
+            self.emit("jalr t8")
+
+        if extra:
+            self.emit(f"addi sp, sp, {4 * extra}")
+
+        # restore temps, deliver result
+        for temp, offset in saved:
+            self.emit(f"lw   {temp}, -{offset}(fp)")
+        for _, offset in saved:
+            self._free_spill(offset)
+        for offset in arg_offsets:
+            self._free_spill(offset)
+        if target_offset is not None:
+            self._free_spill(target_offset)
+        self.emit(f"mv   {reg}, v0")
+
+    def _gen_builtin(self, name: str, call: Call, depth: int) -> None:
+        reg = f"t{depth}"
+        if name == "print_str":
+            arg = call.args[0]
+            assert isinstance(arg, StrLit)
+            label = self.u.intern_string(arg.text)
+            self.emit(f"la   a0, {label}")
+            self.emit("li   v0, 4")
+            self.emit("syscall")
+            self.emit(f"li   {reg}, 0")
+            return
+        if name == "load":
+            self._gen_expr(call.args[0], depth)
+            self.emit(f"lw   {reg}, 0({reg})")
+            return
+        if name == "store":
+            left_reg, right_reg = self._gen_operands(
+                call.args[0], call.args[1], depth
+            )
+            self.emit(f"sw   {right_reg}, 0({left_reg})")
+            self.emit(f"li   {reg}, 0")
+            return
+        if name == "read_int":
+            self.emit("li   v0, 5")
+            self.emit("syscall")
+            self.emit(f"mv   {reg}, v0")
+            return
+        service = {"print_int": 1, "print_char": 11, "exit": 10, "sbrk": 9}[name]
+        self._gen_expr(call.args[0], depth)
+        self.emit(f"mv   a0, {reg}")
+        self.emit(f"li   v0, {service}")
+        self.emit("syscall")
+        if name == "sbrk":
+            self.emit(f"mv   {reg}, v0")
+
+
+class CodeGen:
+    """Whole-unit code generator."""
+
+    def __init__(self, unit: Unit, info: UnitInfo):
+        self.unit = unit
+        self.info = info
+        self.data_lines: list[str] = []
+        self._strings: dict[str, str] = {}
+
+    def intern_string(self, text: str) -> str:
+        label = self._strings.get(text)
+        if label is None:
+            label = f"str_{len(self._strings)}"
+            self._strings[text] = label
+            escaped = (
+                text.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\t", "\\t")
+                .replace("\r", "\\r")
+            )
+            self.data_lines.append(f'{label}: .asciiz "{escaped}"')
+        return label
+
+    def generate(self) -> str:
+        text_lines = [
+            "        .text",
+            "_start:",
+            "        jal  main",
+            "        mv   a0, v0",
+            "        li   v0, 10",
+            "        syscall",
+            "        halt",
+        ]
+        for func in self.unit.functions:
+            text_lines.extend(_FuncGen(self, func).generate())
+
+        for decl in self.unit.globals:
+            self._emit_global(decl)
+
+        out = list(text_lines)
+        out.append("")
+        out.append("        .data")
+        out.extend(self.data_lines)
+        out.append("")
+        out.append("        .entry _start")
+        return "\n".join(out) + "\n"
+
+    def _emit_global(self, decl: GlobalDecl) -> None:
+        # strings are emitted unpadded, so word data must realign
+        self.data_lines.append("        .align 2")
+        entries = [str(item) for item in decl.init]
+        if decl.array_size is None:
+            value = entries[0] if entries else "0"
+            self.data_lines.append(f"{decl.name}: .word {value}")
+            return
+        self.data_lines.append(f"{decl.name}:")
+        if entries:
+            self.data_lines.append("        .word " + ", ".join(entries))
+        remaining = decl.array_size - len(decl.init)
+        if remaining > 0:
+            self.data_lines.append(f"        .space {4 * remaining}")
+
+
+def generate(unit: Unit, info: UnitInfo) -> str:
+    """Generate SR32 assembly for a semantically valid unit."""
+    return CodeGen(unit, info).generate()

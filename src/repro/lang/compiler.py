@@ -1,0 +1,28 @@
+"""MiniC compilation driver."""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.lang.codegen import generate
+from repro.lang.optimize import optimize_unit
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+
+def compile_source(source: str, optimize: bool = False) -> str:
+    """Compile MiniC source to SR32 assembly text.
+
+    ``optimize=True`` runs the constant-folding/simplification pass
+    (:mod:`repro.lang.optimize`) between semantic analysis and codegen.
+    """
+    unit = parse(source)
+    info = analyze(unit)
+    if optimize:
+        unit = optimize_unit(unit)
+    return generate(unit, info)
+
+
+def compile_to_program(source: str, optimize: bool = False) -> Program:
+    """Compile MiniC source all the way to a loadable guest program."""
+    return assemble(compile_source(source, optimize=optimize))

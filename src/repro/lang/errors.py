@@ -1,0 +1,24 @@
+"""MiniC diagnostics."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for MiniC compilation errors."""
+
+    def __init__(self, message: str, line: int | None = None):
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+        self.line = line
+
+
+class LexError(LangError):
+    """Invalid token."""
+
+
+class ParseError(LangError):
+    """Syntax error."""
+
+
+class SemaError(LangError):
+    """Semantic error (undeclared name, arity mismatch, ...)."""

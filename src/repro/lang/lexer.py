@@ -1,0 +1,165 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.lang.errors import LexError
+
+
+class TokKind(enum.Enum):
+    INT = "int-literal"
+    STRING = "string-literal"
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    PUNCT = "punctuation"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "void",
+        "register",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "switch",
+        "case",
+        "default",
+        "break",
+        "continue",
+        "return",
+    }
+)
+
+#: Multi-character punctuators, longest first so maximal munch works.
+_PUNCTS = (
+    "<<=", ">>=", ">>>",
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'", '"': '"', "r": "\r"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+    value: int = 0  # for INT tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.value}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC source, raising :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            start = pos
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                text = source[start:pos]
+                tokens.append(Token(TokKind.INT, text, line, int(text, 16)))
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                text = source[start:pos]
+                tokens.append(Token(TokKind.INT, text, line, int(text)))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+            tokens.append(Token(kind, text, line))
+            continue
+        if ch == "'":
+            value, pos = _char_literal(source, pos, line)
+            tokens.append(Token(TokKind.INT, f"'{chr(value)}'", line, value))
+            continue
+        if ch == '"':
+            text, pos, line = _string_literal(source, pos, line)
+            tokens.append(Token(TokKind.STRING, text, line))
+            continue
+        for punct in _PUNCTS:
+            if source.startswith(punct, pos):
+                tokens.append(Token(TokKind.PUNCT, punct, line))
+                pos += len(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token(TokKind.EOF, "", line))
+    return tokens
+
+
+def _char_literal(source: str, pos: int, line: int) -> tuple[int, int]:
+    pos += 1  # opening quote
+    if pos >= len(source):
+        raise LexError("unterminated character literal", line)
+    ch = source[pos]
+    if ch == "\\":
+        pos += 1
+        if pos >= len(source) or source[pos] not in _ESCAPES:
+            raise LexError("bad escape in character literal", line)
+        value = ord(_ESCAPES[source[pos]])
+    else:
+        value = ord(ch)
+    pos += 1
+    if pos >= len(source) or source[pos] != "'":
+        raise LexError("unterminated character literal", line)
+    return value, pos + 1
+
+
+def _string_literal(source: str, pos: int, line: int) -> tuple[str, int, int]:
+    start_line = line
+    pos += 1  # opening quote
+    out: list[str] = []
+    while pos < len(source):
+        ch = source[pos]
+        if ch == '"':
+            return "".join(out), pos + 1, line
+        if ch == "\n":
+            raise LexError("newline in string literal", start_line)
+        if ch == "\\":
+            pos += 1
+            if pos >= len(source) or source[pos] not in _ESCAPES:
+                raise LexError("bad escape in string literal", line)
+            out.append(_ESCAPES[source[pos]])
+        else:
+            out.append(ch)
+        pos += 1
+    raise LexError("unterminated string literal", start_line)

@@ -1,0 +1,211 @@
+"""MiniC abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# -- expressions -----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class IntLit:
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class StrLit:
+    text: str
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Ident:
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Unary:
+    op: str  # "-", "!", "~", "&"
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Ternary:
+    cond: "Expr"
+    then: "Expr"
+    otherwise: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Index:
+    base: "Expr"
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Call:
+    callee: "Expr"
+    args: tuple["Expr", ...]
+    line: int = 0
+
+
+Expr = Union[IntLit, StrLit, Ident, Unary, Binary, Ternary, Index, Call]
+
+# -- statements --------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class VarDecl:
+    name: str
+    array_size: int | None  # None for scalars
+    init: "Expr | None"
+    is_register: bool
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Assign:
+    """``target op= value`` — target is an Ident or Index."""
+
+    target: "Expr"
+    op: str  # "=", "+=", "-=", ...
+    value: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ExprStmt:
+    expr: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    stmts: tuple["Stmt", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class If:
+    cond: "Expr"
+    then: "Stmt"
+    otherwise: "Stmt | None"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class While:
+    cond: "Expr"
+    body: "Stmt"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class DoWhile:
+    body: "Stmt"
+    cond: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class For:
+    init: "Stmt | None"
+    cond: "Expr | None"
+    step: "Stmt | None"
+    body: "Stmt"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CaseGroup:
+    """One run of case labels and the statements that follow them."""
+
+    values: tuple[int, ...]
+    is_default: bool
+    stmts: tuple["Stmt", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Switch:
+    selector: "Expr"
+    groups: tuple[CaseGroup, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Break:
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Continue:
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Return:
+    value: "Expr | None"
+    line: int = 0
+
+
+Stmt = Union[
+    VarDecl,
+    Assign,
+    ExprStmt,
+    Block,
+    If,
+    While,
+    DoWhile,
+    For,
+    Switch,
+    Break,
+    Continue,
+    Return,
+]
+
+# -- top level ----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FuncDef:
+    name: str
+    params: tuple[str, ...]
+    body: Block
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalDecl:
+    """Global scalar or array.
+
+    ``init`` entries are either int constants or function/global names
+    (emitted as ``.word label`` so the assembler resolves the address).
+    """
+
+    name: str
+    array_size: int | None
+    init: tuple[int | str, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Unit:
+    """A parsed translation unit."""
+
+    globals: tuple[GlobalDecl, ...] = field(default=())
+    functions: tuple[FuncDef, ...] = field(default=())

@@ -1,0 +1,360 @@
+"""AST-level optimisations for MiniC.
+
+A classical constant-folding / simplification pass, applied between
+semantic analysis and code generation when requested
+(``compile_source(source, optimize=True)`` or ``repro-sdt compile -O``):
+
+- constant folding of unary/binary/ternary operators with the exact
+  wrap-around semantics of the target (32-bit, truncating division),
+- algebraic identities (``x + 0``, ``x * 1``, ``x * 0`` when the operand
+  is side-effect free, ``x & 0``, ``x | 0``, shifts by 0),
+- short-circuit simplification (``0 && e`` → ``0``, ``1 || e`` → ``1``),
+- dead-branch elimination for ``if``/``while``/ternary with constant
+  conditions.
+
+The pass never changes observable behaviour: folding uses the same
+arithmetic as :mod:`repro.machine.executor`, division by a constant zero
+is left unfolded (it must fault at runtime), and operands with potential
+side effects (calls, indexing) are never dropped.
+"""
+
+from __future__ import annotations
+
+from repro.lang.nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    CaseGroup,
+    Continue,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    Ident,
+    If,
+    Index,
+    IntLit,
+    Return,
+    Stmt,
+    StrLit,
+    Switch,
+    Ternary,
+    Unary,
+    Unit,
+    VarDecl,
+    While,
+)
+
+_U32 = 0xFFFFFFFF
+
+
+def _wrap(value: int) -> int:
+    value &= _U32
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def _fold_binary(op: str, left: int, right: int) -> int | None:
+    """Fold two constants; ``None`` when the operation must trap/survive."""
+    if op == "+":
+        return _wrap(left + right)
+    if op == "-":
+        return _wrap(left - right)
+    if op == "*":
+        return _wrap(left * right)
+    if op == "/":
+        if right == 0:
+            return None  # must fault at runtime
+        quotient = abs(left) // abs(right)
+        return _wrap(-quotient if (left < 0) != (right < 0) else quotient)
+    if op == "%":
+        if right == 0:
+            return None
+        remainder = abs(left) % abs(right)
+        return _wrap(-remainder if left < 0 else remainder)
+    if op == "&":
+        return _wrap(left & right)
+    if op == "|":
+        return _wrap(left | right)
+    if op == "^":
+        return _wrap(left ^ right)
+    if op == "<<":
+        return _wrap((left & _U32) << (right & 31))
+    if op == ">>":
+        return _wrap(left >> (right & 31))
+    if op == ">>>":
+        return _wrap((left & _U32) >> (right & 31))
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "&&":
+        return int(bool(left) and bool(right))
+    if op == "||":
+        return int(bool(left) or bool(right))
+    return None
+
+
+def _is_pure(expr: Expr) -> bool:
+    """Conservatively: may this expression be discarded?"""
+    if isinstance(expr, (IntLit, Ident, StrLit)):
+        return True
+    if isinstance(expr, Unary):
+        return _is_pure(expr.operand)
+    if isinstance(expr, Binary):
+        # division can fault
+        if expr.op in ("/", "%"):
+            return False
+        return _is_pure(expr.left) and _is_pure(expr.right)
+    if isinstance(expr, Ternary):
+        return (
+            _is_pure(expr.cond)
+            and _is_pure(expr.then)
+            and _is_pure(expr.otherwise)
+        )
+    # calls have effects; indexing can fault
+    return False
+
+
+def fold_expr(expr: Expr) -> Expr:
+    """Recursively fold one expression."""
+    if isinstance(expr, (IntLit, Ident, StrLit)):
+        return expr
+    if isinstance(expr, Unary):
+        if expr.op == "&":
+            return expr  # address-of is resolved at codegen
+        operand = fold_expr(expr.operand)
+        if isinstance(operand, IntLit):
+            if expr.op == "-":
+                return IntLit(_wrap(-operand.value), expr.line)
+            if expr.op == "~":
+                return IntLit(_wrap(~operand.value), expr.line)
+            if expr.op == "!":
+                return IntLit(int(operand.value == 0), expr.line)
+        return Unary(expr.op, operand, expr.line)
+    if isinstance(expr, Binary):
+        return _fold_binary_node(expr)
+    if isinstance(expr, Ternary):
+        cond = fold_expr(expr.cond)
+        then = fold_expr(expr.then)
+        otherwise = fold_expr(expr.otherwise)
+        if isinstance(cond, IntLit):
+            return then if cond.value else otherwise
+        return Ternary(cond, then, otherwise, expr.line)
+    if isinstance(expr, Index):
+        return Index(fold_expr(expr.base), fold_expr(expr.index), expr.line)
+    if isinstance(expr, Call):
+        return Call(
+            fold_expr(expr.callee),
+            tuple(fold_expr(arg) for arg in expr.args),
+            expr.line,
+        )
+    raise AssertionError(f"unhandled expression {expr!r}")
+
+
+def _fold_binary_node(expr: Binary) -> Expr:
+    left = fold_expr(expr.left)
+    right = fold_expr(expr.right)
+    op = expr.op
+
+    if isinstance(left, IntLit) and isinstance(right, IntLit):
+        folded = _fold_binary(op, left.value, right.value)
+        if folded is not None:
+            return IntLit(folded, expr.line)
+
+    # short-circuit constants
+    if op == "&&" and isinstance(left, IntLit):
+        if not left.value:
+            return IntLit(0, expr.line)
+        # 1 && e  ==  !!e
+        return fold_expr(Unary("!", Unary("!", right, expr.line), expr.line))
+    if op == "||" and isinstance(left, IntLit):
+        if left.value:
+            return IntLit(1, expr.line)
+        return fold_expr(Unary("!", Unary("!", right, expr.line), expr.line))
+
+    # algebraic identities (right-constant forms)
+    if isinstance(right, IntLit):
+        value = right.value
+        if value == 0:
+            if op in ("+", "-", "|", "^", "<<", ">>", ">>>"):
+                return left
+            if op in ("*", "&") and _is_pure(left):
+                return IntLit(0, expr.line)
+        if value == 1 and op in ("*", "/"):
+            return left
+    if isinstance(left, IntLit):
+        value = left.value
+        if value == 0:
+            if op in ("+", "|", "^"):
+                return right
+            if op == "*" and _is_pure(right):
+                return IntLit(0, expr.line)
+        if value == 1 and op == "*":
+            return right
+    return Binary(op, left, right, expr.line)
+
+
+def _contains_decl(stmt: Stmt | None) -> bool:
+    """Does this subtree declare names into the *enclosing* scope?
+
+    MiniC (like its codegen) scopes declarations to the nearest enclosing
+    Block, so an unbraced branch arm like ``if (c) int x;`` declares into
+    the surrounding block and cannot be silently deleted.  Block bodies
+    introduce their own scope, so declarations inside them are safe.
+    """
+    if stmt is None or isinstance(stmt, Block):
+        return False
+    if isinstance(stmt, VarDecl):
+        return True
+    if isinstance(stmt, If):
+        return _contains_decl(stmt.then) or _contains_decl(stmt.otherwise)
+    if isinstance(stmt, (While, DoWhile)):
+        return _contains_decl(stmt.body)
+    if isinstance(stmt, For):
+        # For introduces a scope for its init in codegen, body decls of
+        # unbraced form still land in that For scope, not the outer one
+        return False
+    if isinstance(stmt, Switch):
+        return any(
+            _contains_decl(sub) for group in stmt.groups for sub in group.stmts
+        )
+    return False
+
+
+def fold_stmt(stmt: Stmt) -> Stmt | None:
+    """Fold one statement; ``None`` removes it entirely."""
+    if isinstance(stmt, VarDecl):
+        if stmt.init is None:
+            return stmt
+        return VarDecl(
+            stmt.name, stmt.array_size, fold_expr(stmt.init),
+            stmt.is_register, stmt.line,
+        )
+    if isinstance(stmt, Assign):
+        return Assign(
+            fold_expr(stmt.target), stmt.op, fold_expr(stmt.value), stmt.line
+        )
+    if isinstance(stmt, ExprStmt):
+        expr = fold_expr(stmt.expr)
+        if _is_pure(expr):
+            return None  # e.g. `1 + 2;`
+        return ExprStmt(expr, stmt.line)
+    if isinstance(stmt, Block):
+        return Block(_fold_stmts(stmt.stmts), stmt.line)
+    if isinstance(stmt, If):
+        cond = fold_expr(stmt.cond)
+        then = fold_stmt(stmt.then)
+        otherwise = (
+            fold_stmt(stmt.otherwise) if stmt.otherwise is not None else None
+        )
+        if isinstance(cond, IntLit):
+            chosen = then if cond.value else otherwise
+            discarded = otherwise if cond.value else then
+            # scope safety: an unbraced `int x;` arm declares into the
+            # enclosing scope, so a discarded arm containing one cannot
+            # be deleted (see _contains_decl)
+            if not _contains_decl(discarded):
+                return chosen  # may be None: both arms gone
+        return If(
+            cond,
+            then if then is not None else Block((), stmt.line),
+            otherwise,
+            stmt.line,
+        )
+    if isinstance(stmt, While):
+        cond = fold_expr(stmt.cond)
+        if (
+            isinstance(cond, IntLit)
+            and not cond.value
+            and not _contains_decl(stmt.body)
+        ):
+            return None  # while(0): body never runs
+        body = fold_stmt(stmt.body)
+        return While(
+            cond, body if body is not None else Block((), stmt.line), stmt.line
+        )
+    if isinstance(stmt, DoWhile):
+        body = fold_stmt(stmt.body)
+        return DoWhile(
+            body if body is not None else Block((), stmt.line),
+            fold_expr(stmt.cond),
+            stmt.line,
+        )
+    if isinstance(stmt, For):
+        init = fold_stmt(stmt.init) if stmt.init is not None else None
+        cond = fold_expr(stmt.cond) if stmt.cond is not None else None
+        step = fold_stmt(stmt.step) if stmt.step is not None else None
+        body = fold_stmt(stmt.body)
+        if (
+            isinstance(cond, IntLit)
+            and not cond.value
+            and not _contains_decl(stmt.body)
+        ):
+            # loop never runs; preserve init effects (declarations were
+            # For-scoped, so a pure-init decl vanishes with the loop)
+            if init is None:
+                return None
+            if isinstance(init, VarDecl):
+                if init.init is None or _is_pure(init.init):
+                    return None
+                # effectful declaration initialiser: keep the dead loop
+                # shell rather than leak the name into the outer scope
+            else:
+                return init
+        return For(
+            init, cond, step,
+            body if body is not None else Block((), stmt.line),
+            stmt.line,
+        )
+    if isinstance(stmt, Switch):
+        groups = tuple(
+            CaseGroup(
+                group.values,
+                group.is_default,
+                _fold_stmts(group.stmts),
+                group.line,
+            )
+            for group in stmt.groups
+        )
+        return Switch(fold_expr(stmt.selector), groups, stmt.line)
+    if isinstance(stmt, Return):
+        if stmt.value is None:
+            return stmt
+        return Return(fold_expr(stmt.value), stmt.line)
+    if isinstance(stmt, (Break, Continue)):
+        return stmt
+    raise AssertionError(f"unhandled statement {stmt!r}")
+
+
+def _fold_stmts(stmts: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+    out = []
+    for stmt in stmts:
+        folded = fold_stmt(stmt)
+        if folded is not None:
+            out.append(folded)
+    return tuple(out)
+
+
+def optimize_unit(unit: Unit) -> Unit:
+    """Apply constant folding/simplification to every function."""
+    functions = tuple(
+        FuncDef(
+            func.name,
+            func.params,
+            Block(_fold_stmts(func.body.stmts), func.body.line),
+            func.line,
+        )
+        for func in unit.functions
+    )
+    return Unit(globals=unit.globals, functions=functions)

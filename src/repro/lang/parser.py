@@ -1,0 +1,432 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from repro.lang.errors import ParseError
+from repro.lang.lexer import TokKind, Token, tokenize
+from repro.lang.nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    CaseGroup,
+    Continue,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    GlobalDecl,
+    Ident,
+    If,
+    IntLit,
+    Index,
+    Return,
+    Stmt,
+    StrLit,
+    Switch,
+    Ternary,
+    Unary,
+    Unit,
+    VarDecl,
+    While,
+)
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
+
+#: binary operators by precedence level, loosest first
+_BINARY_LEVELS = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("<<", ">>", ">>>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokKind.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, text: str) -> bool:
+        token = self.tok
+        return (
+            token.kind in (TokKind.PUNCT, TokKind.KEYWORD)
+            and token.text == text
+        )
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise ParseError(
+                f"expected {text!r}, got {self.tok.text!r}", self.tok.line
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.tok.kind is not TokKind.IDENT:
+            raise ParseError(
+                f"expected identifier, got {self.tok.text!r}", self.tok.line
+            )
+        return self.advance()
+
+    # -- top level -------------------------------------------------------------
+
+    def parse_unit(self) -> Unit:
+        globals_: list[GlobalDecl] = []
+        functions: list[FuncDef] = []
+        while self.tok.kind is not TokKind.EOF:
+            if not (self.check("int") or self.check("void")):
+                raise ParseError(
+                    f"expected declaration, got {self.tok.text!r}",
+                    self.tok.line,
+                )
+            start = self.pos
+            self.advance()  # int/void
+            name = self.expect_ident()
+            if self.check("("):
+                self.pos = start
+                func = self._func_def()
+                if func is not None:
+                    functions.append(func)
+            else:
+                self.pos = start
+                globals_.append(self._global_decl())
+        return Unit(globals=tuple(globals_), functions=tuple(functions))
+
+    def _func_def(self) -> FuncDef | None:
+        line = self.tok.line
+        self.advance()  # int/void
+        name = self.expect_ident().text
+        self.expect("(")
+        params: list[str] = []
+        if not self.check(")"):
+            while True:
+                if self.accept("void") and self.check(")"):
+                    break
+                self.expect("int")
+                params.append(self.expect_ident().text)
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        if self.accept(";"):
+            # prototype: tolerated for C familiarity, but unnecessary —
+            # name resolution is unit-wide
+            return None
+        body = self._block()
+        return FuncDef(name=name, params=tuple(params), body=body, line=line)
+
+    def _global_decl(self) -> GlobalDecl:
+        line = self.tok.line
+        self.expect("int")
+        name = self.expect_ident().text
+        array_size: int | None = None
+        if self.accept("["):
+            if self.check("]"):
+                array_size = -1  # size from initializer
+            else:
+                array_size = self._const_int()
+            self.expect("]")
+        init: list[int | str] = []
+        if self.accept("="):
+            if self.accept("{"):
+                while not self.check("}"):
+                    init.append(self._const_init())
+                    if not self.accept(","):
+                        break
+                self.expect("}")
+            else:
+                init.append(self._const_init())
+        self.expect(";")
+        if array_size == -1:
+            if not init:
+                raise ParseError(
+                    f"array {name!r} needs a size or initializer", line
+                )
+            array_size = len(init)
+        if array_size is not None and len(init) > array_size:
+            raise ParseError(f"too many initializers for {name!r}", line)
+        if array_size is None and len(init) > 1:
+            raise ParseError(f"scalar {name!r} has multiple initializers", line)
+        return GlobalDecl(
+            name=name, array_size=array_size, init=tuple(init), line=line
+        )
+
+    def _const_int(self) -> int:
+        negative = self.accept("-")
+        token = self.advance()
+        if token.kind is not TokKind.INT:
+            raise ParseError(
+                f"expected integer constant, got {token.text!r}", token.line
+            )
+        return -token.value if negative else token.value
+
+    def _const_init(self) -> int | str:
+        if self.accept("&"):
+            return self.expect_ident().text
+        if self.tok.kind is TokKind.IDENT:
+            return self.advance().text
+        return self._const_int()
+
+    # -- statements ---------------------------------------------------------------
+
+    def _block(self) -> Block:
+        line = self.expect("{").line
+        stmts: list[Stmt] = []
+        while not self.check("}"):
+            stmts.append(self._stmt())
+        self.expect("}")
+        return Block(stmts=tuple(stmts), line=line)
+
+    def _stmt(self) -> Stmt:
+        token = self.tok
+        if self.check("{"):
+            return self._block()
+        if self.check("register") or self.check("int"):
+            return self._var_decl()
+        if self.accept("if"):
+            self.expect("(")
+            cond = self._expr()
+            self.expect(")")
+            then = self._stmt()
+            otherwise = self._stmt() if self.accept("else") else None
+            return If(cond=cond, then=then, otherwise=otherwise, line=token.line)
+        if self.accept("while"):
+            self.expect("(")
+            cond = self._expr()
+            self.expect(")")
+            return While(cond=cond, body=self._stmt(), line=token.line)
+        if self.accept("do"):
+            body = self._stmt()
+            self.expect("while")
+            self.expect("(")
+            cond = self._expr()
+            self.expect(")")
+            self.expect(";")
+            return DoWhile(body=body, cond=cond, line=token.line)
+        if self.accept("for"):
+            return self._for(token.line)
+        if self.accept("switch"):
+            return self._switch(token.line)
+        if self.accept("break"):
+            self.expect(";")
+            return Break(line=token.line)
+        if self.accept("continue"):
+            self.expect(";")
+            return Continue(line=token.line)
+        if self.accept("return"):
+            value = None if self.check(";") else self._expr()
+            self.expect(";")
+            return Return(value=value, line=token.line)
+        stmt = self._simple_stmt()
+        self.expect(";")
+        return stmt
+
+    def _var_decl(self) -> VarDecl:
+        line = self.tok.line
+        is_register = self.accept("register")
+        self.expect("int")
+        name = self.expect_ident().text
+        array_size: int | None = None
+        if self.accept("["):
+            array_size = self._const_int()
+            if array_size <= 0:
+                raise ParseError("array size must be positive", line)
+            self.expect("]")
+        init = None
+        if self.accept("="):
+            if array_size is not None:
+                raise ParseError("local arrays cannot be initialized", line)
+            init = self._expr()
+        self.expect(";")
+        if is_register and array_size is not None:
+            raise ParseError("register arrays are not supported", line)
+        return VarDecl(
+            name=name,
+            array_size=array_size,
+            init=init,
+            is_register=is_register,
+            line=line,
+        )
+
+    def _for(self, line: int) -> For:
+        self.expect("(")
+        init: Stmt | None = None
+        if not self.check(";"):
+            if self.check("int") or self.check("register"):
+                init = self._var_decl()  # consumes the ';'
+            else:
+                init = self._simple_stmt()
+                self.expect(";")
+        else:
+            self.expect(";")
+        cond = None if self.check(";") else self._expr()
+        self.expect(";")
+        step = None if self.check(")") else self._simple_stmt()
+        self.expect(")")
+        return For(init=init, cond=cond, step=step, body=self._stmt(), line=line)
+
+    def _switch(self, line: int) -> Switch:
+        self.expect("(")
+        selector = self._expr()
+        self.expect(")")
+        self.expect("{")
+        groups: list[CaseGroup] = []
+        while not self.check("}"):
+            values: list[int] = []
+            is_default = False
+            label_line = self.tok.line
+            saw_label = False
+            while True:
+                if self.accept("case"):
+                    values.append(self._const_int())
+                    self.expect(":")
+                    saw_label = True
+                elif self.accept("default"):
+                    self.expect(":")
+                    is_default = True
+                    saw_label = True
+                else:
+                    break
+            if not saw_label:
+                raise ParseError(
+                    f"expected case/default, got {self.tok.text!r}",
+                    self.tok.line,
+                )
+            stmts: list[Stmt] = []
+            while not (
+                self.check("case") or self.check("default") or self.check("}")
+            ):
+                stmts.append(self._stmt())
+            groups.append(
+                CaseGroup(
+                    values=tuple(values),
+                    is_default=is_default,
+                    stmts=tuple(stmts),
+                    line=label_line,
+                )
+            )
+        self.expect("}")
+        return Switch(selector=selector, groups=tuple(groups), line=line)
+
+    def _simple_stmt(self) -> Stmt:
+        """Assignment, increment/decrement or expression statement."""
+        line = self.tok.line
+        expr = self._expr()
+        token = self.tok
+        if token.kind is TokKind.PUNCT and token.text in _ASSIGN_OPS:
+            self.advance()
+            value = self._expr()
+            self._check_lvalue(expr, token.line)
+            return Assign(target=expr, op=token.text, value=value, line=line)
+        if token.kind is TokKind.PUNCT and token.text in ("++", "--"):
+            self.advance()
+            self._check_lvalue(expr, token.line)
+            op = "+=" if token.text == "++" else "-="
+            return Assign(target=expr, op=op, value=IntLit(1, line), line=line)
+        return ExprStmt(expr=expr, line=line)
+
+    @staticmethod
+    def _check_lvalue(expr: Expr, line: int) -> None:
+        if not isinstance(expr, (Ident, Index)):
+            raise ParseError("assignment target must be a variable or element", line)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        return self._ternary()
+
+    def _ternary(self) -> Expr:
+        cond = self._binary(0)
+        if self.accept("?"):
+            line = self.tok.line
+            then = self._expr()
+            self.expect(":")
+            otherwise = self._ternary()
+            return Ternary(cond=cond, then=then, otherwise=otherwise, line=line)
+        return cond
+
+    def _binary(self, level: int) -> Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        ops = _BINARY_LEVELS[level]
+        left = self._binary(level + 1)
+        while self.tok.kind is TokKind.PUNCT and self.tok.text in ops:
+            op = self.advance()
+            right = self._binary(level + 1)
+            left = Binary(op=op.text, left=left, right=right, line=op.line)
+        return left
+
+    def _unary(self) -> Expr:
+        token = self.tok
+        if token.kind is TokKind.PUNCT and token.text in ("-", "!", "~", "&"):
+            self.advance()
+            return Unary(op=token.text, operand=self._unary(), line=token.line)
+        if token.kind is TokKind.PUNCT and token.text == "+":
+            self.advance()
+            return self._unary()
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while True:
+            if self.accept("("):
+                args: list[Expr] = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self._expr())
+                        if not self.accept(","):
+                            break
+                closing = self.expect(")")
+                expr = Call(callee=expr, args=tuple(args), line=closing.line)
+            elif self.accept("["):
+                index = self._expr()
+                closing = self.expect("]")
+                expr = Index(base=expr, index=index, line=closing.line)
+            else:
+                return expr
+
+    def _primary(self) -> Expr:
+        token = self.advance()
+        if token.kind is TokKind.INT:
+            return IntLit(value=token.value, line=token.line)
+        if token.kind is TokKind.STRING:
+            return StrLit(text=token.text, line=token.line)
+        if token.kind is TokKind.IDENT:
+            return Ident(name=token.text, line=token.line)
+        if token.kind is TokKind.PUNCT and token.text == "(":
+            expr = self._expr()
+            self.expect(")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse(source: str) -> Unit:
+    """Parse MiniC source into a :class:`repro.lang.nodes.Unit`."""
+    return Parser(source).parse_unit()

@@ -1,0 +1,389 @@
+"""MiniC semantic analysis.
+
+Validates the translation unit before code generation: declaration and
+scope rules, call arity, lvalues, ``break``/``continue`` placement, switch
+label uniqueness, address-of operands and builtin usage.  The code
+generator assumes a unit that passed :func:`analyze`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import SemaError
+from repro.lang.nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    Ident,
+    If,
+    Index,
+    IntLit,
+    Return,
+    Stmt,
+    StrLit,
+    Switch,
+    Ternary,
+    Unary,
+    Unit,
+    VarDecl,
+    While,
+)
+
+#: builtin name -> arity (None = special-cased)
+BUILTINS: dict[str, int] = {
+    "print_int": 1,
+    "print_char": 1,
+    "print_str": 1,
+    "read_int": 0,
+    "exit": 1,
+    "sbrk": 1,
+    "load": 1,
+    "store": 2,
+}
+
+MAX_ARGS = 8
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalInfo:
+    name: str
+    is_array: bool
+    size: int  # words (1 for scalars)
+
+
+@dataclass(frozen=True, slots=True)
+class FuncInfo:
+    name: str
+    arity: int
+
+
+@dataclass(frozen=True, slots=True)
+class UnitInfo:
+    """Symbol summary handed to the code generator."""
+
+    globals: dict[str, GlobalInfo]
+    functions: dict[str, FuncInfo]
+
+
+class _Scope:
+    """Lexical scope chain for locals."""
+
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.names: dict[str, VarDecl | str] = {}
+
+    def declare(self, name: str, decl: VarDecl | str, line: int) -> None:
+        if name in self.names:
+            raise SemaError(f"redeclaration of {name!r}", line)
+        self.names[name] = decl
+
+    def lookup(self, name: str) -> VarDecl | str | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class _FunctionChecker:
+    def __init__(self, analyzer: "Analyzer", func: FuncDef):
+        self.analyzer = analyzer
+        self.func = func
+        self.loop_depth = 0
+        self.switch_depth = 0
+
+    def check(self) -> None:
+        scope = _Scope()
+        for param in self.func.params:
+            scope.declare(param, "param", self.func.line)
+        self._block(self.func.body, _Scope(scope))
+
+    # -- statements ----------------------------------------------------------
+
+    def _block(self, block: Block, scope: _Scope) -> None:
+        for stmt in block.stmts:
+            self._stmt(stmt, scope)
+
+    def _stmt(self, stmt: Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, VarDecl):
+            if stmt.init is not None:
+                self._expr(stmt.init, scope)
+            scope.declare(stmt.name, stmt, stmt.line)
+        elif isinstance(stmt, Assign):
+            self._assign_target(stmt.target, scope)
+            self._expr(stmt.value, scope)
+        elif isinstance(stmt, ExprStmt):
+            self._expr(stmt.expr, scope)
+        elif isinstance(stmt, Block):
+            self._block(stmt, _Scope(scope))
+        elif isinstance(stmt, If):
+            self._expr(stmt.cond, scope)
+            self._stmt(stmt.then, scope)
+            if stmt.otherwise is not None:
+                self._stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, While):
+            self._expr(stmt.cond, scope)
+            self.loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, DoWhile):
+            self.loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self.loop_depth -= 1
+            self._expr(stmt.cond, scope)
+        elif isinstance(stmt, For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._stmt(stmt.step, inner)
+            self.loop_depth += 1
+            self._stmt(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, Switch):
+            self._switch(stmt, scope)
+        elif isinstance(stmt, Break):
+            if not self.loop_depth and not self.switch_depth:
+                raise SemaError("break outside loop or switch", stmt.line)
+        elif isinstance(stmt, Continue):
+            if not self.loop_depth:
+                raise SemaError("continue outside loop", stmt.line)
+        elif isinstance(stmt, Return):
+            if stmt.value is not None:
+                self._expr(stmt.value, scope)
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise AssertionError(f"unhandled statement {stmt!r}")
+
+    def _switch(self, stmt: Switch, scope: _Scope) -> None:
+        self._expr(stmt.selector, scope)
+        seen: set[int] = set()
+        defaults = 0
+        for group in stmt.groups:
+            for value in group.values:
+                if value in seen:
+                    raise SemaError(f"duplicate case {value}", group.line)
+                seen.add(value)
+            if group.is_default:
+                defaults += 1
+        if defaults > 1:
+            raise SemaError("multiple default labels", stmt.line)
+        self.switch_depth += 1
+        inner = _Scope(scope)
+        for group in stmt.groups:
+            for sub in group.stmts:
+                self._stmt(sub, inner)
+        self.switch_depth -= 1
+
+    def _assign_target(self, target: Expr, scope: _Scope) -> None:
+        if isinstance(target, Ident):
+            binding = self._resolve(target, scope)
+            if isinstance(binding, VarDecl) and binding.array_size is not None:
+                raise SemaError(
+                    f"cannot assign to array {target.name!r}", target.line
+                )
+            if binding in ("func", "builtin"):
+                raise SemaError(
+                    f"cannot assign to function {target.name!r}", target.line
+                )
+            if isinstance(binding, GlobalInfo) and binding.is_array:
+                raise SemaError(
+                    f"cannot assign to array {target.name!r}", target.line
+                )
+        elif isinstance(target, Index):
+            self._expr(target.base, scope)
+            self._expr(target.index, scope)
+        else:  # pragma: no cover - parser enforces lvalue shape
+            raise SemaError("invalid assignment target", getattr(target, "line", 0))
+
+    # -- expressions ----------------------------------------------------------
+
+    def _resolve(
+        self, ident: Ident, scope: _Scope
+    ) -> VarDecl | GlobalInfo | str:
+        binding = scope.lookup(ident.name)
+        if binding is not None:
+            return binding
+        analyzer = self.analyzer
+        if ident.name in analyzer.globals:
+            return analyzer.globals[ident.name]
+        if ident.name in analyzer.functions:
+            return "func"
+        if ident.name in BUILTINS:
+            return "builtin"
+        raise SemaError(f"undeclared identifier {ident.name!r}", ident.line)
+
+    def _expr(self, expr: Expr, scope: _Scope) -> None:
+        if isinstance(expr, IntLit):
+            return
+        if isinstance(expr, StrLit):
+            raise SemaError(
+                "string literals are only valid as the argument of "
+                "print_str",
+                expr.line,
+            )
+        if isinstance(expr, Ident):
+            self._resolve(expr, scope)
+            return
+        if isinstance(expr, Unary):
+            if expr.op == "&":
+                if not isinstance(expr.operand, Ident):
+                    raise SemaError(
+                        "& requires a named function or variable", expr.line
+                    )
+                binding = self._resolve(expr.operand, scope)
+                if binding == "builtin":
+                    raise SemaError(
+                        f"cannot take the address of builtin "
+                        f"{expr.operand.name!r}",
+                        expr.line,
+                    )
+                if isinstance(binding, VarDecl) and binding.is_register:
+                    raise SemaError(
+                        f"cannot take the address of register variable "
+                        f"{expr.operand.name!r}",
+                        expr.line,
+                    )
+                return
+            self._expr(expr.operand, scope)
+            return
+        if isinstance(expr, Binary):
+            self._expr(expr.left, scope)
+            self._expr(expr.right, scope)
+            return
+        if isinstance(expr, Ternary):
+            self._expr(expr.cond, scope)
+            self._expr(expr.then, scope)
+            self._expr(expr.otherwise, scope)
+            return
+        if isinstance(expr, Index):
+            self._expr(expr.base, scope)
+            self._expr(expr.index, scope)
+            return
+        if isinstance(expr, Call):
+            self._call(expr, scope)
+            return
+        raise AssertionError(f"unhandled expression {expr!r}")
+
+    def _call(self, call: Call, scope: _Scope) -> None:
+        if len(call.args) > MAX_ARGS:
+            raise SemaError(
+                f"too many arguments ({len(call.args)} > {MAX_ARGS})",
+                call.line,
+            )
+        callee = call.callee
+        if isinstance(callee, Ident):
+            local = scope.lookup(callee.name)
+            analyzer = self.analyzer
+            if local is None and callee.name in BUILTINS:
+                self._builtin_call(callee.name, call, scope)
+                return
+            if local is None and callee.name in analyzer.functions:
+                info = analyzer.functions[callee.name]
+                if len(call.args) != info.arity:
+                    raise SemaError(
+                        f"{callee.name}() takes {info.arity} arguments, "
+                        f"got {len(call.args)}",
+                        call.line,
+                    )
+                for arg in call.args:
+                    self._arg(arg, scope)
+                return
+        # indirect call through an arbitrary expression
+        self._expr(callee, scope)
+        for arg in call.args:
+            self._arg(arg, scope)
+
+    def _builtin_call(self, name: str, call: Call, scope: _Scope) -> None:
+        arity = BUILTINS[name]
+        if len(call.args) != arity:
+            raise SemaError(
+                f"{name}() takes {arity} arguments, got {len(call.args)}",
+                call.line,
+            )
+        if name == "print_str":
+            if not isinstance(call.args[0], StrLit):
+                raise SemaError(
+                    "print_str takes a string literal", call.line
+                )
+            return
+        for arg in call.args:
+            self._arg(arg, scope)
+
+    def _arg(self, arg: Expr, scope: _Scope) -> None:
+        if isinstance(arg, StrLit):
+            raise SemaError(
+                "string literals are only valid as the argument of "
+                "print_str",
+                arg.line,
+            )
+        self._expr(arg, scope)
+
+
+class Analyzer:
+    """Whole-unit semantic checker."""
+
+    def __init__(self, unit: Unit):
+        self.unit = unit
+        self.globals: dict[str, GlobalInfo] = {}
+        self.functions: dict[str, FuncInfo] = {}
+
+    def analyze(self) -> UnitInfo:
+        for decl in self.unit.globals:
+            if decl.name in self.globals or decl.name in BUILTINS:
+                raise SemaError(f"redeclaration of {decl.name!r}", decl.line)
+            size = decl.array_size if decl.array_size is not None else 1
+            self.globals[decl.name] = GlobalInfo(
+                name=decl.name,
+                is_array=decl.array_size is not None,
+                size=size,
+            )
+        for func in self.unit.functions:
+            if (
+                func.name in self.functions
+                or func.name in self.globals
+                or func.name in BUILTINS
+            ):
+                raise SemaError(f"redeclaration of {func.name!r}", func.line)
+            if len(func.params) > MAX_ARGS:
+                raise SemaError(
+                    f"too many parameters ({len(func.params)} > {MAX_ARGS})",
+                    func.line,
+                )
+            if len(set(func.params)) != len(func.params):
+                raise SemaError("duplicate parameter names", func.line)
+            self.functions[func.name] = FuncInfo(
+                name=func.name, arity=len(func.params)
+            )
+        if "main" not in self.functions:
+            raise SemaError("no main() function")
+        if self.functions["main"].arity != 0:
+            raise SemaError("main() must take no arguments")
+        for decl in self.unit.globals:
+            for item in decl.init:
+                if isinstance(item, str) and not (
+                    item in self.functions or item in self.globals
+                ):
+                    raise SemaError(
+                        f"initializer references unknown name {item!r}",
+                        decl.line,
+                    )
+        for func in self.unit.functions:
+            _FunctionChecker(self, func).check()
+        return UnitInfo(globals=dict(self.globals), functions=dict(self.functions))
+
+
+def analyze(unit: Unit) -> UnitInfo:
+    """Validate a unit; raises :class:`SemaError` on the first problem."""
+    return Analyzer(unit).analyze()

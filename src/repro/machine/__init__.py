@@ -1,0 +1,36 @@
+"""Guest machine: memory, CPU state, syscalls and the reference interpreter.
+
+The interpreter is the *correctness oracle* for the SDT: both execute guest
+instructions through the same :func:`repro.machine.executor.execute`
+semantics, so any divergence in final state or output is an SDT bug, not a
+modelling artefact.
+"""
+
+from repro.machine.cpu import CPUState
+from repro.machine.errors import (
+    AlignmentFault,
+    DivideByZeroFault,
+    FuelExhausted,
+    GuestFault,
+    InvalidSyscall,
+    MemoryFault,
+)
+from repro.machine.interpreter import Interpreter, RunResult
+from repro.machine.loader import load_program
+from repro.machine.memory import Memory
+from repro.machine.syscalls import SyscallHandler
+
+__all__ = [
+    "AlignmentFault",
+    "CPUState",
+    "DivideByZeroFault",
+    "FuelExhausted",
+    "GuestFault",
+    "Interpreter",
+    "InvalidSyscall",
+    "load_program",
+    "Memory",
+    "MemoryFault",
+    "RunResult",
+    "SyscallHandler",
+]

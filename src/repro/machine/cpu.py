@@ -1,0 +1,47 @@
+"""Guest CPU architectural state."""
+
+from __future__ import annotations
+
+from repro.isa.registers import NUM_REGS, REG_SP
+
+U32 = 0xFFFFFFFF
+
+
+def u32(value: int) -> int:
+    """Wrap a Python int to an unsigned 32-bit value."""
+    return value & U32
+
+
+def s32(value: int) -> int:
+    """Interpret a 32-bit value as signed."""
+    value &= U32
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+class CPUState:
+    """Register file and program counter.
+
+    ``regs[0]`` is architecturally zero; :meth:`write` discards writes to it.
+    Register values are stored as unsigned 32-bit ints.
+    """
+
+    __slots__ = ("regs", "pc")
+
+    def __init__(self, pc: int = 0, sp: int = 0):
+        self.regs: list[int] = [0] * NUM_REGS
+        self.regs[REG_SP] = u32(sp)
+        self.pc = u32(pc)
+
+    def read(self, reg: int) -> int:
+        return self.regs[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        if reg != 0:
+            self.regs[reg] = value & U32
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Immutable copy of (pc, regs) for divergence checking."""
+        return (self.pc, *self.regs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CPUState(pc={self.pc:#010x})"

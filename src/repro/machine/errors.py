@@ -1,0 +1,46 @@
+"""Guest fault hierarchy."""
+
+from __future__ import annotations
+
+
+class GuestFault(Exception):
+    """Base class for all guest-visible faults."""
+
+
+class MemoryFault(GuestFault):
+    """Access to an unmapped or out-of-range address."""
+
+    def __init__(self, addr: int, access: str = "access"):
+        super().__init__(f"memory fault: {access} at {addr:#010x}")
+        self.addr = addr
+
+
+class AlignmentFault(GuestFault):
+    """Misaligned load/store/fetch."""
+
+    def __init__(self, addr: int, width: int):
+        super().__init__(
+            f"alignment fault: {width}-byte access at {addr:#010x}"
+        )
+        self.addr = addr
+        self.width = width
+
+
+class DivideByZeroFault(GuestFault):
+    """Integer division or remainder by zero."""
+
+
+class InvalidSyscall(GuestFault):
+    """Unknown syscall service number."""
+
+    def __init__(self, service: int):
+        super().__init__(f"invalid syscall service {service}")
+        self.service = service
+
+
+class FuelExhausted(GuestFault):
+    """The run exceeded its instruction budget (suspected hang)."""
+
+    def __init__(self, fuel: int):
+        super().__init__(f"instruction budget of {fuel} exhausted")
+        self.fuel = fuel

@@ -1,0 +1,176 @@
+"""Single-instruction execution semantics.
+
+:func:`execute` is the *only* place SR32 semantics are defined; both the
+reference interpreter and the SDT's fragment executor call it, so the two
+execution engines cannot drift apart semantically.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import REG_RA
+from repro.machine.cpu import CPUState, s32, u32
+from repro.machine.errors import DivideByZeroFault
+from repro.machine.memory import Memory
+from repro.machine.syscalls import SyscallHandler
+
+
+def _sdiv(a: int, b: int) -> int:
+    """C-style truncating signed division."""
+    if b == 0:
+        raise DivideByZeroFault("signed division by zero")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _srem(a: int, b: int) -> int:
+    """C-style remainder: sign follows the dividend."""
+    if b == 0:
+        raise DivideByZeroFault("remainder by zero")
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+
+def execute(
+    instr: Instruction,
+    cpu: CPUState,
+    mem: Memory,
+    syscalls: SyscallHandler,
+) -> int:
+    """Execute one instruction at ``cpu.pc`` and return the next PC.
+
+    The caller is responsible for storing the returned PC back into
+    ``cpu.pc`` (the SDT executes translated copies whose *guest* PC differs
+    from the fragment-cache location, so PC management stays external).
+    """
+    op = instr.op
+    regs = cpu.regs
+    pc = cpu.pc
+    next_pc = (pc + 4) & 0xFFFFFFFF
+
+    # ALU register forms --------------------------------------------------
+    if op is Op.ADD:
+        cpu.write(instr.rd, regs[instr.rs] + regs[instr.rt])
+    elif op is Op.ADDI:
+        cpu.write(instr.rt, regs[instr.rs] + instr.imm)
+    elif op is Op.SUB:
+        cpu.write(instr.rd, regs[instr.rs] - regs[instr.rt])
+    elif op is Op.AND:
+        cpu.write(instr.rd, regs[instr.rs] & regs[instr.rt])
+    elif op is Op.OR:
+        cpu.write(instr.rd, regs[instr.rs] | regs[instr.rt])
+    elif op is Op.XOR:
+        cpu.write(instr.rd, regs[instr.rs] ^ regs[instr.rt])
+    elif op is Op.NOR:
+        cpu.write(instr.rd, ~(regs[instr.rs] | regs[instr.rt]))
+    elif op is Op.SLT:
+        cpu.write(instr.rd, int(s32(regs[instr.rs]) < s32(regs[instr.rt])))
+    elif op is Op.SLTU:
+        cpu.write(instr.rd, int(regs[instr.rs] < regs[instr.rt]))
+    elif op is Op.MUL:
+        cpu.write(instr.rd, s32(regs[instr.rs]) * s32(regs[instr.rt]))
+    elif op is Op.DIV:
+        cpu.write(instr.rd, _sdiv(s32(regs[instr.rs]), s32(regs[instr.rt])))
+    elif op is Op.REM:
+        cpu.write(instr.rd, _srem(s32(regs[instr.rs]), s32(regs[instr.rt])))
+    # ALU immediate forms --------------------------------------------------
+    elif op is Op.ANDI:
+        cpu.write(instr.rt, regs[instr.rs] & instr.imm)
+    elif op is Op.ORI:
+        cpu.write(instr.rt, regs[instr.rs] | instr.imm)
+    elif op is Op.XORI:
+        cpu.write(instr.rt, regs[instr.rs] ^ instr.imm)
+    elif op is Op.SLTI:
+        cpu.write(instr.rt, int(s32(regs[instr.rs]) < instr.imm))
+    elif op is Op.SLTIU:
+        cpu.write(instr.rt, int(regs[instr.rs] < u32(instr.imm)))
+    elif op is Op.LUI:
+        cpu.write(instr.rt, instr.imm << 16)
+    # shifts ---------------------------------------------------------------
+    elif op is Op.SLL:
+        cpu.write(instr.rd, regs[instr.rt] << instr.shamt)
+    elif op is Op.SRL:
+        cpu.write(instr.rd, regs[instr.rt] >> instr.shamt)
+    elif op is Op.SRA:
+        cpu.write(instr.rd, s32(regs[instr.rt]) >> instr.shamt)
+    elif op is Op.SLLV:
+        cpu.write(instr.rd, regs[instr.rs] << (regs[instr.rt] & 31))
+    elif op is Op.SRLV:
+        cpu.write(instr.rd, regs[instr.rs] >> (regs[instr.rt] & 31))
+    elif op is Op.SRAV:
+        cpu.write(instr.rd, s32(regs[instr.rs]) >> (regs[instr.rt] & 31))
+    # memory ---------------------------------------------------------------
+    elif op is Op.LW:
+        cpu.write(instr.rt, mem.load_word(u32(regs[instr.rs] + instr.imm)))
+    elif op is Op.SW:
+        mem.store_word(u32(regs[instr.rs] + instr.imm), regs[instr.rt])
+    elif op is Op.LB:
+        cpu.write(
+            instr.rt,
+            s32_byte(mem.load_byte(u32(regs[instr.rs] + instr.imm))),
+        )
+    elif op is Op.LBU:
+        cpu.write(instr.rt, mem.load_byte(u32(regs[instr.rs] + instr.imm)))
+    elif op is Op.LH:
+        cpu.write(
+            instr.rt,
+            s32_half(mem.load_half(u32(regs[instr.rs] + instr.imm))),
+        )
+    elif op is Op.LHU:
+        cpu.write(instr.rt, mem.load_half(u32(regs[instr.rs] + instr.imm)))
+    elif op is Op.SB:
+        mem.store_byte(u32(regs[instr.rs] + instr.imm), regs[instr.rt])
+    elif op is Op.SH:
+        mem.store_half(u32(regs[instr.rs] + instr.imm), regs[instr.rt])
+    # control --------------------------------------------------------------
+    elif op is Op.BEQ:
+        if regs[instr.rs] == regs[instr.rt]:
+            next_pc = instr.branch_target(pc)
+    elif op is Op.BNE:
+        if regs[instr.rs] != regs[instr.rt]:
+            next_pc = instr.branch_target(pc)
+    elif op is Op.BLT:
+        if s32(regs[instr.rs]) < s32(regs[instr.rt]):
+            next_pc = instr.branch_target(pc)
+    elif op is Op.BGE:
+        if s32(regs[instr.rs]) >= s32(regs[instr.rt]):
+            next_pc = instr.branch_target(pc)
+    elif op is Op.BLTU:
+        if regs[instr.rs] < regs[instr.rt]:
+            next_pc = instr.branch_target(pc)
+    elif op is Op.BGEU:
+        if regs[instr.rs] >= regs[instr.rt]:
+            next_pc = instr.branch_target(pc)
+    elif op is Op.J:
+        next_pc = instr.branch_target(pc)
+    elif op is Op.JAL:
+        cpu.write(REG_RA, pc + 4)
+        next_pc = instr.branch_target(pc)
+    elif op is Op.JR:
+        next_pc = regs[instr.rs]
+    elif op is Op.JALR:
+        target = regs[instr.rs]
+        cpu.write(instr.rd, pc + 4)
+        next_pc = target
+    elif op is Op.RET:
+        next_pc = regs[REG_RA]
+    elif op is Op.SYSCALL:
+        syscalls.dispatch(cpu, mem)
+    elif op is Op.HALT:
+        if not syscalls.exited:
+            syscalls.exit_code = 0
+        next_pc = pc  # halt spins; the run loop stops on `exited`
+    else:  # pragma: no cover - exhaustive over Op
+        raise AssertionError(f"unimplemented op {op}")
+    return next_pc
+
+
+def s32_byte(value: int) -> int:
+    """Sign-extend a byte."""
+    return value - 0x100 if value & 0x80 else value
+
+
+def s32_half(value: int) -> int:
+    """Sign-extend a halfword."""
+    return value - 0x10000 if value & 0x8000 else value

@@ -1,0 +1,128 @@
+"""Reference interpreter for SR32 programs.
+
+This is the baseline execution engine: it runs a program directly from its
+text section, with no translation.  It serves two roles:
+
+1. **Correctness oracle** — the SDT must produce the same output, exit code
+   and retired-instruction count.
+2. **Native-performance baseline** — attach a host cost model as the
+   ``observer`` and the interpreter charges exactly the cycles the program
+   would cost when running natively (no SDT dispatch code).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+from repro.machine.cpu import CPUState
+from repro.machine.errors import FuelExhausted, MemoryFault
+from repro.machine.executor import execute
+from repro.machine.loader import load_program
+from repro.machine.memory import Memory
+from repro.machine.syscalls import SyscallHandler
+
+DEFAULT_FUEL = 50_000_000
+
+
+class Observer(Protocol):
+    """Per-instruction hook: called after each retired instruction."""
+
+    def __call__(self, pc: int, instr: Instruction, next_pc: int) -> None:
+        ...
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome of one program run."""
+
+    output: str
+    exit_code: int
+    retired: int
+    iclass_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def indirect_branches(self) -> int:
+        """Total dynamic indirect control transfers."""
+        from repro.isa.opcodes import InstrClass
+
+        return (
+            self.iclass_counts[InstrClass.IJUMP]
+            + self.iclass_counts[InstrClass.ICALL]
+            + self.iclass_counts[InstrClass.RET]
+        )
+
+
+class Interpreter:
+    """Directly interprets a loaded program."""
+
+    def __init__(
+        self,
+        program: Program,
+        inputs: list[int] | None = None,
+        observer: Callable[[int, Instruction, int], None] | None = None,
+        count_classes: bool = True,
+    ):
+        self.program = program
+        self.cpu, self.mem, self.syscalls = load_program(program, inputs)
+        self.observer = observer
+        self.count_classes = count_classes
+        self.retired = 0
+        self.iclass_counts: Counter = Counter()
+        self._decoded: dict[int, Instruction] = {}
+        self._text_lo = program.text.base
+        self._text_hi = program.text.end
+
+    def fetch(self, pc: int) -> Instruction:
+        """Fetch and decode the instruction at ``pc`` (cached)."""
+        instr = self._decoded.get(pc)
+        if instr is None:
+            if not (self._text_lo <= pc < self._text_hi) or pc % 4:
+                raise MemoryFault(pc, "fetch")
+            instr = decode(self.mem.load_word(pc))
+            self._decoded[pc] = instr
+        return instr
+
+    def step(self) -> None:
+        """Execute exactly one instruction."""
+        cpu = self.cpu
+        pc = cpu.pc
+        instr = self.fetch(pc)
+        next_pc = execute(instr, cpu, self.mem, self.syscalls)
+        cpu.pc = next_pc
+        self.retired += 1
+        if self.count_classes:
+            self.iclass_counts[instr.iclass] += 1
+        if self.observer is not None:
+            self.observer(pc, instr, next_pc)
+
+    def run(self, fuel: int = DEFAULT_FUEL) -> RunResult:
+        """Run until the program exits or ``fuel`` instructions retire."""
+        syscalls = self.syscalls
+        step = self.step
+        remaining = fuel
+        while not syscalls.exited:
+            if remaining <= 0:
+                raise FuelExhausted(fuel)
+            step()
+            remaining -= 1
+        return RunResult(
+            output=syscalls.output,
+            exit_code=syscalls.exit_code or 0,
+            retired=self.retired,
+            iclass_counts=self.iclass_counts,
+        )
+
+
+def run_program(
+    program: Program,
+    inputs: list[int] | None = None,
+    fuel: int = DEFAULT_FUEL,
+    observer: Callable[[int, Instruction, int], None] | None = None,
+) -> RunResult:
+    """Convenience wrapper: load and run a program to completion."""
+    return Interpreter(program, inputs=inputs, observer=observer).run(fuel)

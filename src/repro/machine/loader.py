@@ -1,0 +1,25 @@
+"""Program loader: build a runnable machine from a :class:`Program`."""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, STACK_TOP
+from repro.machine.cpu import CPUState
+from repro.machine.memory import Memory
+from repro.machine.syscalls import SyscallHandler
+
+
+def load_program(
+    program: Program, inputs: list[int] | None = None
+) -> tuple[CPUState, Memory, SyscallHandler]:
+    """Load sections into fresh memory and return (cpu, memory, syscalls).
+
+    The stack pointer starts at :data:`repro.isa.program.STACK_TOP` and the
+    heap break just past the data section.
+    """
+    mem = Memory()
+    mem.write_bytes(program.text.base, program.text.data)
+    if program.data.data:
+        mem.write_bytes(program.data.base, program.data.data)
+    cpu = CPUState(pc=program.entry, sp=STACK_TOP)
+    syscalls = SyscallHandler(heap_base=program.heap_base, inputs=inputs)
+    return cpu, mem, syscalls

@@ -1,0 +1,109 @@
+"""Sparse byte-addressed guest memory.
+
+Memory is organised as 4 KiB pages allocated on first touch, so the guest's
+widely separated text / data / stack regions do not cost host RAM.  All
+multi-byte accesses are little-endian and must be naturally aligned (SR32
+has no unaligned accesses, which keeps the SDT's fetch path simple).
+"""
+
+from __future__ import annotations
+
+from repro.machine.errors import AlignmentFault, MemoryFault
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+ADDR_LIMIT = 1 << 32
+
+
+class Memory:
+    """Sparse 32-bit guest address space."""
+
+    __slots__ = ("_pages",)
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, addr: int) -> bytearray:
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[addr >> PAGE_SHIFT] = page
+        return page
+
+    def _check(self, addr: int, width: int) -> None:
+        if not 0 <= addr <= ADDR_LIMIT - width:
+            raise MemoryFault(addr)
+        if addr % width:
+            raise AlignmentFault(addr, width)
+
+    # -- loads -------------------------------------------------------------
+
+    def load_byte(self, addr: int) -> int:
+        if not 0 <= addr < ADDR_LIMIT:
+            raise MemoryFault(addr, "load")
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        return page[addr & PAGE_MASK]
+
+    def load_half(self, addr: int) -> int:
+        self._check(addr, 2)
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        off = addr & PAGE_MASK
+        return page[off] | (page[off + 1] << 8)
+
+    def load_word(self, addr: int) -> int:
+        self._check(addr, 4)
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        off = addr & PAGE_MASK
+        return int.from_bytes(page[off : off + 4], "little")
+
+    # -- stores ------------------------------------------------------------
+
+    def store_byte(self, addr: int, value: int) -> None:
+        if not 0 <= addr < ADDR_LIMIT:
+            raise MemoryFault(addr, "store")
+        self._page(addr)[addr & PAGE_MASK] = value & 0xFF
+
+    def store_half(self, addr: int, value: int) -> None:
+        self._check(addr, 2)
+        page = self._page(addr)
+        off = addr & PAGE_MASK
+        page[off] = value & 0xFF
+        page[off + 1] = (value >> 8) & 0xFF
+
+    def store_word(self, addr: int, value: int) -> None:
+        self._check(addr, 4)
+        page = self._page(addr)
+        off = addr & PAGE_MASK
+        page[off : off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    # -- bulk --------------------------------------------------------------
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Copy a buffer into guest memory (loader use)."""
+        for index, byte in enumerate(data):
+            self.store_byte(addr + index, byte)
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        return bytes(self.load_byte(addr + i) for i in range(length))
+
+    def read_cstring(self, addr: int, limit: int = 1 << 16) -> str:
+        """Read a NUL-terminated string (bounded by ``limit`` bytes)."""
+        out = bytearray()
+        for offset in range(limit):
+            byte = self.load_byte(addr + offset)
+            if byte == 0:
+                return out.decode("latin-1")
+            out.append(byte)
+        raise MemoryFault(addr, "unterminated string")
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of host-allocated guest pages (for stats)."""
+        return len(self._pages)

@@ -1,0 +1,80 @@
+"""Guest syscall layer.
+
+The service number is passed in ``v0``, arguments in ``a0``/``a1``, results
+in ``v0`` — a deliberately SPIM-like convention so guest programs stay
+readable.
+
+=========  ==========================================================
+service    behaviour
+=========  ==========================================================
+1          print signed integer in ``a0``
+4          print NUL-terminated string at address ``a0``
+5          read one integer from the input queue into ``v0``
+9          ``sbrk``: grow the heap by ``a0`` bytes, old break in ``v0``
+10         exit with code ``a0``
+11         print character ``a0 & 0xff``
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import REG_A0, REG_V0
+from repro.machine.cpu import CPUState, s32
+from repro.machine.errors import InvalidSyscall
+from repro.machine.memory import Memory
+
+SYS_PRINT_INT = 1
+SYS_PRINT_STR = 4
+SYS_READ_INT = 5
+SYS_SBRK = 9
+SYS_EXIT = 10
+SYS_PRINT_CHAR = 11
+
+
+class SyscallHandler:
+    """Implements guest syscalls against an output buffer and input queue."""
+
+    def __init__(self, heap_base: int = 0, inputs: list[int] | None = None):
+        self._output: list[str] = []
+        self._inputs: list[int] = list(inputs or [])
+        self._input_pos = 0
+        self._brk = heap_base
+        self.exit_code: int | None = None
+
+    @property
+    def exited(self) -> bool:
+        return self.exit_code is not None
+
+    @property
+    def output(self) -> str:
+        return "".join(self._output)
+
+    @property
+    def brk(self) -> int:
+        return self._brk
+
+    def dispatch(self, cpu: CPUState, mem: Memory) -> None:
+        """Execute the syscall selected by ``v0``."""
+        service = cpu.read(REG_V0)
+        arg = cpu.read(REG_A0)
+        if service == SYS_PRINT_INT:
+            self._output.append(str(s32(arg)))
+        elif service == SYS_PRINT_STR:
+            self._output.append(mem.read_cstring(arg))
+        elif service == SYS_PRINT_CHAR:
+            self._output.append(chr(arg & 0xFF))
+        elif service == SYS_READ_INT:
+            if self._input_pos < len(self._inputs):
+                value = self._inputs[self._input_pos]
+                self._input_pos += 1
+            else:
+                value = 0
+            cpu.write(REG_V0, value)
+        elif service == SYS_SBRK:
+            old = self._brk
+            self._brk = (self._brk + s32(arg) + 15) & ~15 & 0xFFFFFFFF
+            cpu.write(REG_V0, old)
+        elif service == SYS_EXIT:
+            self.exit_code = s32(arg)
+        else:
+            raise InvalidSyscall(service)

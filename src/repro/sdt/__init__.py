@@ -1,0 +1,28 @@
+"""The software dynamic translator.
+
+The SDT executes a guest program from a *fragment cache*: basic blocks are
+copied out of the guest text on first execution, direct branches between
+fragments are linked in place, and indirect branches are resolved through a
+configurable :mod:`repro.sdt.ib` mechanism — the subject of the paper.
+
+Public entry point: :class:`repro.sdt.vm.SDTVM` configured by
+:class:`repro.sdt.config.SDTConfig`.
+"""
+
+from repro.sdt.cache import FragmentCache
+from repro.sdt.config import SDTConfig
+from repro.sdt.fragment import ExitKind, Fragment
+from repro.sdt.stats import SDTStats
+from repro.sdt.translator import Translator
+from repro.sdt.vm import SDTRunResult, SDTVM
+
+__all__ = [
+    "ExitKind",
+    "Fragment",
+    "FragmentCache",
+    "SDTConfig",
+    "SDTRunResult",
+    "SDTStats",
+    "SDTVM",
+    "Translator",
+]

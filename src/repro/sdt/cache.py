@@ -1,0 +1,85 @@
+"""The fragment cache.
+
+Follows Strata's policy: fragments are bump-allocated; when the cache fills
+up, the *entire* cache is flushed (all fragments, all links, all IB-mechanism
+state holding fragment pointers).  Whole-cache flush is what makes stale
+translated-address transparency violations (fast returns) interesting, and
+it is also what the paper's systems actually did.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sdt.fragment import FRAGMENT_CACHE_BASE, Fragment
+from repro.sdt.stats import SDTStats
+
+DEFAULT_CAPACITY = 8 * 1024 * 1024  # bytes; effectively unbounded for tests
+
+
+class FragmentCache:
+    """Guest-PC-indexed store of translated fragments."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, stats: SDTStats | None = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else SDTStats()
+        self._fragments: dict[int, Fragment] = {}
+        self._alloc = 0
+        self._flush_hooks: list[Callable[[], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._fragments)
+
+    def __contains__(self, guest_pc: int) -> bool:
+        return guest_pc in self._fragments
+
+    @property
+    def bytes_used(self) -> int:
+        return self._alloc
+
+    def on_flush(self, hook: Callable[[], None]) -> None:
+        """Register a callback run whenever the cache is flushed.
+
+        IB mechanisms register here because their tables cache fragment
+        pointers that a flush invalidates.
+        """
+        self._flush_hooks.append(hook)
+
+    def lookup(self, guest_pc: int) -> Fragment | None:
+        return self._fragments.get(guest_pc)
+
+    def fragments(self) -> list[Fragment]:
+        """All live fragments (introspection/debugging)."""
+        return list(self._fragments.values())
+
+    def reserve(self, size_bytes: int) -> int:
+        """Allocate space for a fragment, flushing if necessary.
+
+        Returns the fragment-cache address of the allocation.
+        """
+        if size_bytes > self.capacity:
+            raise ValueError(
+                f"fragment of {size_bytes} bytes exceeds cache capacity "
+                f"{self.capacity}"
+            )
+        if self._alloc + size_bytes > self.capacity:
+            self.flush()
+        addr = FRAGMENT_CACHE_BASE + self._alloc
+        self._alloc += size_bytes
+        return addr
+
+    def insert(self, fragment: Fragment) -> None:
+        self._fragments[fragment.guest_pc] = fragment
+
+    def flush(self) -> None:
+        """Drop every fragment and notify mechanisms."""
+        for fragment in self._fragments.values():
+            fragment.valid = False
+            fragment.links.clear()
+        self._fragments.clear()
+        self._alloc = 0
+        self.stats.cache_flushes += 1
+        for hook in self._flush_hooks:
+            hook()

@@ -1,0 +1,99 @@
+"""SDT configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.host.profile import ArchProfile, SIMPLE
+from repro.sdt.cache import DEFAULT_CAPACITY
+from repro.sdt.translator import DEFAULT_MAX_FRAGMENT_INSTRS
+
+GENERIC_MECHANISMS = ("reentry", "ibtc", "sieve")
+RETURN_SCHEMES = ("same", "fast", "shadow", "retcache")
+
+
+@dataclass(frozen=True)
+class SDTConfig:
+    """Everything that defines one SDT configuration in the paper's space.
+
+    Attributes:
+        profile: host architecture cost profile.
+        ib: generic indirect-branch mechanism for ``jr``/``jalr``
+            (``"reentry"``, ``"ibtc"`` or ``"sieve"``).
+        ibtc_entries / ibtc_shared: IBTC geometry.
+        sieve_buckets / sieve_policy: sieve geometry and stub insertion
+            order (``"prepend"`` or ``"append"``).
+        returns: return scheme — ``"same"`` routes returns through the
+            generic mechanism; ``"fast"``, ``"shadow"``, ``"retcache"``
+            select the dedicated schemes.
+        shadow_depth: shadow-stack depth limit (0 = unbounded).
+        retcache_entries: return-cache geometry.
+        linking: patch direct-branch fragment exits (Strata's default);
+            disabling it is the E2 ablation where *every* fragment exit
+            re-enters the translator.
+        fragment_cache_bytes: fragment-cache capacity (whole-cache flush
+            when exceeded).
+        max_fragment_instrs: fragment length limit.
+    """
+
+    profile: ArchProfile = field(default_factory=lambda: SIMPLE)
+    ib: str = "ibtc"
+    ibtc_entries: int = 4096
+    ibtc_shared: bool = True
+    ibtc_inline: bool = True
+    ibtc_hash: str = "fold"
+    inline_predict: bool = False
+    sieve_buckets: int = 512
+    sieve_policy: str = "prepend"
+    returns: str = "same"
+    shadow_depth: int = 0
+    retcache_entries: int = 64
+    linking: bool = True
+    trace_jumps: bool = False
+    fragment_cache_bytes: int = DEFAULT_CAPACITY
+    max_fragment_instrs: int = DEFAULT_MAX_FRAGMENT_INSTRS
+
+    def __post_init__(self) -> None:
+        if self.ib not in GENERIC_MECHANISMS:
+            raise ValueError(
+                f"unknown ib mechanism {self.ib!r}; "
+                f"expected one of {GENERIC_MECHANISMS}"
+            )
+        if self.returns not in RETURN_SCHEMES:
+            raise ValueError(
+                f"unknown return scheme {self.returns!r}; "
+                f"expected one of {RETURN_SCHEMES}"
+            )
+        if self.ibtc_hash not in ("fold", "shift"):
+            raise ValueError(f"unknown ibtc hash {self.ibtc_hash!r}")
+        if self.sieve_policy not in ("prepend", "append"):
+            raise ValueError(f"unknown sieve policy {self.sieve_policy!r}")
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identifier for reports."""
+        if self.ib == "ibtc":
+            scope = "shared" if self.ibtc_shared else "persite"
+            generic = f"ibtc({scope},{self.ibtc_entries})"
+            if not self.ibtc_inline:
+                generic += "+outline"
+            if self.ibtc_hash != "fold":
+                generic += f"+hash={self.ibtc_hash}"
+        elif self.ib == "sieve":
+            generic = f"sieve({self.sieve_buckets})"
+        else:
+            generic = "reentry"
+        if self.inline_predict:
+            generic += "+predict"
+        parts = [generic]
+        if self.returns != "same":
+            parts.append(f"ret={self.returns}")
+        if not self.linking:
+            parts.append("nolink")
+        if self.trace_jumps:
+            parts.append("trace")
+        return "+".join(parts)
+
+    def with_profile(self, profile: ArchProfile) -> "SDTConfig":
+        """The same configuration under a different host profile."""
+        return replace(self, profile=profile)

@@ -1,0 +1,72 @@
+"""Fragment-cache introspection.
+
+Downstream users debugging a mechanism want to see what the translator
+actually built: fragment boundaries, exit kinds, link state, execution
+counts and disassembly.  These helpers render that state; the CLI exposes
+them as ``repro-sdt fragments``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.disassembler import format_instruction
+from repro.sdt.fragment import Fragment
+from repro.sdt.vm import SDTVM
+
+
+def format_fragment(fragment: Fragment, disassemble: bool = True) -> str:
+    """Render one fragment as a textual listing."""
+    links = ", ".join(
+        f"{key}->{linked.guest_pc:#x}"
+        for key, linked in sorted(fragment.links.items())
+    ) or "unlinked"
+    header = (
+        f"fragment @ fc {fragment.fc_addr:#010x}  "
+        f"guest {fragment.guest_pc:#010x}  "
+        f"exit={fragment.exit_kind.value}  "
+        f"execs={fragment.executions}  links: {links}"
+    )
+    if not disassemble:
+        return header
+    lines = [header]
+    for guest_pc, instr in fragment.instrs:
+        lines.append(f"    {guest_pc:#010x}:  {format_instruction(instr, guest_pc)}")
+    return "\n".join(lines)
+
+
+def dump_fragment_cache(
+    vm: SDTVM,
+    disassemble: bool = False,
+    min_executions: int = 0,
+    limit: int | None = None,
+) -> str:
+    """Render the VM's fragment cache, hottest fragments first."""
+    fragments = sorted(
+        vm.cache.fragments(),
+        key=lambda fragment: -fragment.executions,
+    )
+    fragments = [
+        fragment
+        for fragment in fragments
+        if fragment.executions >= min_executions
+    ]
+    if limit is not None:
+        fragments = fragments[:limit]
+    total = len(vm.cache.fragments())
+    lines = [
+        f"fragment cache: {total} fragments, "
+        f"{vm.cache.bytes_used} bytes, "
+        f"{vm.stats.cache_flushes} flushes"
+    ]
+    lines.extend(
+        format_fragment(fragment, disassemble=disassemble)
+        for fragment in fragments
+    )
+    return "\n".join(lines)
+
+
+def hottest_fragments(vm: SDTVM, count: int = 10) -> list[Fragment]:
+    """The ``count`` most-executed fragments."""
+    return sorted(
+        vm.cache.fragments(),
+        key=lambda fragment: -fragment.executions,
+    )[:count]

@@ -1,0 +1,90 @@
+"""Fragments: translated basic blocks in the fragment cache."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrClass
+
+#: Fragment-cache addresses live in their own region so host predictors key
+#: on translated-code addresses, never on guest addresses.
+FRAGMENT_CACHE_BASE = 0xF000_0000
+
+#: Return landing pads (fast-return scheme) live above the fragment cache.
+RETURN_PAD_BASE = 0xFE00_0000
+
+
+class ExitKind(enum.Enum):
+    """How a fragment transfers control when it falls off the end."""
+
+    COND = "cond"      # conditional branch: taken + fallthrough successors
+    JUMP = "jump"      # unconditional direct jump
+    CALL = "call"      # direct call (direct successor + return address)
+    IJUMP = "ijump"    # indirect jump — dispatch through an IB mechanism
+    ICALL = "icall"    # indirect call
+    RET = "ret"        # return
+    HALT = "halt"      # program end
+    FALL = "fall"      # fragment-length limit hit: plain fallthrough
+
+
+_EXIT_FOR_CLASS = {
+    InstrClass.BRANCH: ExitKind.COND,
+    InstrClass.JUMP: ExitKind.JUMP,
+    InstrClass.CALL: ExitKind.CALL,
+    InstrClass.IJUMP: ExitKind.IJUMP,
+    InstrClass.ICALL: ExitKind.ICALL,
+    InstrClass.RET: ExitKind.RET,
+    InstrClass.HALT: ExitKind.HALT,
+}
+
+
+def exit_kind_for(iclass: InstrClass) -> ExitKind:
+    """Exit kind implied by a terminating instruction class."""
+    return _EXIT_FOR_CLASS[iclass]
+
+
+@dataclass(slots=True)
+class Fragment:
+    """One translated basic block.
+
+    Attributes:
+        guest_pc: guest address of the first instruction.
+        fc_addr: address of the translated copy in the fragment cache.
+        instrs: ``(guest_pc, instruction)`` pairs, terminator included
+            (except for ``FALL`` fragments, which have no terminator).
+        exit_kind: how control leaves the fragment.
+        links: direct-exit link slots (``"T"``/``"F"``/``"J"``) patched to
+            successor fragments once those are translated.
+        valid: cleared when the fragment cache is flushed.
+    """
+
+    guest_pc: int
+    fc_addr: int
+    instrs: list[tuple[int, Instruction]]
+    exit_kind: ExitKind
+    links: dict[str, "Fragment"] = field(default_factory=dict)
+    valid: bool = True
+    executions: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated fragment-cache footprint (body + exit stubs)."""
+        stub = 16 if self.exit_kind is ExitKind.COND else 8
+        return 4 * len(self.instrs) + stub
+
+    @property
+    def exit_site(self) -> int:
+        """Fragment-cache address of the terminating host branch.
+
+        This is the address host predictors see for the fragment's final
+        control transfer.
+        """
+        return self.fc_addr + 4 * max(len(self.instrs) - 1, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Fragment(guest={self.guest_pc:#x}, fc={self.fc_addr:#x}, "
+            f"n={len(self.instrs)}, exit={self.exit_kind.value})"
+        )

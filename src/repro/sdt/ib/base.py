@@ -1,0 +1,106 @@
+"""Mechanism interfaces.
+
+A mechanism is bound to an :class:`repro.sdt.vm.SDTVM` and asked to resolve
+dynamic indirect-branch targets.  It charges every cycle of its dispatch
+code to the VM's host model and keeps hit/miss statistics under its
+``name`` in :class:`repro.sdt.stats.SDTStats`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.sdt.fragment import Fragment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.cpu import CPUState
+    from repro.sdt.vm import SDTVM
+
+
+class IBMechanism(ABC):
+    """Resolves indirect jump / indirect call targets."""
+
+    #: stable identifier used in statistics and reports
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.vm: "SDTVM | None" = None
+
+    def bind(self, vm: "SDTVM") -> None:
+        """Attach to a VM; registers the flush hook."""
+        self.vm = vm
+        vm.cache.on_flush(self.on_flush)
+
+    @abstractmethod
+    def dispatch(
+        self, fragment: Fragment, ib_pc: int, guest_target: int
+    ) -> Fragment:
+        """Resolve ``guest_target``, charging all dispatch costs.
+
+        Args:
+            fragment: the fragment whose terminator is the indirect branch
+                (its ``exit_site`` is the host-level branch address).
+            ib_pc: guest address of the indirect branch (stable site key).
+            guest_target: dynamic guest target address.
+
+        Returns:
+            The fragment to execute next.
+        """
+
+    def on_flush(self) -> None:
+        """Drop any cached fragment pointers (cache was flushed)."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _hit(self) -> None:
+        assert self.vm is not None
+        self.vm.stats.mechanism[f"{self.name}.hit"] += 1
+
+    def _miss(self) -> None:
+        assert self.vm is not None
+        self.vm.stats.mechanism[f"{self.name}.miss"] += 1
+
+
+class ReturnMechanism(ABC):
+    """Resolves return targets; may also hook call sites."""
+
+    name: str = "ret-base"
+
+    def __init__(self) -> None:
+        self.vm: "SDTVM | None" = None
+
+    def bind(self, vm: "SDTVM") -> None:
+        self.vm = vm
+        vm.cache.on_flush(self.on_flush)
+
+    def on_call(
+        self,
+        cpu: "CPUState",
+        ret_reg: int,
+        guest_ret_pc: int,
+    ) -> None:
+        """Hook run after a call wrote its return address.
+
+        ``ret_reg`` holds ``guest_ret_pc``; schemes that sacrifice address
+        transparency (fast returns) may overwrite it here.
+        """
+
+    @abstractmethod
+    def dispatch_ret(
+        self, fragment: Fragment, ib_pc: int, target_value: int
+    ) -> Fragment:
+        """Resolve a return whose dynamic target register held
+        ``target_value`` (a guest address, or a landing-pad address under
+        fast returns)."""
+
+    def on_flush(self) -> None:
+        """Drop any cached fragment pointers."""
+
+    def _hit(self) -> None:
+        assert self.vm is not None
+        self.vm.stats.mechanism[f"{self.name}.hit"] += 1
+
+    def _miss(self) -> None:
+        assert self.vm is not None
+        self.vm.stats.mechanism[f"{self.name}.miss"] += 1

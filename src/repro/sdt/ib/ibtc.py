@@ -1,0 +1,150 @@
+"""Indirect Branch Translation Cache (IBTC).
+
+A direct-mapped software cache mapping application target addresses to
+fragment-cache addresses, probed by a short code sequence at each
+translated IB site:
+
+1. hash/mask the dynamic target (``ibtc_probe`` cycles, including the tag
+   load and compare; ``ibtc_spill`` models scratch-register save/restore),
+2. on a tag match, jump indirectly through the cached fragment address —
+   a *host* indirect jump the BTB must predict,
+3. on a miss, fall back to full translator re-entry and fill the entry.
+
+Axes evaluated by the paper, all configurable here:
+
+- **scope** — one **shared** table for every IB site, or **per-site**
+  tables (conflict isolation vs. capacity fragmentation),
+- **size** — table entries, swept in experiment E3,
+- **inlining** — the probe sequence either sits *inline* at the
+  translated IB site, or in one shared *out-of-line* stub every site jumps
+  to.  Out-of-line saves fragment-cache space but adds the stub jump and,
+  critically, funnels every IB through a single host indirect-jump site,
+  which destroys BTB locality (ablation A-series),
+- **hash** — ``fold`` (word index xor-folded with higher bits) or
+  ``shift`` (plain word index masking); jump-table targets are contiguous
+  so ``shift`` looks fine until two tables alias, which the fold absorbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.costs import Category
+from repro.sdt.fragment import Fragment
+from repro.sdt.ib.base import IBMechanism
+
+#: Synthetic host address of the shared out-of-line lookup stub's final
+#: indirect jump (every IB site shares this predictor entry when the
+#: probe is not inlined).
+OUTLINE_STUB_SITE = 0xFC00_0000
+
+HASH_KINDS = ("fold", "shift")
+
+
+def ibtc_index(target: int, mask: int, hash_kind: str = "fold") -> int:
+    """Hash a guest target address into a table index.
+
+    Word-aligned addresses make the low two bits useless, so both hashes
+    discard them; ``fold`` additionally xors in higher bits to spread
+    targets that share a 2^n-aligned base.
+    """
+    word = target >> 2
+    if hash_kind == "shift":
+        return word & mask
+    return (word ^ (word >> 10)) & mask
+
+
+@dataclass(slots=True)
+class _Table:
+    """One direct-mapped tag/value array."""
+
+    mask: int
+    tags: list[int]
+    frags: list[Fragment | None]
+
+    @classmethod
+    def sized(cls, entries: int) -> "_Table":
+        return cls(
+            mask=entries - 1,
+            tags=[-1] * entries,
+            frags=[None] * entries,
+        )
+
+    def clear(self) -> None:
+        for index in range(len(self.tags)):
+            self.tags[index] = -1
+            self.frags[index] = None
+
+
+class IBTC(IBMechanism):
+    """Shared or per-site indirect branch translation cache."""
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        shared: bool = True,
+        inline: bool = True,
+        hash_kind: str = "fold",
+    ):
+        super().__init__()
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if hash_kind not in HASH_KINDS:
+            raise ValueError(
+                f"unknown hash {hash_kind!r}; expected one of {HASH_KINDS}"
+            )
+        self.entries = entries
+        self.shared = shared
+        self.inline = inline
+        self.hash_kind = hash_kind
+        self.name = f"ibtc-{'shared' if shared else 'persite'}-{entries}"
+        if not inline:
+            self.name += "-outline"
+        self._shared_table = _Table.sized(entries) if shared else None
+        self._site_tables: dict[int, _Table] = {}
+
+    def _table_for(self, ib_pc: int) -> _Table:
+        if self._shared_table is not None:
+            return self._shared_table
+        table = self._site_tables.get(ib_pc)
+        if table is None:
+            table = _Table.sized(self.entries)
+            self._site_tables[ib_pc] = table
+        return table
+
+    def dispatch(
+        self, fragment: Fragment, ib_pc: int, guest_target: int
+    ) -> Fragment:
+        assert self.vm is not None
+        vm = self.vm
+        profile = vm.model.profile
+        cost = profile.ibtc_probe + profile.ibtc_spill
+        if self.inline:
+            jump_site = fragment.exit_site
+        else:
+            # shared stub: extra control transfer, and one polymorphic
+            # host indirect-jump site for the whole program
+            cost += profile.ibtc_stub_jump
+            jump_site = OUTLINE_STUB_SITE
+        vm.model.charge(Category.IBTC, cost)
+
+        table = self._table_for(ib_pc)
+        index = ibtc_index(guest_target, table.mask, self.hash_kind)
+        cached = table.frags[index]
+        if table.tags[index] == guest_target and cached is not None:
+            self._hit()
+            # the probe ends in a host indirect jump through the cached
+            # fragment address
+            vm.model.indirect_jump(jump_site, cached.fc_addr)
+            return cached
+
+        self._miss()
+        target_fragment = vm.reenter_translator(guest_target)
+        table.tags[index] = guest_target
+        table.frags[index] = target_fragment
+        return target_fragment
+
+    def on_flush(self) -> None:
+        if self._shared_table is not None:
+            self._shared_table.clear()
+        self._site_tables.clear()

@@ -1,0 +1,26 @@
+"""Baseline mechanism: full translator re-entry on every indirect branch.
+
+This is the unoptimised Strata configuration the paper starts from: the
+translated indirect branch trampolines into the SDT — saving the entire
+application context — the translator probes its translation map, restores
+the context, and jumps back into the fragment cache.  Per the paper this
+costs hundreds of cycles per dynamic IB and dominates SDT overhead.
+"""
+
+from __future__ import annotations
+
+from repro.sdt.fragment import Fragment
+from repro.sdt.ib.base import IBMechanism
+
+
+class TranslatorReentry(IBMechanism):
+    """Re-enter the translator for every dispatch (no caching at all)."""
+
+    name = "reentry"
+
+    def dispatch(
+        self, fragment: Fragment, ib_pc: int, guest_target: int
+    ) -> Fragment:
+        assert self.vm is not None
+        self._miss()  # by definition every dispatch is a slow path
+        return self.vm.reenter_translator(guest_target)

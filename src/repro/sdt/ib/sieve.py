@@ -1,0 +1,104 @@
+"""The sieve dispatch mechanism.
+
+The translated indirect branch hashes its dynamic target and jumps into a
+*bucket* of code stubs.  Each stub compares the target against one known
+application address; on a match it branches directly to the corresponding
+fragment (a conditional direct branch the bimodal predictor handles well),
+otherwise it falls through to the next stub.  Running off the end of the
+chain re-enters the translator, which links a new stub into the bucket.
+
+Host-level cost structure (the paper's reason the sieve can win on
+machines with expensive indirect-branch mispredictions):
+
+- one computed jump into the bucket (BTB-predicted, keyed by the IB site),
+- ``k`` compare-and-branch stages to reach the matching stub,
+- a *direct* branch to the fragment — no BTB involvement at all.
+
+The stub-insertion policy is configurable: ``prepend`` puts the newest
+target first (MRU-ish, Strata's choice); ``append`` preserves insertion
+order.  E-series ablations sweep both.
+"""
+
+from __future__ import annotations
+
+from repro.host.costs import Category
+from repro.sdt.fragment import Fragment
+from repro.sdt.ib.base import IBMechanism
+
+#: Synthetic host address of the sieve's bucket array (predictor keying).
+SIEVE_BASE = 0xFD00_0000
+_BUCKET_STRIDE = 256  # synthetic bytes per bucket (stub chain region)
+_STUB_STRIDE = 16     # synthetic bytes per stub
+
+
+def sieve_index(target: int, mask: int) -> int:
+    """Hash a guest target into a bucket index (same folding as the IBTC)."""
+    word = target >> 2
+    return (word ^ (word >> 10)) & mask
+
+
+class Sieve(IBMechanism):
+    """Hash-bucketed compare-and-branch dispatch."""
+
+    def __init__(self, buckets: int = 512, policy: str = "prepend"):
+        super().__init__()
+        if buckets <= 0 or buckets & (buckets - 1):
+            raise ValueError("buckets must be a positive power of two")
+        if policy not in ("prepend", "append"):
+            raise ValueError(f"unknown insertion policy {policy!r}")
+        self.buckets = buckets
+        self.policy = policy
+        self.name = f"sieve-{buckets}"
+        self._mask = buckets - 1
+        self._chains: list[list[tuple[int, Fragment]]] = [
+            [] for _ in range(buckets)
+        ]
+        #: dynamic stage executions, for mean-chain-length reporting
+        self.stage_executions = 0
+
+    def dispatch(
+        self, fragment: Fragment, ib_pc: int, guest_target: int
+    ) -> Fragment:
+        assert self.vm is not None
+        vm = self.vm
+        profile = vm.model.profile
+        index = sieve_index(guest_target, self._mask)
+        bucket_addr = SIEVE_BASE + index * _BUCKET_STRIDE
+
+        # computed jump into the bucket
+        vm.model.charge(Category.SIEVE, profile.sieve_dispatch)
+        vm.model.indirect_jump(
+            fragment.exit_site, bucket_addr, category=Category.SIEVE
+        )
+
+        # walk the stub chain
+        chain = self._chains[index]
+        for position, (known_target, target_fragment) in enumerate(chain):
+            vm.model.charge(Category.SIEVE, profile.sieve_stage)
+            self.stage_executions += 1
+            stub_addr = bucket_addr + position * _STUB_STRIDE
+            matched = known_target == guest_target
+            vm.model.cond_branch(stub_addr, matched, category=Category.SIEVE)
+            if matched:
+                self._hit()
+                return target_fragment
+
+        # chain exhausted: translator builds a new stub
+        self._miss()
+        target_fragment = vm.reenter_translator(guest_target)
+        entry = (guest_target, target_fragment)
+        if self.policy == "prepend":
+            chain.insert(0, entry)
+        else:
+            chain.append(entry)
+        return target_fragment
+
+    def on_flush(self) -> None:
+        for chain in self._chains:
+            chain.clear()
+
+    @property
+    def mean_chain_length(self) -> float:
+        """Mean occupied-chain length (sieve pressure diagnostic)."""
+        lengths = [len(chain) for chain in self._chains if chain]
+        return sum(lengths) / len(lengths) if lengths else 0.0

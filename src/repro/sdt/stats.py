@@ -1,0 +1,39 @@
+"""SDT runtime statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class SDTStats:
+    """Counters maintained by the SDT VM and its IB mechanisms."""
+
+    fragments_translated: int = 0
+    instrs_translated: int = 0
+    cache_flushes: int = 0
+    links_patched: int = 0
+    translator_reentries: int = 0
+    #: dynamic indirect dispatches by class name ("ijump"/"icall"/"ret")
+    ib_dispatches: Counter = field(default_factory=Counter)
+    #: mechanism hit/miss counters, keyed "<mechanism>.<event>"
+    mechanism: Counter = field(default_factory=Counter)
+
+    def hit_rate(self, mechanism: str) -> float:
+        """Hit rate for a mechanism (0.0 if it never dispatched)."""
+        hits = self.mechanism[f"{mechanism}.hit"]
+        misses = self.mechanism[f"{mechanism}.miss"]
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "fragments_translated": self.fragments_translated,
+            "instrs_translated": self.instrs_translated,
+            "cache_flushes": self.cache_flushes,
+            "links_patched": self.links_patched,
+            "translator_reentries": self.translator_reentries,
+            "ib_dispatches": dict(self.ib_dispatches),
+            "mechanism": dict(self.mechanism),
+        }

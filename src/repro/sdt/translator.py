@@ -1,0 +1,120 @@
+"""Fragment builder: discovers and translates guest basic blocks."""
+
+from __future__ import annotations
+
+from repro.host.costs import Category, HostModel
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+from repro.machine.errors import MemoryFault
+from repro.sdt.cache import FragmentCache
+from repro.sdt.fragment import ExitKind, Fragment, exit_kind_for
+
+DEFAULT_MAX_FRAGMENT_INSTRS = 128
+
+
+class Translator:
+    """Builds fragments from guest text on demand.
+
+    Translation is charged to the host model (``translate_fragment`` fixed
+    cost plus ``translate_per_instr`` per guest instruction) so the
+    cold-start component of SDT overhead is part of every measurement, as
+    in the paper.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        cache: FragmentCache,
+        model: HostModel,
+        max_fragment_instrs: int = DEFAULT_MAX_FRAGMENT_INSTRS,
+        trace_jumps: bool = False,
+    ):
+        if max_fragment_instrs < 1:
+            raise ValueError("max_fragment_instrs must be >= 1")
+        self.program = program
+        self.cache = cache
+        self.model = model
+        self.max_fragment_instrs = max_fragment_instrs
+        #: NET-style trace formation: keep translating through
+        #: unconditional direct jumps (``j``), building superblocks.
+        #: The elided jump still executes (so retired counts match the
+        #: interpreter) but its successor is inlined instead of linked.
+        self.trace_jumps = trace_jumps
+        self._text = program.text.data
+        self._text_base = program.text.base
+        self._decoded: dict[int, Instruction] = {}
+
+    def _in_text(self, pc: int) -> bool:
+        offset = pc - self._text_base
+        return pc % 4 == 0 and 0 <= offset < len(self._text)
+
+    def _fetch(self, pc: int) -> Instruction:
+        instr = self._decoded.get(pc)
+        if instr is None:
+            offset = pc - self._text_base
+            if pc % 4 or not 0 <= offset < len(self._text):
+                raise MemoryFault(pc, "translate-fetch")
+            word = int.from_bytes(self._text[offset : offset + 4], "little")
+            instr = decode(word)
+            self._decoded[pc] = instr
+        return instr
+
+    def get_or_translate(self, guest_pc: int) -> Fragment:
+        """Return the fragment for ``guest_pc``, translating on a miss."""
+        fragment = self.cache.lookup(guest_pc)
+        if fragment is None:
+            fragment = self.translate(guest_pc)
+        return fragment
+
+    def translate(self, guest_pc: int) -> Fragment:
+        """Translate one basic block starting at ``guest_pc``."""
+        instrs: list[tuple[int, Instruction]] = []
+        pc = guest_pc
+        exit_kind = ExitKind.FALL
+        visited_jump_targets: set[int] = set()
+        for _ in range(self.max_fragment_instrs):
+            instr = self._fetch(pc)
+            instrs.append((pc, instr))
+            if instr.is_control:
+                exit_kind = exit_kind_for(instr.iclass)
+                if (
+                    self.trace_jumps
+                    and exit_kind is ExitKind.JUMP
+                    and len(instrs) < self.max_fragment_instrs
+                ):
+                    target = instr.branch_target(pc)
+                    fresh = (
+                        target not in visited_jump_targets
+                        and target != guest_pc
+                        and self.cache.lookup(target) is None
+                        and self._in_text(target)
+                    )
+                    if fresh:
+                        # inline the jump's successor into this trace
+                        visited_jump_targets.add(target)
+                        pc = target
+                        exit_kind = ExitKind.FALL
+                        continue
+                break
+            pc += 4
+
+        fragment = Fragment(
+            guest_pc=guest_pc,
+            fc_addr=0,
+            instrs=instrs,
+            exit_kind=exit_kind,
+        )
+        fragment.fc_addr = self.cache.reserve(fragment.size_bytes)
+        self.cache.insert(fragment)
+
+        profile = self.model.profile
+        self.model.charge(
+            Category.TRANSLATE,
+            profile.translate_fragment
+            + profile.translate_per_instr * len(instrs),
+        )
+        stats = self.cache.stats
+        stats.fragments_translated += 1
+        stats.instrs_translated += len(instrs)
+        return fragment

@@ -1,0 +1,211 @@
+"""The SDT virtual machine: fragment-cache execution main loop.
+
+Execution alternates between *translated code* (fragments, executed here
+with real guest semantics via :func:`repro.machine.executor.execute`) and
+the *translator* (entered on fragment-cache misses and unhandled indirect
+branches).  All cycle costs — application work, dispatch code, context
+switches, translation, host branch mispredictions — are charged to the
+bound :class:`repro.host.costs.HostModel` as they occur.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.host.costs import Category, HostModel
+from repro.isa.opcodes import InstrClass
+from repro.isa.program import Program
+from repro.isa.registers import REG_RA
+from repro.machine.errors import FuelExhausted
+from repro.machine.executor import execute
+from repro.machine.interpreter import DEFAULT_FUEL
+from repro.machine.loader import load_program
+from repro.sdt.cache import FragmentCache
+from repro.sdt.config import SDTConfig
+from repro.sdt.fragment import ExitKind, Fragment
+from repro.sdt.ib.factory import build_mechanisms
+from repro.sdt.stats import SDTStats
+from repro.sdt.translator import Translator
+
+#: Synthetic host address of the translator's jump back into the fragment
+#: cache — a single, maximally polymorphic indirect jump site.
+TRANSLATOR_DISPATCH_SITE = 0xFFFF_0000
+
+
+@dataclass(slots=True)
+class SDTRunResult:
+    """Outcome of one program run under the SDT."""
+
+    output: str
+    exit_code: int
+    retired: int
+    iclass_counts: Counter
+    total_cycles: int
+    cycles: dict[str, int]
+    stats: SDTStats
+    config_label: str
+
+    @property
+    def app_cycles(self) -> int:
+        return self.cycles[Category.APP.value]
+
+    def overhead_vs(self, native_cycles: int) -> float:
+        """Slowdown relative to a native run (the paper's metric)."""
+        if native_cycles <= 0:
+            raise ValueError("native_cycles must be positive")
+        return self.total_cycles / native_cycles
+
+
+class SDTVM:
+    """Software dynamic translator for SR32 programs."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: SDTConfig | None = None,
+        inputs: list[int] | None = None,
+    ):
+        self.config = config if config is not None else SDTConfig()
+        self.program = program
+        self.model = HostModel(self.config.profile)
+        self.stats = SDTStats()
+        self.cache = FragmentCache(
+            capacity=self.config.fragment_cache_bytes, stats=self.stats
+        )
+        self.cpu, self.mem, self.syscalls = load_program(program, inputs)
+        self.translator = Translator(
+            program,
+            self.cache,
+            self.model,
+            max_fragment_instrs=self.config.max_fragment_instrs,
+            trace_jumps=self.config.trace_jumps,
+        )
+        self.generic_ib, self.return_mech = build_mechanisms(self.config)
+        self.generic_ib.bind(self)
+        self.return_mech.bind(self)
+        self.retired = 0
+        self.iclass_counts: Counter = Counter()
+
+    # -- translator interactions --------------------------------------------
+
+    def reenter_translator(self, guest_target: int) -> Fragment:
+        """Full slow path: context switch, map probe, translate-if-missing.
+
+        Every unoptimised IB dispatch, every cold fragment exit, and every
+        mechanism miss funnels through here — this is the cost the paper's
+        mechanisms exist to avoid.
+        """
+        model = self.model
+        profile = model.profile
+        self.stats.translator_reentries += 1
+        model.charge(Category.CONTEXT_SWITCH, 2 * profile.context_half_switch)
+        model.charge(Category.MAP_LOOKUP, profile.map_lookup)
+        # the translator's own execution trashes the hardware RAS
+        model.ras.flush()
+        fragment = self.translator.get_or_translate(guest_target)
+        # dispatch back into the fragment cache: one polymorphic host
+        # indirect jump shared by every slow path
+        model.indirect_jump(
+            TRANSLATOR_DISPATCH_SITE,
+            fragment.fc_addr,
+            category=Category.CONTEXT_SWITCH,
+        )
+        return fragment
+
+    def _direct_successor(
+        self, fragment: Fragment, key: str, guest_target: int
+    ) -> Fragment:
+        """Follow (or establish) a linked direct exit."""
+        linked = fragment.links.get(key)
+        if linked is not None and linked.valid:
+            return linked
+        successor = self.reenter_translator(guest_target)
+        if self.config.linking and fragment.valid:
+            fragment.links[key] = successor
+            self.model.charge(Category.LINK, self.model.profile.link_patch)
+            self.stats.links_patched += 1
+        return successor
+
+    # -- execution -----------------------------------------------------------
+
+    def execute_fragment(self, fragment: Fragment) -> Fragment | None:
+        """Execute one fragment; returns the successor or ``None`` on exit."""
+        cpu = self.cpu
+        mem = self.mem
+        syscalls = self.syscalls
+        model = self.model
+        counts = self.iclass_counts
+        fragment.executions += 1
+
+        guest_pc = fragment.guest_pc
+        next_pc = guest_pc
+        instr = None
+        executed = 0
+        for guest_pc, instr in fragment.instrs:
+            cpu.pc = guest_pc
+            next_pc = execute(instr, cpu, mem, syscalls)
+            executed += 1
+            iclass = instr.iclass
+            counts[iclass] += 1
+            model.charge_instr(iclass)
+            if iclass is InstrClass.SYSCALL and syscalls.exited:
+                self.retired += executed
+                return None
+        self.retired += executed
+
+        exit_kind = fragment.exit_kind
+        if exit_kind is ExitKind.HALT:
+            return None
+        if exit_kind is ExitKind.FALL:
+            return self._direct_successor(fragment, "J", next_pc)
+        if exit_kind is ExitKind.COND:
+            taken = next_pc != guest_pc + 4
+            model.cond_branch(fragment.exit_site, taken)
+            key = "T" if taken else "F"
+            return self._direct_successor(fragment, key, next_pc)
+        if exit_kind is ExitKind.JUMP:
+            return self._direct_successor(fragment, "J", next_pc)
+        if exit_kind is ExitKind.CALL:
+            self.return_mech.on_call(cpu, REG_RA, guest_pc + 4)
+            return self._direct_successor(fragment, "J", next_pc)
+        if exit_kind is ExitKind.ICALL:
+            assert instr is not None
+            self.stats.ib_dispatches["icall"] += 1
+            self.return_mech.on_call(cpu, instr.rd, guest_pc + 4)
+            return self.generic_ib.dispatch(fragment, guest_pc, next_pc)
+        if exit_kind is ExitKind.IJUMP:
+            self.stats.ib_dispatches["ijump"] += 1
+            return self.generic_ib.dispatch(fragment, guest_pc, next_pc)
+        if exit_kind is ExitKind.RET:
+            self.stats.ib_dispatches["ret"] += 1
+            return self.return_mech.dispatch_ret(fragment, guest_pc, next_pc)
+        raise AssertionError(f"unhandled exit kind {exit_kind}")
+
+    def run(self, fuel: int = DEFAULT_FUEL) -> SDTRunResult:
+        """Run to completion (or until ``fuel`` retired instructions)."""
+        fragment: Fragment | None = self.reenter_translator(self.cpu.pc)
+        while fragment is not None:
+            if self.retired >= fuel:
+                raise FuelExhausted(fuel)
+            fragment = self.execute_fragment(fragment)
+        return SDTRunResult(
+            output=self.syscalls.output,
+            exit_code=self.syscalls.exit_code or 0,
+            retired=self.retired,
+            iclass_counts=self.iclass_counts,
+            total_cycles=self.model.total_cycles,
+            cycles=self.model.breakdown(),
+            stats=self.stats,
+            config_label=self.config.label,
+        )
+
+
+def run_sdt(
+    program: Program,
+    config: SDTConfig | None = None,
+    inputs: list[int] | None = None,
+    fuel: int = DEFAULT_FUEL,
+) -> SDTRunResult:
+    """Convenience wrapper: build an SDT VM and run the program."""
+    return SDTVM(program, config=config, inputs=inputs).run(fuel)

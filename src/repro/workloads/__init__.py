@@ -1,0 +1,37 @@
+"""SPEC-CPU2000-inspired benchmark suite (see DESIGN.md substitution map).
+
+Importing this package registers every workload; use
+:func:`repro.workloads.get_workload` / :func:`repro.workloads.suite`.
+"""
+
+from repro.workloads.base import (
+    SCALES,
+    Workload,
+    get_workload,
+    suite,
+    workload_names,
+)
+
+# importing the modules registers each workload
+from repro.workloads import (  # noqa: F401  (imported for side effects)
+    bzip2_like,
+    crafty_like,
+    eon_like,
+    gap_like,
+    gcc_like,
+    gzip_like,
+    mcf_like,
+    parser_like,
+    perl_like,
+    twolf_like,
+    vortex_like,
+    vpr_like,
+)
+
+__all__ = [
+    "SCALES",
+    "Workload",
+    "get_workload",
+    "suite",
+    "workload_names",
+]

@@ -1,0 +1,93 @@
+"""Workload model and registry.
+
+Each workload is a MiniC program designed to mimic the *indirect-branch
+profile* of one SPEC CPU2000 integer benchmark — the property the paper's
+results are driven by.  Real SPEC inputs are unavailable and irrelevant at
+simulation scale (repro band 2/5), so each program synthesises its own
+deterministic input with an embedded xorshift RNG and prints a checksum so
+every run is verifiable against the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.isa.program import Program
+from repro.lang import compile_to_program
+
+#: Valid workload scales; `tiny` keeps unit tests fast, `small` is the
+#: benchmark default, `large` stresses IB-target working sets.
+SCALES = ("tiny", "small", "large")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program."""
+
+    name: str
+    spec_analog: str
+    description: str
+    ib_profile: str
+    source: str
+
+    def compile(self) -> Program:
+        return _compile_cached(self.source)
+
+
+@lru_cache(maxsize=128)
+def _compile_cached(source: str) -> Program:
+    return compile_to_program(source)
+
+
+_REGISTRY: dict[str, Callable[[str], Workload]] = {}
+
+
+def register(name: str):
+    """Decorator registering a ``build(scale) -> Workload`` factory."""
+
+    def wrap(builder: Callable[[str], Workload]):
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate workload {name!r}")
+        _REGISTRY[name] = builder
+        return builder
+
+    return wrap
+
+
+def workload_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_workload(name: str, scale: str = "small") -> Workload:
+    """Build a workload by name at the given scale."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {workload_names()}"
+        ) from None
+    return builder(scale)
+
+
+def suite(scale: str = "small") -> list[Workload]:
+    """The full benchmark suite at one scale."""
+    return [get_workload(name, scale) for name in workload_names()]
+
+
+#: MiniC xorshift32 PRNG shared by workload sources (deterministic inputs).
+RNG_SNIPPET = r"""
+int rng_state = 2463534242;
+
+int rng_next() {
+    register int x = rng_state;
+    x = x ^ (x << 13);
+    x = x ^ (x >>> 17);
+    x = x ^ (x << 5);
+    rng_state = x;
+    return x & 0x7fffffff;
+}
+"""

@@ -1,0 +1,115 @@
+"""``bzip2``-analog: sorting through a comparison function pointer.
+
+256.bzip2's block sort is comparison-driven; modelled here as quicksort
+taking its comparator as a function pointer (a hot, usually monomorphic
+indirect-call site inside the partition loop, plus recursion), followed by
+a move-to-front pass with a small switch.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RNG_SNIPPET, Workload, register
+
+_SCALE = {"tiny": 24, "small": 80, "large": 320}
+
+_TEMPLATE = r"""
+%(rng)s
+
+int data[%(size)d];
+int mtf[16];
+
+int cmp_asc(int a, int b)  { if (a < b) return -1; if (a > b) return 1; return 0; }
+int cmp_desc(int a, int b) { if (a > b) return -1; if (a < b) return 1; return 0; }
+int cmp_low(int a, int b)  { return cmp_asc(a & 255, b & 255); }
+
+int qsort_range(int lo, int hi, int cmp) {
+    if (lo >= hi) { return 0; }
+    register int pivot = data[(lo + hi) / 2];
+    register int i = lo;
+    register int j = hi;
+    while (i <= j) {
+        while (cmp(data[i], pivot) < 0) { i++; }
+        while (cmp(data[j], pivot) > 0) { j--; }
+        if (i <= j) {
+            register int t = data[i];
+            data[i] = data[j];
+            data[j] = t;
+            i++;
+            j--;
+        }
+    }
+    qsort_range(lo, j, cmp);
+    qsort_range(i, hi, cmp);
+    return 1;
+}
+
+int fill(int n) {
+    register int i;
+    for (i = 0; i < n; i++) {
+        data[i] = rng_next() & 0xffff;
+    }
+    return n;
+}
+
+int move_to_front(int n) {
+    register int i;
+    for (i = 0; i < 16; i++) { mtf[i] = i; }
+    register int check = 0;
+    for (i = 0; i < n; i++) {
+        register int symbol = data[i] & 15;
+        register int j = 0;
+        while (mtf[j] != symbol) { j++; }
+        register int k;
+        for (k = j; k > 0; k--) { mtf[k] = mtf[k - 1]; }
+        mtf[0] = symbol;
+        switch (j & 7) {
+        case 0: check = check + 1; break;
+        case 1: check = check + j; break;
+        case 2: check = check ^ j; break;
+        case 3: check = check + (j << 2); break;
+        case 4: check = check - j; break;
+        case 5: check = check + (j * 3); break;
+        case 6: check = check ^ (j << 1); break;
+        default: check = check + 7; break;
+        }
+        check = check & 0xffffff;
+    }
+    return check;
+}
+
+int verify_sorted(int n, int cmp) {
+    register int i;
+    for (i = 1; i < n; i++) {
+        if (cmp(data[i - 1], data[i]) > 0) { return 0; }
+    }
+    return 1;
+}
+
+int main() {
+    int n = fill(%(size)d);
+    qsort_range(0, n - 1, &cmp_asc);
+    int ok1 = verify_sorted(n, &cmp_asc);
+    int c1 = move_to_front(n);
+    qsort_range(0, n - 1, &cmp_desc);
+    int ok2 = verify_sorted(n, &cmp_desc);
+    qsort_range(0, n - 1, &cmp_low);
+    int c2 = move_to_front(n / 2);
+    print_int(ok1 + ok2); print_char(' ');
+    print_int(c1); print_char(' ');
+    print_int(c2); print_char('\n');
+    return 0;
+}
+"""
+
+
+@register("bzip2_like")
+def build(scale: str) -> Workload:
+    size = _SCALE[scale]
+    return Workload(
+        name="bzip2_like",
+        spec_analog="256.bzip2",
+        description="function-pointer quicksort + move-to-front with switch",
+        ib_profile="hot monomorphic indirect-call site (comparator) + deep "
+        "recursion",
+        source=_TEMPLATE % {"rng": RNG_SNIPPET, "size": size},
+    )

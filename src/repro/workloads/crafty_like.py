@@ -1,0 +1,78 @@
+"""``crafty``-analog: recursive game-tree search.
+
+186.crafty (chess) is dominated by deep recursive search: dense
+call/return chains whose return addresses form deep stacks — exactly the
+pattern hardware RAS and SDT return mechanisms are built for.  This
+program runs a negamax search with alpha-beta pruning over a synthetic
+game whose move values come from a hashed position key.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RNG_SNIPPET, Workload, register
+
+_SCALE = {"tiny": (4, 3), "small": (5, 4), "large": (6, 5)}
+
+_TEMPLATE = r"""
+%(rng)s
+
+int nodes = 0;
+
+int eval_position(int key) {
+    register int h = key;
+    h = h ^ (h >>> 11);
+    h = (h * 2654435761) & 0x7fffffff;
+    h = h ^ (h >>> 7);
+    return (h & 255) - 128;
+}
+
+int move_value(int key, int move) {
+    return eval_position(key * 31 + move * 7 + 1);
+}
+
+int negamax(int key, int depth, int alpha, int beta) {
+    nodes++;
+    if (depth == 0) {
+        return eval_position(key);
+    }
+    register int best = -100000;
+    register int move;
+    for (move = 0; move < %(branch)d; move++) {
+        register int child = key * %(branch)d + move + 1;
+        int score = -negamax(child, depth - 1, -beta, -alpha);
+        score = score + move_value(key, move);
+        if (score > best) best = score;
+        if (best > alpha) alpha = best;
+        if (alpha >= beta) break;
+    }
+    return best;
+}
+
+int main() {
+    int total = 0;
+    register int game;
+    for (game = 0; game < 3; game++) {
+        int root = game * 1299721 + 17;
+        total = total + negamax(root, %(depth)d, -100000, 100000);
+    }
+    print_int(total); print_char(' ');
+    print_int(nodes); print_char('\n');
+    return 0;
+}
+"""
+
+
+@register("crafty_like")
+def build(scale: str) -> Workload:
+    depth, branch = _SCALE[scale]
+    return Workload(
+        name="crafty_like",
+        spec_analog="186.crafty",
+        description="negamax alpha-beta search over a synthetic game tree",
+        ib_profile="deep recursive call/return chains (return-dominated)",
+        source=_TEMPLATE % {
+            "rng": RNG_SNIPPET,
+            "depth": depth,
+            "branch": branch,
+        },
+    )

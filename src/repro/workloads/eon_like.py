@@ -1,0 +1,93 @@
+"""``eon``-analog: ray-object intersection through virtual dispatch.
+
+252.eon is C++: its hot loops dispatch intersection tests through vtables.
+Here a single hot indirect-call site cycles over three shape
+"intersection" functions — the low-fan-out polymorphic-call case where a
+per-site IBTC of just a few entries already captures the working set.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RNG_SNIPPET, Workload, register
+
+_SCALE = {"tiny": (40, 100), "small": (100, 1000), "large": (200, 4000)}
+
+_TEMPLATE = r"""
+%(rng)s
+
+/* shape layout: [kind, p0, p1, p2] in parallel arrays */
+int kind[%(nshapes)d];
+int par0[%(nshapes)d];
+int par1[%(nshapes)d];
+int par2[%(nshapes)d];
+
+int hit_sphere(int i, int ox, int oy) {
+    register int dx = ox - par0[i];
+    register int dy = oy - par1[i];
+    register int r = par2[i] & 63;
+    if (dx * dx + dy * dy <= r * r) { return 1; }
+    return 0;
+}
+
+int hit_plane(int i, int ox, int oy) {
+    register int d = par0[i] * ox + par1[i] * oy - par2[i];
+    if (d >= 0) { return 1; }
+    return 0;
+}
+
+int hit_box(int i, int ox, int oy) {
+    if (ox >= par0[i] && ox < par0[i] + (par2[i] & 63)
+        && oy >= par1[i] && oy < par1[i] + (par2[i] & 63)) {
+        return 1;
+    }
+    return 0;
+}
+
+int intersect[] = { &hit_sphere, &hit_plane, &hit_box };
+
+int build_scene(int n) {
+    register int i;
+    for (i = 0; i < n; i++) {
+        kind[i] = rng_next() %% 3;
+        par0[i] = rng_next() & 255;
+        par1[i] = rng_next() & 255;
+        par2[i] = rng_next() & 255;
+    }
+    return n;
+}
+
+int trace(int n, int rays) {
+    register int r;
+    register int hits = 0;
+    for (r = 0; r < rays; r++) {
+        register int ox = rng_next() & 255;
+        register int oy = rng_next() & 255;
+        register int i;
+        for (i = 0; i < n; i++) {
+            int test = intersect[kind[i]];
+            hits = hits + test(i, ox, oy);
+        }
+    }
+    return hits;
+}
+
+int main() {
+    int n = build_scene(%(nshapes)d);
+    int hits = trace(n, %(rays)d / n + 4);
+    print_int(hits); print_char('\n');
+    return 0;
+}
+"""
+
+
+@register("eon_like")
+def build(scale: str) -> Workload:
+    nshapes, rays = _SCALE[scale]
+    return Workload(
+        name="eon_like",
+        spec_analog="252.eon",
+        description="2-D ray/shape intersection via a 3-way dispatch table",
+        ib_profile="hot indirect-call site with 3 targets (low fan-out "
+        "virtual dispatch)",
+        source=_TEMPLATE % {"rng": RNG_SNIPPET, "nshapes": nshapes, "rays": rays},
+    )

@@ -1,0 +1,108 @@
+"""``gap``-analog: permutation-group interpreter.
+
+254.gap is itself a language interpreter for computational group theory:
+operation dispatch through handler tables plus heavy small-object
+manipulation.  This program composes and inverses permutations under a
+4-way handler table (indirect calls), walks orbits (loops + calls), and
+uses recursion for element order computation — a mixed IB profile between
+``perl_like`` (pure dispatch) and ``crafty_like`` (pure recursion).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RNG_SNIPPET, Workload, register
+
+_SCALE = {"tiny": (8, 20), "small": (12, 50), "large": (16, 200)}
+
+_TEMPLATE = r"""
+%(rng)s
+
+int DEG = %(degree)d;
+int perm_a[%(degree)d];
+int perm_b[%(degree)d];
+int result[%(degree)d];
+int scratch[%(degree)d];
+int checksum = 0;
+
+int op_compose(int unused) {
+    register int i;
+    for (i = 0; i < DEG; i++) { result[i] = perm_a[perm_b[i]]; }
+    return 1;
+}
+
+int op_inverse(int unused) {
+    register int i;
+    for (i = 0; i < DEG; i++) { result[perm_a[i]] = i; }
+    return 2;
+}
+
+int op_conjugate(int unused) {
+    register int i;
+    for (i = 0; i < DEG; i++) { scratch[perm_b[i]] = perm_b[perm_a[i]]; }
+    for (i = 0; i < DEG; i++) { result[i] = scratch[i]; }
+    return 3;
+}
+
+int op_power(int unused) {
+    register int i;
+    for (i = 0; i < DEG; i++) { result[i] = perm_a[perm_a[i]]; }
+    return 4;
+}
+
+int handlers[] = { &op_compose, &op_inverse, &op_conjugate, &op_power };
+
+int random_perm(int target) {
+    register int i;
+    for (i = 0; i < DEG; i++) { store(target + 4 * i, i); }
+    for (i = DEG - 1; i > 0; i--) {
+        register int j = rng_next() %% (i + 1);
+        register int t = load(target + 4 * i);
+        store(target + 4 * i, load(target + 4 * j));
+        store(target + 4 * j, t);
+    }
+    return target;
+}
+
+/* order of the cycle containing `point` under perm_a (recursive walk) */
+int cycle_length(int point, int start, int depth) {
+    if (depth > DEG) { return depth; }
+    if (perm_a[point] == start) { return depth + 1; }
+    return cycle_length(perm_a[point], start, depth + 1);
+}
+
+int main() {
+    register int round;
+    for (round = 0; round < %(rounds)d; round++) {
+        random_perm(&perm_a);
+        random_perm(&perm_b);
+        int op = rng_next() & 3;
+        int handler = handlers[op];
+        handler(0);
+        register int i;
+        for (i = 0; i < DEG; i++) {
+            checksum = (checksum * 31 + result[i]) & 0xffffff;
+        }
+        checksum = (checksum + cycle_length(0, 0, 0)) & 0xffffff;
+    }
+    print_int(checksum); print_char('\n');
+    return 0;
+}
+"""
+
+
+@register("gap_like")
+def build(scale: str) -> Workload:
+    degree, rounds = _SCALE[scale]
+    return Workload(
+        name="gap_like",
+        spec_analog="254.gap",
+        description="permutation-group engine with handler-table dispatch "
+        "and recursive cycle walks",
+        ib_profile="mixed: indirect calls (4-way handler table) + "
+        "recursion returns",
+        source=_TEMPLATE % {
+            "rng": RNG_SNIPPET,
+            "degree": degree,
+            "rounds": rounds,
+        },
+    )

@@ -1,0 +1,98 @@
+"""``gzip``-analog: tight compression loops, very few indirect branches.
+
+In the paper, 164.gzip is at the low-IB-rate end of SPEC: overhead under
+any mechanism is small because IB dispatches are rare.  This program
+run-length-encodes and hash-matches a synthetic buffer; almost all dynamic
+instructions are ALU/loads in loops, with only function returns as IBs.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RNG_SNIPPET, Workload, register
+
+_SCALE = {"tiny": 400, "small": 1000, "large": 4000}
+
+_TEMPLATE = r"""
+%(rng)s
+
+int buffer[%(size)d];
+int out_count = 0;
+int checksum = 0;
+
+int fill_buffer(int n) {
+    register int i;
+    register int run = 0;
+    register int value = 0;
+    for (i = 0; i < n; i++) {
+        if (run == 0) {
+            value = rng_next() & 15;
+            run = (rng_next() & 7) + 1;
+        }
+        buffer[i] = value;
+        run--;
+    }
+    return n;
+}
+
+int emit(int value, int count) {
+    checksum = checksum * 31 + value;
+    checksum = checksum * 31 + count;
+    checksum = checksum & 0xffffff;
+    out_count++;
+    return out_count;
+}
+
+int rle_encode(int n) {
+    register int i = 0;
+    while (i < n) {
+        register int value = buffer[i];
+        register int j = i + 1;
+        while (j < n && buffer[j] == value) {
+            j++;
+        }
+        emit(value, j - i);
+        i = j;
+    }
+    return out_count;
+}
+
+int hash_matches(int n) {
+    register int i;
+    register int hits = 0;
+    int heads[64];
+    for (i = 0; i < 64; i++) { heads[i] = -1; }
+    for (i = 0; i + 2 < n; i++) {
+        register int h = (buffer[i] * 33 + buffer[i+1] * 7 + buffer[i+2]) & 63;
+        if (heads[h] >= 0) {
+            register int k = heads[h];
+            if (buffer[k] == buffer[i] && buffer[k+1] == buffer[i+1]) {
+                hits++;
+            }
+        }
+        heads[h] = i;
+    }
+    return hits;
+}
+
+int main() {
+    int n = fill_buffer(%(size)d);
+    int blocks = rle_encode(n);
+    int hits = hash_matches(n);
+    print_int(checksum); print_char(' ');
+    print_int(blocks); print_char(' ');
+    print_int(hits); print_char('\n');
+    return 0;
+}
+"""
+
+
+@register("gzip_like")
+def build(scale: str) -> Workload:
+    size = _SCALE[scale]
+    return Workload(
+        name="gzip_like",
+        spec_analog="164.gzip",
+        description="RLE + hash-match compression over a synthetic buffer",
+        ib_profile="loop-heavy, IBs almost exclusively returns (low IB rate)",
+        source=_TEMPLATE % {"rng": RNG_SNIPPET, "size": size},
+    )

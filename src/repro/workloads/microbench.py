@@ -1,0 +1,58 @@
+"""Synthetic microbenchmarks isolating one indirect-branch property.
+
+Unlike the SPEC-analog suite these are not registered in the workload
+registry; experiment E12 builds them directly to sweep a single parameter
+(site fan-out) with everything else held constant.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def dispatch_microbench(
+    fanout: int,
+    iterations: int = 2000,
+    skewed: bool = False,
+) -> Workload:
+    """One hot indirect-call site with exactly ``fanout`` dynamic targets.
+
+    ``skewed=False`` cycles targets round-robin (worst case for host BTBs
+    and inline prediction); ``skewed=True`` sends ~7/8 of dispatches to
+    target 0 (the regime inline prediction and MRU sieve chains exploit).
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    functions = "".join(
+        f"int f{i}(int x) {{ return x + {i + 1}; }}\n" for i in range(fanout)
+    )
+    table = "int tab[] = { " + ", ".join(
+        f"&f{i}" for i in range(fanout)
+    ) + " };\n"
+    if skewed:
+        select = f"int which = (i & 7) ? 0 : ((i >> 3) % {fanout});"
+    else:
+        select = f"int which = i % {fanout};"
+    source = (functions + table + """
+int main() {
+    int acc = 0;
+    int i;
+    for (i = 0; i < %(iters)d; i++) {
+        %(select)s
+        int f = tab[which];
+        acc += f(i);
+        acc &= 0xffffff;
+    }
+    print_int(acc);
+    return 0;
+}
+""") % {"iters": iterations, "select": select}
+    pattern = "skewed" if skewed else "uniform"
+    return Workload(
+        name=f"micro_dispatch_{fanout}_{pattern}",
+        spec_analog="(synthetic)",
+        description=f"single dispatch site, fan-out {fanout}, "
+        f"{pattern} target distribution",
+        ib_profile=f"1 icall site x {fanout} targets",
+        source=source,
+    )

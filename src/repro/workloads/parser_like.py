@@ -1,0 +1,119 @@
+"""``parser``-analog: recursive-descent parsing of synthetic expressions.
+
+197.parser mixes recursion (returns), token dispatch (switches) and
+data-dependent branching.  This program generates random arithmetic
+expression strings into a token buffer and evaluates them with a
+recursive-descent parser whose token dispatch is a switch.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RNG_SNIPPET, Workload, register
+
+_SCALE = {"tiny": 20, "small": 80, "large": 300}
+
+_TEMPLATE = r"""
+%(rng)s
+
+/* token kinds: 0..9 literal digits, 10 '+', 11 '-', 12 '*', 13 '(',
+   14 ')', 15 end */
+int tokens[512];
+int ntokens = 0;
+int pos = 0;
+
+int emit_token(int kind) {
+    tokens[ntokens] = kind;
+    ntokens++;
+    return ntokens;
+}
+
+/* generate a random expression with bounded depth */
+int gen_expr(int depth) {
+    register int choice = rng_next() %% 10;
+    if (depth <= 0 || choice < 4 || ntokens > 480) {
+        emit_token(rng_next() %% 10);
+        return 1;
+    }
+    if (choice < 6) {
+        emit_token(13);
+        gen_expr(depth - 1);
+        emit_token(14);
+        return 1;
+    }
+    gen_expr(depth - 1);
+    if (choice == 6) { emit_token(10); }
+    if (choice == 7) { emit_token(11); }
+    if (choice >= 8) { emit_token(12); }
+    gen_expr(depth - 1);
+    return 1;
+}
+
+int peek() { return tokens[pos]; }
+int advance() { register int t = tokens[pos]; pos++; return t; }
+
+int parse_expr();
+
+int parse_primary() {
+    register int t = advance();
+    switch (t) {
+    case 0: case 1: case 2: case 3: case 4:
+    case 5: case 6: case 7: case 8: case 9:
+        return t;
+    case 13: {
+        int v = parse_expr();
+        advance(); /* ')' */
+        return v;
+    }
+    default:
+        return 0;
+    }
+}
+
+int parse_term() {
+    int v = parse_primary();
+    while (peek() == 12) {
+        advance();
+        v = (v * parse_primary()) & 0xffff;
+    }
+    return v;
+}
+
+int parse_expr() {
+    int v = parse_term();
+    while (peek() == 10 || peek() == 11) {
+        register int op = advance();
+        register int rhs = parse_term();
+        if (op == 10) { v = (v + rhs) & 0xffff; }
+        else { v = (v - rhs) & 0xffff; }
+    }
+    return v;
+}
+
+int main() {
+    register int round;
+    int check = 0;
+    for (round = 0; round < %(rounds)d; round++) {
+        ntokens = 0;
+        pos = 0;
+        gen_expr(6);
+        emit_token(15);
+        register int value = parse_expr();
+        check = (check * 31 + value) & 0xffffff;
+    }
+    print_int(check); print_char('\n');
+    return 0;
+}
+"""
+
+
+@register("parser_like")
+def build(scale: str) -> Workload:
+    rounds = _SCALE[scale]
+    return Workload(
+        name="parser_like",
+        spec_analog="197.parser",
+        description="random expression generation + recursive-descent "
+        "evaluation",
+        ib_profile="mixed: recursion returns + switch token dispatch",
+        source=_TEMPLATE % {"rng": RNG_SNIPPET, "rounds": rounds},
+    )

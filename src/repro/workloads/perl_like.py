@@ -1,0 +1,78 @@
+"""``perlbmk``-analog: opcode dispatch through a function-pointer table.
+
+253.perlbmk spends its time in an interpreter whose op dispatch is an
+indirect *call* through per-op function pointers, plus very deep
+call/return traffic.  This program interprets a random op stream by
+calling through a 12-entry handler table — one megamorphic indirect call
+site — making it the stress test for indirect-call handling and the
+benchmark where return mechanisms matter most.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RNG_SNIPPET, Workload, register
+
+_SCALE = {"tiny": 400, "small": 1200, "large": 5000}
+
+_TEMPLATE = r"""
+%(rng)s
+
+int acc = 1;
+int mem[32];
+
+int op_add(int v)  { acc = acc + v; return acc; }
+int op_sub(int v)  { acc = acc - v; return acc; }
+int op_mul(int v)  { acc = acc * (v | 1); return acc; }
+int op_xor(int v)  { acc = acc ^ v; return acc; }
+int op_shl(int v)  { acc = acc << (v & 7); return acc; }
+int op_shr(int v)  { acc = acc >>> (v & 7); return acc; }
+int op_sto(int v)  { mem[v & 31] = acc; return acc; }
+int op_lda(int v)  { acc = acc + mem[v & 31]; return acc; }
+int op_neg(int v)  { acc = -acc + v; return acc; }
+int op_mod(int v)  { acc = acc %% ((v & 1023) + 2); return acc; }
+int op_mix(int v)  { acc = (acc << 3) ^ (acc >>> 2) ^ v; return acc; }
+int op_clamp(int v){ acc = acc & 0xffffff; return acc + (v & 1); }
+
+int handlers[] = { &op_add, &op_sub, &op_mul, &op_xor,
+                   &op_shl, &op_shr, &op_sto, &op_lda,
+                   &op_neg, &op_mod, &op_mix, &op_clamp };
+
+int run(int steps) {
+    register int i;
+    register int result = 0;
+    for (i = 0; i < steps; i++) {
+        register int insn = rng_next();
+        register int op = insn %% 12;
+        int handler = handlers[op];
+        result = handler(insn & 0xffff);
+        acc = acc & 0xfffffff;
+    }
+    return result;
+}
+
+int main() {
+    int r = run(%(steps)d);
+    register int i;
+    int check = 0;
+    for (i = 0; i < 32; i++) {
+        check = (check * 33 + mem[i]) & 0xffffff;
+    }
+    print_int(r & 0xffffff); print_char(' ');
+    print_int(check); print_char('\n');
+    return 0;
+}
+"""
+
+
+@register("perl_like")
+def build(scale: str) -> Workload:
+    steps = _SCALE[scale]
+    return Workload(
+        name="perl_like",
+        spec_analog="253.perlbmk",
+        description="interpreter dispatching ops through a 12-entry "
+        "function-pointer table",
+        ib_profile="indirect-call heavy (one megamorphic site) + dense "
+        "call/return traffic",
+        source=_TEMPLATE % {"rng": RNG_SNIPPET, "steps": steps},
+    )

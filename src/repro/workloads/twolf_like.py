@@ -1,0 +1,97 @@
+"""``twolf``-analog: simulated-annealing placement.
+
+300.twolf's hot loop proposes random cell swaps, evaluates a cost delta
+through small helper functions and accepts/rejects — dense data-dependent
+conditional branches plus steady call/return traffic with *monomorphic*
+return sites (each helper returns to one hot caller), the case where even
+small per-site mechanisms do well.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RNG_SNIPPET, Workload, register
+
+_SCALE = {"tiny": (16, 60), "small": (64, 140), "large": (64, 600)}
+
+_TEMPLATE = r"""
+%(rng)s
+
+int cellx[%(ncells)d];
+int celly[%(ncells)d];
+int nets[%(ncells)d];
+int temperature = 1000;
+
+int setup(int n) {
+    register int i;
+    for (i = 0; i < n; i++) {
+        cellx[i] = rng_next() & 255;
+        celly[i] = rng_next() & 255;
+        nets[i] = rng_next() %% n;
+    }
+    return n;
+}
+
+int absval(int x) { if (x < 0) return -x; return x; }
+
+int wire_cost(int a, int b) {
+    return absval(cellx[a] - cellx[b]) + absval(celly[a] - celly[b]);
+}
+
+int cell_cost(int c, int n) {
+    register int peer = nets[c];
+    register int next = (c + 1) %% n;
+    return wire_cost(c, peer) + wire_cost(c, next);
+}
+
+int try_swap(int a, int b, int n) {
+    register int before = cell_cost(a, n) + cell_cost(b, n);
+    register int tx = cellx[a]; cellx[a] = cellx[b]; cellx[b] = tx;
+    register int ty = celly[a]; celly[a] = celly[b]; celly[b] = ty;
+    register int after = cell_cost(a, n) + cell_cost(b, n);
+    register int delta = after - before;
+    if (delta < 0) { return 1; }
+    if ((rng_next() & 1023) < temperature) { return 1; }
+    /* reject: swap back */
+    tx = cellx[a]; cellx[a] = cellx[b]; cellx[b] = tx;
+    ty = celly[a]; celly[a] = celly[b]; celly[b] = ty;
+    return 0;
+}
+
+int main() {
+    int n = setup(%(ncells)d);
+    register int step;
+    int accepted = 0;
+    for (step = 0; step < %(steps)d; step++) {
+        register int a = rng_next() %% n;
+        register int b = rng_next() %% n;
+        if (a != b) {
+            accepted = accepted + try_swap(a, b, n);
+        }
+        if ((step & 255) == 255 && temperature > 10) {
+            temperature = temperature * 9 / 10;
+        }
+    }
+    register int i;
+    int check = 0;
+    for (i = 0; i < n; i++) {
+        check = (check * 31 + cellx[i] * 257 + celly[i]) & 0xffffff;
+    }
+    print_int(accepted); print_char(' ');
+    print_int(check); print_char('\n');
+    return 0;
+}
+"""
+
+
+@register("twolf_like")
+def build(scale: str) -> Workload:
+    ncells, steps = _SCALE[scale]
+    return Workload(
+        name="twolf_like",
+        spec_analog="300.twolf",
+        description="simulated-annealing cell placement with swap "
+        "accept/reject",
+        ib_profile="call/return traffic with monomorphic return sites + "
+        "data-dependent branches",
+        source=_TEMPLATE % {"rng": RNG_SNIPPET, "ncells": ncells, "steps": steps},
+    )

@@ -1,0 +1,106 @@
+"""``vortex``-analog: object database with virtual method dispatch.
+
+255.vortex is an object-oriented database whose hot paths dispatch through
+per-type method tables.  This program keeps a heap of typed records and
+drives insert/update/query/validate transactions through a 4-type x
+4-method vtable — several indirect-call sites of moderate polymorphism,
+plus hash-bucket walking.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RNG_SNIPPET, Workload, register
+
+_SCALE = {"tiny": (32, 200), "small": (96, 600), "large": (160, 2500)}
+
+_TEMPLATE = r"""
+%(rng)s
+
+/* record layout: [type, key, value, spare] — 16 bytes in the heap      */
+int records[%(nrec)d];
+int nrecords = 0;
+int audit = 0;
+
+/* ---- type 0: plain ---- */
+int plain_insert(int r)  { store(r + 8, load(r + 4) * 3); return 1; }
+int plain_update(int r)  { store(r + 8, load(r + 8) + 1); return 1; }
+int plain_query(int r)   { return load(r + 8); }
+int plain_check(int r)   { return load(r + 8) & 0xffff; }
+
+/* ---- type 1: counted ---- */
+int cnt_insert(int r)  { store(r + 8, 1); return 1; }
+int cnt_update(int r)  { store(r + 8, load(r + 8) * 2 + 1); return 1; }
+int cnt_query(int r)   { return load(r + 8) ^ load(r + 4); }
+int cnt_check(int r)   { return (load(r + 8) + 7) & 0xffff; }
+
+/* ---- type 2: hashed ---- */
+int hsh_insert(int r)  { store(r + 8, (load(r + 4) * 2654435761) & 0x7fffffff); return 1; }
+int hsh_update(int r)  { store(r + 8, load(r + 8) >>> 1); return 1; }
+int hsh_query(int r)   { return load(r + 8) & 1023; }
+int hsh_check(int r)   { return load(r + 8) %% 8191; }
+
+/* ---- type 3: linked ---- */
+int lnk_insert(int r)  { store(r + 8, load(r + 4) | 1); return 1; }
+int lnk_update(int r)  { store(r + 8, load(r + 8) + load(r + 4)); return 1; }
+int lnk_query(int r)   { return load(r + 8) - load(r + 4); }
+int lnk_check(int r)   { return (load(r + 8) ^ 0xaaaa) & 0xffff; }
+
+int vtable[] = {
+    &plain_insert, &plain_update, &plain_query, &plain_check,
+    &cnt_insert,   &cnt_update,   &cnt_query,   &cnt_check,
+    &hsh_insert,   &hsh_update,   &hsh_query,   &hsh_check,
+    &lnk_insert,   &lnk_update,   &lnk_query,   &lnk_check
+};
+
+int dispatch(int rec, int method) {
+    register int type = load(rec);
+    int fn = vtable[type * 4 + method];
+    return fn(rec);
+}
+
+int new_record(int key) {
+    int rec = sbrk(16);
+    store(rec, key & 3);
+    store(rec + 4, key);
+    store(rec + 8, 0);
+    records[nrecords] = rec;
+    nrecords++;
+    dispatch(rec, 0);
+    return rec;
+}
+
+int transaction(int op) {
+    register int index = rng_next() %% nrecords;
+    register int rec = records[index];
+    if (op == 0) { return dispatch(rec, 1); }
+    if (op == 1) { audit = (audit + dispatch(rec, 2)) & 0xffffff; return 1; }
+    audit = (audit ^ dispatch(rec, 3)) & 0xffffff;
+    return 2;
+}
+
+int main() {
+    register int i;
+    for (i = 0; i < %(nrec)d; i++) {
+        new_record(rng_next());
+    }
+    for (i = 0; i < %(ntxn)d; i++) {
+        transaction(rng_next() %% 3);
+    }
+    print_int(audit); print_char(' ');
+    print_int(nrecords); print_char('\n');
+    return 0;
+}
+"""
+
+
+@register("vortex_like")
+def build(scale: str) -> Workload:
+    nrec, ntxn = _SCALE[scale]
+    return Workload(
+        name="vortex_like",
+        spec_analog="255.vortex",
+        description="typed-record database driven through a 4x4 vtable",
+        ib_profile="indirect calls of moderate polymorphism (virtual "
+        "dispatch) + returns",
+        source=_TEMPLATE % {"rng": RNG_SNIPPET, "nrec": nrec, "ntxn": ntxn},
+    )

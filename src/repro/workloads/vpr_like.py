@@ -1,0 +1,110 @@
+"""``vpr``-analog: maze routing over a grid with direction dispatch.
+
+175.vpr (place & route) mixes array-heavy wavefront expansion with
+moderate switch dispatch on direction codes — the "middle of the pack"
+benchmark in the paper's figures: neither IB-bound like perlbmk/gcc nor
+IB-free like gzip.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RNG_SNIPPET, Workload, register
+
+_SCALE = {"tiny": (6, 2), "small": (8, 6), "large": (10, 12)}
+
+_TEMPLATE = r"""
+%(rng)s
+
+int grid[%(cells)d];
+int frontier[%(cells)d];
+int nfront = 0;
+
+int idx(int x, int y) { return y * %(dim)d + x; }
+
+int step_cost(int dir, int x, int y) {
+    switch (dir) {
+    case 0: return 1 + (grid[idx(x, y)] & 3);
+    case 1: return 2;
+    case 2: return 1 + ((x + y) & 1);
+    case 3: return 3;
+    case 4: return 1;
+    case 5: return 2 + (grid[idx(x, y)] & 1);
+    case 6: return 1 + (y & 3);
+    default: return 4;
+    }
+}
+
+int expand(int x, int y, int budget) {
+    register int dir;
+    register int reached = 0;
+    for (dir = 0; dir < 8; dir++) {
+        register int nx = x + (dir & 1) - ((dir >> 1) & 1);
+        register int ny = y + ((dir >> 2) & 1) - ((dir >> 1) & 1);
+        if (nx < 0 || ny < 0 || nx >= %(dim)d || ny >= %(dim)d) {
+            continue;
+        }
+        register int cost = step_cost(dir, nx, ny);
+        register int cell = idx(nx, ny);
+        if (grid[cell] == 0 && cost <= budget) {
+            grid[cell] = cost;
+            frontier[nfront] = cell;
+            nfront++;
+            reached++;
+        }
+    }
+    return reached;
+}
+
+int route(int sx, int sy, int budget) {
+    register int head = 0;
+    nfront = 0;
+    grid[idx(sx, sy)] = 1;
+    frontier[nfront] = idx(sx, sy);
+    nfront++;
+    register int total = 0;
+    while (head < nfront && nfront < %(cells)d - 8) {
+        register int cell = frontier[head];
+        head++;
+        total = total + expand(cell %% %(dim)d, cell / %(dim)d, budget);
+    }
+    return total;
+}
+
+int main() {
+    register int net;
+    int routed = 0;
+    for (net = 0; net < %(nets)d; net++) {
+        register int i;
+        for (i = 0; i < %(cells)d; i++) { grid[i] = 0; }
+        routed = routed + route(rng_next() %% %(dim)d,
+                                rng_next() %% %(dim)d,
+                                (rng_next() & 3) + 1);
+    }
+    register int i;
+    int check = 0;
+    for (i = 0; i < %(cells)d; i++) {
+        check = (check * 17 + grid[i]) & 0xffffff;
+    }
+    print_int(routed); print_char(' ');
+    print_int(check); print_char('\n');
+    return 0;
+}
+"""
+
+
+@register("vpr_like")
+def build(scale: str) -> Workload:
+    dim, nets = _SCALE[scale]
+    return Workload(
+        name="vpr_like",
+        spec_analog="175.vpr",
+        description="wavefront maze routing with switch-dispatched "
+        "direction costs",
+        ib_profile="mixed: moderate switch rate + calls within array loops",
+        source=_TEMPLATE % {
+            "rng": RNG_SNIPPET,
+            "dim": dim,
+            "cells": dim * dim,
+            "nets": nets,
+        },
+    )

@@ -1,0 +1,102 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "gzip_like"])
+        assert args.workload == "gzip_like"
+        assert args.ib == "ibtc"
+        assert args.scale == "small"
+
+    def test_rejects_unknown_mechanism(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "x", "--ib", "oracle"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip_like" in out
+        assert "x86_p4" in out
+
+    def test_run(self, capsys):
+        code = main(
+            ["run", "eon_like", "--scale", "tiny", "--ib", "sieve",
+             "--returns", "fast"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out
+        assert "sieve(512)" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+
+    def test_experiment_e1(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)  # results/ lands in tmp
+        assert main(["experiment", "e1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "indirect-branch characteristics" in out
+        assert (tmp_path / "results" / "e1_ib_characteristics.csv").exists()
+
+    def test_compile(self, tmp_path, capsys):
+        source = tmp_path / "p.mc"
+        source.write_text("int main() { print_int(1); return 0; }")
+        assert main(["compile", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert ".text" in out
+        assert "main:" in out
+
+    def test_compile_to_file(self, tmp_path):
+        source = tmp_path / "p.mc"
+        source.write_text("int main() { return 0; }")
+        output = tmp_path / "p.s"
+        assert main(["compile", str(source), "-o", str(output)]) == 0
+        assert "main:" in output.read_text()
+
+    def test_asm_run_roundtrip(self, tmp_path, capsys):
+        source = tmp_path / "p.mc"
+        source.write_text('int main() { print_str("hi"); return 3; }')
+        assembly = tmp_path / "p.s"
+        main(["compile", str(source), "-o", str(assembly)])
+        code = main(["asm", str(assembly), "--run"])
+        assert code == 3
+        assert "hi" in capsys.readouterr().out
+
+
+class TestCompileOptimize:
+    def test_optimize_flag_shrinks_output(self, tmp_path):
+        source = tmp_path / "p.mc"
+        source.write_text(
+            "int main() { print_int((1 + 2) * (3 + 4)); return 0; }"
+        )
+        from repro.cli import main as cli_main
+
+        plain = tmp_path / "plain.s"
+        optimized = tmp_path / "opt.s"
+        assert cli_main(["compile", str(source), "-o", str(plain)]) == 0
+        assert cli_main(
+            ["compile", str(source), "-O", "-o", str(optimized)]
+        ) == 0
+        assert len(optimized.read_text()) < len(plain.read_text())
+
+
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        import json
+
+        assert main(["run", "mcf_like", "--scale", "tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "mcf_like"
+        assert payload["overhead"] > 1.0
+        assert payload["sdt_cycles"] > payload["native_cycles"]
+        assert "app" in payload["breakdown"]

@@ -1,0 +1,71 @@
+"""Report rendering and persistence."""
+
+import csv
+
+import pytest
+
+from repro.eval.report import format_table, geomean, write_results
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_identity(self):
+        assert geomean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_less_sensitive_to_outliers_than_mean(self):
+        values = [1.0, 1.0, 100.0]
+        assert geomean(values) < sum(values) / 3
+
+
+class TestFormatTable:
+    def test_alignment_and_structure(self):
+        text = format_table(
+            "Demo", ["name", "value"], [["alpha", 1.5], ["b", 20]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert lines[1] == "===="
+        assert "name" in lines[2] and "value" in lines[2]
+        assert "alpha" in lines[4]
+        assert "1.500" in lines[4]  # floats to 3 decimals
+
+    def test_empty_rows(self):
+        text = format_table("T", ["a"], [])
+        assert "a" in text
+
+    def test_wide_values_stretch_columns(self):
+        text = format_table("T", ["x"], [["averyverylongvalue"]])
+        header, sep, row = text.splitlines()[2:5]
+        assert len(sep) >= len("averyverylongvalue")
+
+
+class TestWriteResults:
+    def test_writes_txt_and_csv(self, tmp_path, capsys):
+        write_results(
+            "demo", "Demo Table", ["name", "value"],
+            [["a", 1.0], ["b", 2.5]], results_dir=tmp_path,
+        )
+        text = (tmp_path / "demo.txt").read_text()
+        assert "Demo Table" in text
+        with open(tmp_path / "demo.csv") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["name", "value"]
+        assert rows[1] == ["a", "1.000"]
+        # also printed for live runs
+        assert "Demo Table" in capsys.readouterr().out
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        write_results("x", "T", ["a"], [["v"]], results_dir=target)
+        assert (target / "x.txt").exists()

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are the public-API showcase; breaking one silently would break
+the README's promises.  They run here against tiny/fast inputs.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_directory_populated():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "overhead" in out
+    assert "checksum" in out
+
+
+def test_mechanism_shootout(capsys):
+    run_example("mechanism_shootout.py", ["eon_like", "tiny"])
+    out = capsys.readouterr().out
+    assert "shootout" in out
+    assert "reentry+nolink" in out
+
+
+@pytest.mark.slow
+def test_custom_mechanism(capsys):
+    run_example("custom_mechanism.py")
+    out = capsys.readouterr().out
+    assert "2-way" in out
+
+
+def test_cross_architecture(capsys):
+    run_example("cross_architecture.py")
+    out = capsys.readouterr().out
+    assert "sparc_us3" in out
+    assert "winner" in out

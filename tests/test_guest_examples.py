@@ -1,0 +1,38 @@
+"""The MiniC programs shipped in examples/guest compile and run."""
+
+from pathlib import Path
+
+import pytest
+
+from conftest import run_minic
+
+GUEST = Path(__file__).resolve().parent.parent / "examples" / "guest"
+
+EXPECTED = {
+    "queens.mc": "8-queens solutions: 92\n",
+    "calc.mc": "-78\n",
+    "sieve_of_eratosthenes.mc": "primes below 200: 46\n",
+}
+
+
+def test_all_guest_examples_covered():
+    assert {p.name for p in GUEST.glob("*.mc")} == set(EXPECTED)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_guest_example(name):
+    result = run_minic((GUEST / name).read_text())
+    assert result.output == EXPECTED[name]
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_guest_example_under_sdt(name):
+    from conftest import assert_equivalent
+    from repro.host.profile import SIMPLE
+    from repro.sdt.config import SDTConfig
+
+    assert_equivalent(
+        (GUEST / name).read_text(),
+        SDTConfig(profile=SIMPLE, returns="fast", trace_jumps=True),
+    )

@@ -1,0 +1,137 @@
+"""HostModel cycle accounting and the native cost observer."""
+
+from repro.host.costs import Category, HostModel, NativeCostObserver
+from repro.host.profile import PROFILES, SIMPLE, SPARC_US3, X86_K8, X86_P4, get_profile
+from repro.isa.opcodes import InstrClass
+from repro.machine.interpreter import Interpreter
+from repro.isa.assembler import assemble
+
+import pytest
+
+
+class TestProfiles:
+    def test_presets_registered(self):
+        assert {"simple", "x86_p4", "x86_k8", "sparc_us3"} <= set(PROFILES)
+
+    def test_get_profile(self):
+        assert get_profile("x86_p4") is X86_P4
+        with pytest.raises(KeyError):
+            get_profile("vax")
+
+    def test_derive_overrides(self):
+        fast = X86_P4.derive("fastmiss", mispredict_penalty=1)
+        assert fast.mispredict_penalty == 1
+        assert fast.map_lookup == X86_P4.map_lookup
+        assert X86_P4.mispredict_penalty == 30  # original untouched
+
+    def test_paper_qualities_encoded(self):
+        # P4 punishes mispredictions hardest; SPARC's context switch is
+        # the most expensive — the two cross-architecture levers of E8.
+        assert X86_P4.mispredict_penalty > X86_K8.mispredict_penalty
+        assert X86_P4.mispredict_penalty > SPARC_US3.mispredict_penalty
+        assert SPARC_US3.context_half_switch > X86_P4.context_half_switch
+        assert SPARC_US3.ras_entries < X86_K8.ras_entries
+
+    def test_all_classes_priced(self):
+        for profile in PROFILES.values():
+            for iclass in InstrClass:
+                assert profile.instr_cycles(iclass) >= 0
+
+
+class TestHostModel:
+    def test_charge_instr_accumulates(self):
+        model = HostModel(SIMPLE)
+        model.charge_instr(InstrClass.ALU)
+        model.charge_instr(InstrClass.LOAD)
+        expected = (
+            SIMPLE.class_cycles[InstrClass.ALU]
+            + SIMPLE.class_cycles[InstrClass.LOAD]
+        )
+        assert model.cycles[Category.APP] == expected
+        assert model.total_cycles == expected
+
+    def test_cond_branch_penalty_on_miss(self):
+        model = HostModel(SIMPLE)
+        assert model.cond_branch(0x100, taken=True) is True  # cold miss
+        assert model.cycles[Category.COND_MISPREDICT] == SIMPLE.mispredict_penalty
+
+    def test_indirect_jump_categorised(self):
+        model = HostModel(SIMPLE)
+        model.indirect_jump(0x10, 0x20, category=Category.SIEVE)
+        assert model.cycles[Category.SIEVE] == SIMPLE.mispredict_penalty
+        assert model.cycles[Category.IND_MISPREDICT] == 0
+
+    def test_ras_call_return_pair(self):
+        model = HostModel(SIMPLE)
+        model.host_call(0x104)
+        assert model.host_return(0x104) is False
+        assert model.total_cycles == 0
+
+    def test_overhead_excludes_app_and_native_mispredicts(self):
+        model = HostModel(SIMPLE)
+        model.charge_instr(InstrClass.ALU)
+        model.cond_branch(0, taken=True)  # miss -> COND_MISPREDICT
+        model.charge(Category.IBTC, 10)
+        assert model.overhead_cycles == 10
+
+    def test_breakdown_has_all_categories(self):
+        model = HostModel(SIMPLE)
+        breakdown = model.breakdown()
+        assert set(breakdown) == {c.value for c in Category}
+
+
+class TestNativeObserver:
+    def _run(self, source: str, profile=SIMPLE):
+        model = HostModel(profile)
+        interp = Interpreter(
+            assemble(source), observer=NativeCostObserver(model)
+        )
+        result = interp.run()
+        return model, result
+
+    def test_straightline_cost_is_sum_of_class_costs(self):
+        model, result = self._run(
+            ".text\nmain:\nnop\nnop\nli v0, 10\nsyscall\n"
+        )
+        expected = (
+            2 * SIMPLE.class_cycles[InstrClass.SHIFT]   # nops are sll
+            + SIMPLE.class_cycles[InstrClass.ALU]        # li -> addi
+            + SIMPLE.class_cycles[InstrClass.SYSCALL]
+        )
+        assert model.total_cycles == expected
+
+    def test_returns_train_ras(self):
+        # balanced call/ret: after the cold call, rets predict perfectly
+        model, _ = self._run(
+            ".text\nmain:\n"
+            "li t0, 50\nloop:\njal f\naddi t0, t0, -1\nbnez t0, loop\n"
+            "li v0, 10\nsyscall\n"
+            "f:\nret\n"
+        )
+        assert model.ras.misses == 0
+        assert model.ras.hits == 50
+
+    def test_polymorphic_ijump_mispredicts(self):
+        model, _ = self._run(
+            ".text\nmain:\n"
+            "li t0, 20\n"
+            "loop:\n"
+            "andi t1, t0, 1\nsll t1, t1, 2\nla t2, tab\nadd t2, t2, t1\n"
+            "lw t2, 0(t2)\njr t2\n"
+            "a:\nj cont\n"
+            "b:\nj cont\n"
+            "cont:\naddi t0, t0, -1\nbnez t0, loop\nli v0, 10\nsyscall\n"
+            ".data\ntab: .word a, b\n.text\n"
+        )
+        # alternating targets: the BTB gets (nearly) every one wrong
+        assert model.btb.misses >= 19
+
+    def test_monomorphic_ijump_predicts(self):
+        model, _ = self._run(
+            ".text\nmain:\n"
+            "li t0, 20\n"
+            "loop:\nla t2, a\njr t2\n"
+            "a:\naddi t0, t0, -1\nbnez t0, loop\nli v0, 10\nsyscall\n"
+        )
+        assert model.btb.misses == 1  # cold only
+        assert model.btb.hits == 19

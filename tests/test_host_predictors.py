@@ -1,0 +1,147 @@
+"""Host branch-prediction structures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.host.predictors import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    ReturnAddressStack,
+)
+
+
+class TestBimodal:
+    def test_warms_up_to_taken(self):
+        predictor = BimodalPredictor(16)
+        # initialised weakly-not-taken: first taken access mispredicts,
+        # the counter saturates and later accesses hit
+        assert predictor.access(0x100, True) is True
+        assert predictor.access(0x100, True) is False
+        assert predictor.access(0x100, True) is False
+
+    def test_stable_not_taken_predicts_well(self):
+        predictor = BimodalPredictor(16)
+        results = [predictor.access(0x200, False) for _ in range(10)]
+        assert not any(results)
+
+    def test_hysteresis_survives_single_flip(self):
+        predictor = BimodalPredictor(16)
+        for _ in range(4):
+            predictor.access(0x300, True)
+        predictor.access(0x300, False)          # one anomaly
+        assert predictor.access(0x300, True) is False  # still predicts taken
+
+    def test_aliasing_between_sites(self):
+        predictor = BimodalPredictor(4)
+        # pcs 0 and 16 map to the same entry with 4 entries (word-indexed)
+        for _ in range(3):
+            predictor.access(0, True)
+        assert predictor.access(16, False) is True  # trained by alias
+
+    def test_counters_tracked(self):
+        predictor = BimodalPredictor(16)
+        predictor.access(0, True)
+        predictor.access(0, True)
+        assert predictor.hits + predictor.misses == 2
+
+    @pytest.mark.parametrize("bad", [0, 3, -4])
+    def test_rejects_non_power_of_two(self, bad):
+        with pytest.raises(ValueError):
+            BimodalPredictor(bad)
+
+
+class TestBTB:
+    def test_cold_miss_then_hit(self):
+        btb = BranchTargetBuffer(64)
+        assert btb.access(0x100, 0x4000) is True   # cold
+        assert btb.access(0x100, 0x4000) is False  # repeat target
+        assert btb.access(0x100, 0x8000) is True   # target changed
+
+    def test_polymorphic_site_always_misses(self):
+        btb = BranchTargetBuffer(64)
+        btb.access(0x100, 0)
+        misses = sum(
+            btb.access(0x100, 0x1000 * (i % 2 + 1)) for i in range(10)
+        )
+        assert misses == 10  # alternating targets never predict
+
+    def test_conflict_eviction(self):
+        btb = BranchTargetBuffer(4)
+        btb.access(0x0, 0xA)
+        btb.access(0x10, 0xB)  # same index (16 bytes / 4 entries), evicts
+        assert btb.access(0x0, 0xA) is True
+
+    def test_distinct_sites_do_not_interfere(self):
+        btb = BranchTargetBuffer(64)
+        btb.access(0x100, 0xA)
+        btb.access(0x104, 0xB)
+        assert btb.access(0x100, 0xA) is False
+        assert btb.access(0x104, 0xB) is False
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(3)
+
+
+class TestRAS:
+    def test_balanced_calls_predict_perfectly(self):
+        ras = ReturnAddressStack(8)
+        addresses = [0x100, 0x200, 0x300]
+        for addr in addresses:
+            ras.push(addr)
+        for addr in reversed(addresses):
+            assert ras.pop(addr) is False
+        assert ras.misses == 0
+
+    def test_underflow_mispredicts(self):
+        ras = ReturnAddressStack(8)
+        assert ras.pop(0x100) is True
+
+    def test_wrong_target_mispredicts(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        assert ras.pop(0x999) is True
+
+    def test_overflow_wraps_and_loses_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(0x1)
+        ras.push(0x2)
+        ras.push(0x3)  # overwrites 0x1
+        assert ras.pop(0x3) is False
+        assert ras.pop(0x2) is False
+        assert ras.pop(0x1) is True  # lost to wrap
+
+    def test_flush_empties(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x1)
+        ras.flush()
+        assert ras.pop(0x1) is True
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+
+@given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=16))
+def test_ras_lifo_property(addresses):
+    """Any push sequence within capacity pops back perfectly (LIFO)."""
+    ras = ReturnAddressStack(16)
+    for addr in addresses:
+        ras.push(addr)
+    for addr in reversed(addresses):
+        assert ras.pop(addr) is False
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 255).map(lambda x: x * 4),
+                  st.booleans()),
+        max_size=200,
+    )
+)
+def test_bimodal_counts_consistent_property(accesses):
+    """hits + misses always equals the number of accesses."""
+    predictor = BimodalPredictor(64)
+    for pc, taken in accesses:
+        predictor.access(pc, taken)
+    assert predictor.hits + predictor.misses == len(accesses)

@@ -1,0 +1,262 @@
+"""Assembler: syntax, pseudo-ops, directives, labels, errors."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+def words(program):
+    return [decode(w) for w in program.text_words()]
+
+
+class TestBasicAssembly:
+    def test_r_format(self):
+        prog = assemble(".text\nadd t0, t1, t2\n")
+        assert words(prog) == [Instruction(Op.ADD, rd=8, rs=9, rt=10)]
+
+    def test_i_format(self):
+        prog = assemble(".text\naddi sp, sp, -16\n")
+        assert words(prog) == [Instruction(Op.ADDI, rt=29, rs=29, imm=-16)]
+
+    def test_memory_operand(self):
+        prog = assemble(".text\nlw ra, 4(sp)\nsw a0, -8(fp)\n")
+        assert words(prog) == [
+            Instruction(Op.LW, rt=31, rs=29, imm=4),
+            Instruction(Op.SW, rt=4, rs=30, imm=-8),
+        ]
+
+    def test_shift_format(self):
+        prog = assemble(".text\nsll t0, t1, 3\n")
+        assert words(prog) == [Instruction(Op.SLL, rd=8, rt=9, shamt=3)]
+
+    def test_comments_and_blanks(self):
+        prog = assemble(
+            "# leading comment\n.text\n\nadd t0, t0, t0  # tail\n; alt\n"
+        )
+        assert len(words(prog)) == 1
+
+    def test_entry_defaults_to_main(self):
+        prog = assemble(".text\nfoo:\nnop\nmain:\nnop\n")
+        assert prog.entry == prog.symbols["main"] == TEXT_BASE + 4
+
+    def test_entry_directive(self):
+        prog = assemble(".text\nstart:\nnop\nmain:\nnop\n.entry start\n")
+        assert prog.entry == TEXT_BASE
+
+    def test_label_on_same_line(self):
+        prog = assemble(".text\nmain: nop\n")
+        assert prog.symbols["main"] == TEXT_BASE
+
+
+class TestBranchesAndJumps:
+    def test_forward_branch_offset(self):
+        prog = assemble(".text\nbeq t0, t1, target\nnop\ntarget:\nnop\n")
+        beq = words(prog)[0]
+        # offset is in words relative to pc+4: one instruction skipped
+        assert beq.imm == 1
+
+    def test_backward_branch_offset(self):
+        prog = assemble(".text\nloop:\nnop\nbne t0, zero, loop\n")
+        bne = words(prog)[1]
+        assert bne.imm == -2
+
+    def test_branch_resolves_to_address(self):
+        prog = assemble(".text\nmain:\nbeq zero, zero, main\n")
+        instr = words(prog)[0]
+        assert instr.branch_target(TEXT_BASE) == TEXT_BASE
+
+    def test_jump_absolute(self):
+        prog = assemble(".text\nmain:\nj main\n")
+        instr = words(prog)[0]
+        assert instr.branch_target(TEXT_BASE) == TEXT_BASE
+
+    def test_jal_and_jr(self):
+        prog = assemble(".text\nmain:\njal main\njr t0\njalr t1\nret\n")
+        ops = [i.op for i in words(prog)]
+        assert ops == [Op.JAL, Op.JR, Op.JALR, Op.RET]
+
+    def test_jalr_two_operand_form(self):
+        prog = assemble(".text\njalr v0, t3\n")
+        instr = words(prog)[0]
+        assert (instr.rd, instr.rs) == (2, 11)
+
+    def test_branch_out_of_range(self):
+        body = ".text\nstart:\n" + "nop\n" * 40000 + "beq zero, zero, start\n"
+        with pytest.raises(AssemblyError):
+            assemble(body)
+
+
+class TestPseudoOps:
+    def test_li_small(self):
+        prog = assemble(".text\nli t0, 42\n")
+        assert words(prog) == [Instruction(Op.ADDI, rt=8, rs=0, imm=42)]
+
+    def test_li_negative_small(self):
+        prog = assemble(".text\nli t0, -5\n")
+        assert words(prog)[0].imm == -5
+
+    def test_li_large_two_instrs(self):
+        prog = assemble(".text\nli t0, 0x12345678\n")
+        instrs = words(prog)
+        assert [i.op for i in instrs] == [Op.LUI, Op.ORI]
+        assert instrs[0].imm == 0x1234
+        assert instrs[1].imm == 0x5678
+
+    def test_li_hi_only(self):
+        prog = assemble(".text\nli t0, 0x70000\n")
+        # 0x70000 has low bits set (0x0007_0000 -> lui 0x7 only)
+        assert words(prog) == [Instruction(Op.LUI, rt=8, imm=0x7)]
+
+    def test_li_negative_large(self):
+        prog = assemble(".text\nli t0, -65536\n")
+        instrs = words(prog)
+        assert [i.op for i in instrs] == [Op.LUI, Op.ORI]
+        assert instrs[0].imm == 0xFFFF
+
+    def test_la(self):
+        prog = assemble(".text\nla t0, x\n.data\nx: .word 7\n")
+        instrs = words(prog)
+        assert [i.op for i in instrs] == [Op.LUI, Op.ORI]
+        assert (instrs[0].imm << 16) | instrs[1].imm == DATA_BASE
+
+    def test_mv_not_neg(self):
+        prog = assemble(".text\nmv t0, t1\nnot t2, t3\nneg t4, t5\n")
+        ops = [i.op for i in words(prog)]
+        assert ops == [Op.OR, Op.NOR, Op.SUB]
+
+    def test_branch_pseudos(self):
+        prog = assemble(
+            ".text\nx:\nbeqz t0, x\nbnez t0, x\nbltz t0, x\nbgez t0, x\n"
+            "blez t0, x\nbgtz t0, x\nbgt t0, t1, x\nble t0, t1, x\n"
+        )
+        ops = [i.op for i in words(prog)]
+        assert ops == [Op.BEQ, Op.BNE, Op.BLT, Op.BGE,
+                       Op.BGE, Op.BLT, Op.BLT, Op.BGE]
+
+    def test_bgt_swaps_operands(self):
+        prog = assemble(".text\nx:\nbgt t0, t1, x\n")
+        instr = words(prog)[0]
+        assert (instr.rs, instr.rt) == (9, 8)
+
+    def test_seqz_snez(self):
+        prog = assemble(".text\nseqz t0, t1\nsnez t2, t3\n")
+        ops = [i.op for i in words(prog)]
+        assert ops == [Op.SLTIU, Op.SLTU]
+
+    def test_nop(self):
+        prog = assemble(".text\nnop\n")
+        assert prog.text_words() == [0]
+
+    def test_call_alias(self):
+        prog = assemble(".text\nmain:\ncall main\n")
+        assert words(prog)[0].op == Op.JAL
+
+
+class TestDataDirectives:
+    def test_word_values_and_labels(self):
+        prog = assemble(
+            ".text\nf:\nnop\n.data\ntab: .word 1, -2, f\n"
+        )
+        data = prog.data.data
+        assert int.from_bytes(data[0:4], "little") == 1
+        assert int.from_bytes(data[4:8], "little") == 0xFFFFFFFE
+        assert int.from_bytes(data[8:12], "little") == TEXT_BASE
+
+    def test_asciiz(self):
+        prog = assemble('.data\ns: .asciiz "hi\\n"\n.text\nnop\n')
+        assert prog.data.data == b"hi\n\0"
+
+    def test_ascii_no_nul(self):
+        prog = assemble('.data\ns: .ascii "ab"\n.text\nnop\n')
+        assert prog.data.data == b"ab"
+
+    def test_space(self):
+        prog = assemble(".data\nbuf: .space 8\nx: .word 5\n.text\nnop\n")
+        assert prog.symbols["x"] == DATA_BASE + 8
+
+    def test_byte_and_half(self):
+        prog = assemble(".data\nb: .byte 1, 2\nh: .half 0x1234\n.text\nnop\n")
+        data = prog.data.data
+        assert data[0:2] == b"\x01\x02"
+        assert prog.symbols["h"] == DATA_BASE + 2
+        assert int.from_bytes(data[2:4], "little") == 0x1234
+
+    def test_word_alignment_after_bytes(self):
+        prog = assemble(".data\nb: .byte 1\nw: .word 9\n.text\nnop\n")
+        assert prog.symbols["w"] == DATA_BASE + 4
+        assert int.from_bytes(prog.data.data[4:8], "little") == 9
+
+    def test_align_directive(self):
+        prog = assemble(".data\nb: .byte 1\n.align 3\nx: .word 2\n.text\nnop\n")
+        assert prog.symbols["x"] == DATA_BASE + 8
+
+    def test_string_with_comma_and_hash(self):
+        prog = assemble('.data\ns: .asciiz "a,b#c"\n.text\nnop\n')
+        assert prog.data.data == b"a,b#c\0"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            ".text\nbogus t0, t1\n",
+            ".text\nadd t0, t1\n",                # wrong arity
+            ".text\nlw t0, t1\n",                 # bad mem operand
+            ".text\nbeq t0, t1, nowhere\n",       # undefined symbol
+            ".text\naddi t0, t0, 99999\n",        # imm out of range
+            ".text\nmain:\nmain:\nnop\n",         # duplicate label
+            ".word 5\n",                           # data directive in text
+            ".text\n.entry missing\nnop\n",       # undefined entry
+            '.data\ns: .asciiz "unterminated\n.text\nnop\n',
+        ],
+    )
+    def test_bad_source(self, source):
+        with pytest.raises(AssemblyError):
+            assemble(source)
+
+    def test_error_carries_line(self):
+        try:
+            assemble(".text\nnop\nbogus\n")
+        except AssemblyError as exc:
+            assert exc.line == 3
+        else:  # pragma: no cover
+            pytest.fail("expected AssemblyError")
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(-0x8000_0000, 0xFFFF_FFFF))
+def test_li_loads_exact_value_property(value):
+    """`li` must materialise any 32-bit constant exactly (1 or 2 instrs)."""
+    from conftest import run_asm
+
+    result = run_asm(
+        f".text\nmain:\nli a0, {value}\nli v0, 1\nsyscall\n"
+        "li v0, 10\nsyscall\n"
+    )
+    expected = value & 0xFFFFFFFF
+    if expected & 0x8000_0000:
+        expected -= 1 << 32
+    assert result.output == str(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, (1 << 32) - 4).map(lambda a: a & ~3))
+def test_la_materialises_symbol_addresses(addr):
+    """`la` of any label value round-trips through the register file."""
+    # place a label artificially via .entry-independent symbol table
+    from repro.isa.assembler import assemble as asm
+
+    program = asm(
+        ".text\nmain:\nla a0, main\nli v0, 1\nsyscall\nli v0, 10\nsyscall\n"
+    )
+    from repro.machine.interpreter import Interpreter
+
+    result = Interpreter(program).run()
+    assert int(result.output) == program.symbols["main"]

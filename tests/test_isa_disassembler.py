@@ -1,0 +1,89 @@
+"""Disassembler output and assembler/disassembler agreement."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, disassemble_word, format_instruction
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import TEXT_BASE
+
+
+class TestFormat:
+    def test_r_format(self):
+        instr = Instruction(Op.ADD, rd=8, rs=9, rt=10)
+        assert format_instruction(instr) == "add t0, t1, t2"
+
+    def test_nop_special_case(self):
+        assert disassemble_word(0) == "nop"
+
+    def test_memory(self):
+        instr = Instruction(Op.LW, rt=31, rs=29, imm=4)
+        assert format_instruction(instr) == "lw ra, 4(sp)"
+
+    def test_branch_with_pc(self):
+        instr = Instruction(Op.BEQ, rs=8, rt=0, imm=1)
+        text = format_instruction(instr, pc=0x1000)
+        assert text == "beq t0, zero, 0x1008"
+
+    def test_branch_without_pc(self):
+        instr = Instruction(Op.BNE, rs=8, rt=9, imm=-2)
+        assert format_instruction(instr) == "bne t0, t1, .-8"
+
+    def test_jump_with_pc(self):
+        instr = Instruction(Op.J, imm=TEXT_BASE >> 2)
+        assert format_instruction(instr, pc=TEXT_BASE) == f"j {TEXT_BASE:#x}"
+
+    def test_unknown_word(self):
+        assert disassemble_word(0xFC000000) == ".word 0xfc000000"
+
+    def test_none_format(self):
+        assert format_instruction(Instruction(Op.RET)) == "ret"
+        assert format_instruction(Instruction(Op.SYSCALL)) == "syscall"
+
+
+class TestListing:
+    def test_labels_shown(self):
+        prog = assemble(".text\nmain:\nnop\nloop:\nj loop\n")
+        listing = disassemble(prog.text.data, base=TEXT_BASE,
+                              symbols=prog.symbols)
+        assert "main:" in listing
+        assert "loop:" in listing
+        assert "nop" in listing
+
+    def test_addresses_present(self):
+        prog = assemble(".text\nnop\nnop\n")
+        listing = disassemble(prog.text.data, base=TEXT_BASE)
+        assert f"{TEXT_BASE:#010x}" in listing
+        assert f"{TEXT_BASE + 4:#010x}" in listing
+
+
+_SIMPLE_OPS = [
+    Instruction(Op.ADD, rd=1, rs=2, rt=3),
+    Instruction(Op.ADDI, rt=4, rs=5, imm=-7),
+    Instruction(Op.ORI, rt=6, rs=7, imm=0xFF),
+    Instruction(Op.SLL, rd=8, rt=9, shamt=4),
+    Instruction(Op.LW, rt=10, rs=11, imm=12),
+    Instruction(Op.SW, rt=12, rs=13, imm=-16),
+    Instruction(Op.JR, rs=14),
+    Instruction(Op.JALR, rd=31, rs=15),
+    Instruction(Op.LUI, rt=16, imm=0xABC),
+]
+
+
+def test_reassembly_roundtrip():
+    """Disassembled text reassembles to identical words (non-branch ops)."""
+    source = ".text\n" + "\n".join(
+        format_instruction(i) for i in _SIMPLE_OPS
+    ) + "\n"
+    prog = assemble(source)
+    assert prog.text_words() == [encode(i) for i in _SIMPLE_OPS]
+
+
+@given(st.binary(min_size=4, max_size=64).filter(lambda b: len(b) % 4 == 0))
+def test_disassemble_never_crashes(raw):
+    """Arbitrary bytes disassemble to text (unknown words as .word)."""
+    listing = disassemble(raw, base=0x1000)
+    assert isinstance(listing, str)
+    assert listing.count("\n") >= len(raw) // 4 - 1

@@ -1,0 +1,73 @@
+"""Program image model and the loader."""
+
+from repro.isa.assembler import assemble
+from repro.isa.program import (
+    DATA_BASE,
+    Program,
+    STACK_TOP,
+    Section,
+    TEXT_BASE,
+)
+from repro.isa.registers import REG_SP
+from repro.machine.loader import load_program
+
+
+class TestSection:
+    def test_end(self):
+        section = Section("text", 0x1000, b"\0" * 12)
+        assert section.end == 0x100C
+
+
+class TestProgram:
+    def _program(self, data: bytes = b"") -> Program:
+        return Program(
+            text=Section("text", TEXT_BASE, b"\0" * 8),
+            data=Section("data", DATA_BASE, data),
+            entry=TEXT_BASE,
+        )
+
+    def test_heap_base_empty_data(self):
+        assert self._program().heap_base == DATA_BASE
+
+    def test_heap_base_aligned_past_data(self):
+        program = self._program(b"\0" * 13)
+        assert program.heap_base == DATA_BASE + 16
+        assert program.heap_base % 16 == 0
+
+    def test_text_words_little_endian(self):
+        program = Program(
+            text=Section("text", TEXT_BASE, bytes([1, 0, 0, 0, 2, 0, 0, 0])),
+            data=Section("data", DATA_BASE, b""),
+            entry=TEXT_BASE,
+        )
+        assert program.text_words() == [1, 2]
+
+    def test_symbol_lookup(self):
+        program = assemble(".text\nmain:\nnop\nother:\nnop\n")
+        assert program.symbol("other") == TEXT_BASE + 4
+
+
+class TestLoader:
+    def test_sections_loaded(self):
+        program = assemble(
+            '.text\nmain:\nnop\n.data\nmsg: .asciiz "ok"\n'
+        )
+        cpu, mem, syscalls = load_program(program)
+        assert mem.load_word(TEXT_BASE) == program.text_words()[0]
+        assert mem.read_cstring(program.symbol("msg")) == "ok"
+
+    def test_initial_cpu_state(self):
+        program = assemble(".text\nmain:\nnop\n")
+        cpu, mem, syscalls = load_program(program)
+        assert cpu.pc == program.entry
+        assert cpu.read(REG_SP) == STACK_TOP
+
+    def test_heap_base_reaches_syscalls(self):
+        program = assemble(".text\nmain:\nnop\n.data\nx: .space 40\n")
+        _, _, syscalls = load_program(program)
+        assert syscalls.brk == program.heap_base
+
+    def test_inputs_passed_through(self):
+        program = assemble(".text\nmain:\nnop\n")
+        _, _, syscalls = load_program(program, inputs=[7, 8])
+        assert syscalls._inputs == [7, 8]

@@ -1,0 +1,76 @@
+"""Register name/number mapping."""
+
+import pytest
+
+from repro.isa.registers import (
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    NUM_REGS,
+    REG_FP,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    reg_name,
+    reg_number,
+)
+
+
+class TestRegNumber:
+    def test_numeric_names(self):
+        assert reg_number("r0") == 0
+        assert reg_number("r31") == 31
+        assert reg_number("R15") == 15
+
+    def test_aliases(self):
+        assert reg_number("zero") == REG_ZERO == 0
+        assert reg_number("sp") == REG_SP == 29
+        assert reg_number("fp") == REG_FP == 30
+        assert reg_number("ra") == REG_RA == 31
+        assert reg_number("v0") == 2
+        assert reg_number("a3") == 7
+        assert reg_number("t7") == 15
+        assert reg_number("t8") == 24
+        assert reg_number("s0") == 16
+
+    def test_dollar_prefix(self):
+        assert reg_number("$sp") == 29
+        assert reg_number("$r4") == 4
+
+    def test_whitespace_tolerated(self):
+        assert reg_number("  t0 ") == 8
+
+    @pytest.mark.parametrize("bad", ["r32", "r-1", "x5", "", "t10", "$"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            reg_number(bad)
+
+
+class TestRegName:
+    def test_roundtrip_all(self):
+        for num in range(NUM_REGS):
+            assert reg_number(reg_name(num)) == num
+
+    def test_canonical_aliases(self):
+        assert reg_name(0) == "zero"
+        assert reg_name(29) == "sp"
+        assert reg_name(31) == "ra"
+
+    @pytest.mark.parametrize("bad", [-1, 32, 100])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            reg_name(bad)
+
+
+class TestABISets:
+    def test_disjoint(self):
+        assert not set(CALLEE_SAVED) & set(CALLER_SAVED)
+
+    def test_callee_saved_contents(self):
+        assert REG_SP in CALLEE_SAVED
+        assert REG_FP in CALLEE_SAVED
+        assert all(16 <= r <= 23 or r >= 28 for r in CALLEE_SAVED)
+
+    def test_caller_saved_contains_temps_and_args(self):
+        assert 8 in CALLER_SAVED  # t0
+        assert 4 in CALLER_SAVED  # a0
+        assert 2 in CALLER_SAVED  # v0

@@ -1,0 +1,97 @@
+"""MiniC lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import TokKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestTokens:
+    def test_empty_source_has_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokKind.EOF
+
+    def test_decimal_and_hex(self):
+        tokens = tokenize("42 0x2A 0XFF")
+        assert [t.value for t in tokens[:-1]] == [42, 42, 255]
+
+    def test_identifiers_vs_keywords(self):
+        tokens = tokenize("int foo while whileish _x x1")
+        assert tokens[0].kind is TokKind.KEYWORD
+        assert tokens[1].kind is TokKind.IDENT
+        assert tokens[2].kind is TokKind.KEYWORD
+        assert tokens[3].kind is TokKind.IDENT  # not a keyword prefix
+        assert tokens[4].text == "_x"
+        assert tokens[5].text == "x1"
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\0' '\\' '\''")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 0, 92, 39]
+
+    def test_string_literal(self):
+        tokens = tokenize(r'"hi\n"')
+        assert tokens[0].kind is TokKind.STRING
+        assert tokens[0].text == "hi\n"
+
+    def test_maximal_munch(self):
+        assert texts("a >>> b >> c >= d > e") == \
+            ["a", ">>>", "b", ">>", "c", ">=", "d", ">", "e"]
+        assert texts("x<<=1") == ["x", "<<=", "1"]
+        assert texts("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+    def test_all_operators(self):
+        ops = "&& || == != <= >= << >> += -= *= /= %= &= |= ^= ++ --"
+        for op in ops.split():
+            assert texts(f"a {op} b")[1] == op
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // rest\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_block_comment_tracks_lines(self):
+        tokens = tokenize("/* 1\n2\n3 */ x")
+        assert tokens[0].line == 3
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", ["@", "`", "$", "'ab'", "'", '"open'])
+    def test_rejects(self, bad):
+        with pytest.raises(LexError):
+            tokenize(bad)
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_error_carries_line(self):
+        try:
+            tokenize("ok\n@")
+        except LexError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected LexError")

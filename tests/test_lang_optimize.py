@@ -1,0 +1,205 @@
+"""Constant folding / simplification pass."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import compile_source, compile_to_program
+from repro.lang.nodes import Binary, Block, IntLit, Return, Unary
+from repro.lang.optimize import fold_expr, fold_stmt, optimize_unit
+from repro.lang.parser import parse
+from repro.machine.interpreter import run_program
+
+from test_lang_properties import evaluate, expr_strategy, render, _VARS
+
+
+def fold_of(expr_text: str):
+    """Parse `return <expr>;` inside main and fold the expression."""
+    unit = parse(f"int main() {{ return {expr_text}; }}")
+    ret = unit.functions[0].body.stmts[0]
+    assert isinstance(ret, Return)
+    return fold_expr(ret.value)
+
+
+def run_both(source: str) -> None:
+    plain = run_program(compile_to_program(source, optimize=False))
+    optimized = run_program(compile_to_program(source, optimize=True))
+    assert optimized.output == plain.output
+    assert optimized.exit_code == plain.exit_code
+
+
+class TestExpressionFolding:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("2 + 3 * 4", 14),
+            ("(10 - 4) / 2", 3),
+            ("-7 / 2", -3),
+            ("-7 % 2", -1),
+            ("1 << 10", 1024),
+            ("-1 >>> 28", 15),
+            ("~0", -1),
+            ("!5", 0),
+            ("- -5", 5),
+            ("3 < 4", 1),
+            ("0x7fffffff + 1", -2147483648),
+            ("0 && 99", 0),
+            ("1 || 99", 1),
+            ("1 ? 7 : 8", 7),
+            ("0 ? 7 : 8", 8),
+        ],
+    )
+    def test_folds_to_constant(self, text, value):
+        folded = fold_of(text)
+        assert isinstance(folded, IntLit)
+        assert folded.value == value
+
+    def test_division_by_zero_not_folded(self):
+        folded = fold_of("5 / 0")
+        assert isinstance(folded, Binary)  # must fault at runtime
+        folded = fold_of("5 % 0")
+        assert isinstance(folded, Binary)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["x + 0", "x - 0", "x | 0", "x ^ 0", "x << 0", "x * 1", "x / 1",
+         "0 + x", "1 * x"],
+    )
+    def test_identities_collapse_to_variable(self, text):
+        unit = parse(f"int main() {{ int x = 1; return {text}; }}")
+        ret = unit.functions[0].body.stmts[1]
+        folded = fold_expr(ret.value)
+        from repro.lang.nodes import Ident
+
+        assert isinstance(folded, Ident)
+
+    def test_mul_zero_pure_operand(self):
+        unit = parse("int main() { int x = 1; return x * 0; }")
+        folded = fold_expr(unit.functions[0].body.stmts[1].value)
+        assert isinstance(folded, IntLit) and folded.value == 0
+
+    def test_mul_zero_effectful_operand_kept(self):
+        unit = parse(
+            "int f() { return 1; } int main() { return f() * 0; }"
+        )
+        folded = fold_expr(unit.functions[1].body.stmts[0].value)
+        assert isinstance(folded, Binary)  # the call must still happen
+
+    def test_short_circuit_keeps_effectful_rhs(self):
+        unit = parse(
+            "int f() { return 1; } int main() { return 0 || f(); }"
+        )
+        folded = fold_expr(unit.functions[1].body.stmts[0].value)
+        assert not isinstance(folded, IntLit)
+
+
+class TestStatementFolding:
+    def test_dead_if_branch_removed(self):
+        assembly_plain = compile_source(
+            "int main() { if (0) print_int(1); print_int(2); return 0; }"
+        )
+        assembly_opt = compile_source(
+            "int main() { if (0) print_int(1); print_int(2); return 0; }",
+            optimize=True,
+        )
+        assert len(assembly_opt) < len(assembly_plain)
+
+    def test_while_zero_removed(self):
+        unit = parse("int main() { while (0) print_int(1); return 0; }")
+        optimized = optimize_unit(unit)
+        assert len(optimized.functions[0].body.stmts) == 1  # just return
+
+    def test_pure_expression_statement_removed(self):
+        unit = parse("int main() { 1 + 2; return 0; }")
+        optimized = optimize_unit(unit)
+        assert len(optimized.functions[0].body.stmts) == 1
+
+    def test_effectful_statement_kept(self):
+        unit = parse("int main() { print_int(1); return 0; }")
+        optimized = optimize_unit(unit)
+        assert len(optimized.functions[0].body.stmts) == 2
+
+    def test_unbraced_decl_arm_not_deleted(self):
+        """`if (0) int x;` declares x into the enclosing scope — the
+        branch must survive so the later use still compiles."""
+        source = "int main() { if (0) int x; x = 5; print_int(x); return 0; }"
+        run_both(source)
+
+    def test_for_with_effectful_init_keeps_effect(self):
+        source = """
+        int calls = 0;
+        int touch() { calls++; return 0; }
+        int main() {
+            for (touch(); 0; ) print_int(9);
+            print_int(calls);
+            return 0;
+        }
+        """
+        plain = run_program(compile_to_program(source))
+        optimized = run_program(compile_to_program(source, optimize=True))
+        assert plain.output == optimized.output == "1"
+
+
+class TestBehaviouralEquivalence:
+    PROGRAMS = [
+        # dense constant arithmetic
+        "int main() { print_int((3 + 4) * (10 - 2) / 4 % 7); return 0; }",
+        # folding inside control flow
+        """
+        int main() {
+            int total = 0;
+            int i;
+            for (i = 0; i < 2 + 3; i++) {
+                if (1) total += i * (1 + 1);
+                else total -= 100;
+            }
+            print_int(total);
+            return 0;
+        }
+        """,
+        # switch on folded selector
+        """
+        int main() {
+            switch (2 * 2) {
+            case 4: print_int(42); break;
+            default: print_int(0);
+            }
+            return 0;
+        }
+        """,
+        # recursion and calls survive folding
+        """
+        int fact(int n) { if (n < 1 + 1) return 1; return n * fact(n - 1); }
+        int main() { print_int(fact(6)); return 0; }
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_same_behaviour(self, source):
+        run_both(source)
+
+    def test_optimized_is_smaller_on_constant_heavy_code(self):
+        source = "int main() { print_int(((1+2)*(3+4))<<2); return 0; }"
+        plain = compile_to_program(source)
+        optimized = compile_to_program(source, optimize=True)
+        assert len(optimized.text.data) < len(plain.text.data)
+
+    def test_optimized_runs_fewer_instructions(self):
+        source = TestBehaviouralEquivalence.PROGRAMS[1]
+        plain = run_program(compile_to_program(source))
+        optimized = run_program(compile_to_program(source, optimize=True))
+        assert optimized.retired < plain.retired
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(expr_strategy, min_size=1, max_size=3))
+def test_folding_preserves_semantics_property(expressions):
+    """Optimised and unoptimised code agree with the C model on random
+    expressions (the optimiser's folding arithmetic is exact)."""
+    decls = "".join(f"int {name} = {value};" for name, value in _VARS.items())
+    prints = "".join(
+        f"print_int({render(e)}); print_char(10);" for e in expressions
+    )
+    source = decls + "int main() {" + prints + "return 0; }"
+    expected = "".join(f"{evaluate(e)}\n" for e in expressions)
+    result = run_program(compile_to_program(source, optimize=True))
+    assert result.output == expected

@@ -1,0 +1,234 @@
+"""MiniC parser: AST shapes and syntax errors."""
+
+import pytest
+
+from repro.lang.errors import ParseError
+from repro.lang.nodes import (
+    Assign,
+    Binary,
+    Call,
+    ExprStmt,
+    For,
+    Ident,
+    If,
+    Index,
+    IntLit,
+    Return,
+    Switch,
+    Ternary,
+    Unary,
+    While,
+)
+from repro.lang.parser import parse
+
+
+def parse_stmt(body: str):
+    unit = parse("int main() { " + body + " }")
+    return unit.functions[0].body.stmts
+
+
+def parse_expr(text: str):
+    stmts = parse_stmt(f"x = {text};")
+    assert isinstance(stmts[0], Assign)
+    return stmts[0].value
+
+
+class TestTopLevel:
+    def test_function_and_globals(self):
+        unit = parse("int g = 5; int a[3]; int main() { return 0; }")
+        assert [g.name for g in unit.globals] == ["g", "a"]
+        assert unit.functions[0].name == "main"
+
+    def test_params(self):
+        unit = parse("int f(int a, int b) { return a; } int main() {}")
+        assert unit.functions[0].params == ("a", "b")
+
+    def test_void_function(self):
+        unit = parse("void f() {} int main() {}")
+        assert unit.functions[0].name == "f"
+
+    def test_void_param_list(self):
+        unit = parse("int f(void) { return 1; } int main() {}")
+        assert unit.functions[0].params == ()
+
+    def test_prototype_ignored(self):
+        unit = parse("int f(int x); int f(int x) { return x; } int main() {}")
+        assert len(unit.functions) == 2  # f + main
+
+    def test_global_array_initializer(self):
+        unit = parse("int t[] = { 1, -2, &main }; int main() {}")
+        decl = unit.globals[0]
+        assert decl.array_size == 3
+        assert decl.init == (1, -2, "main")
+
+    def test_global_array_partial_init(self):
+        unit = parse("int t[8] = { 1, 2 }; int main() {}")
+        assert unit.globals[0].array_size == 8
+        assert unit.globals[0].init == (1, 2)
+
+    def test_too_many_initializers(self):
+        with pytest.raises(ParseError):
+            parse("int t[1] = { 1, 2 }; int main() {}")
+
+    def test_unsized_uninitialized_array(self):
+        with pytest.raises(ParseError):
+            parse("int t[]; int main() {}")
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmt = parse_stmt("if (x) y = 1; else y = 2;")[0]
+        assert isinstance(stmt, If)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = parse_stmt("if (a) if (b) x = 1; else x = 2;")[0]
+        assert isinstance(stmt, If)
+        assert stmt.otherwise is None
+        assert isinstance(stmt.then, If)
+        assert stmt.then.otherwise is not None
+
+    def test_while_and_for(self):
+        stmts = parse_stmt("while (x) x = x - 1; for (i = 0; i < 3; i++) y = i;")
+        assert isinstance(stmts[0], While)
+        assert isinstance(stmts[1], For)
+
+    def test_for_with_decl_init(self):
+        stmt = parse_stmt("for (int i = 0; i < 3; i++) x = i;")[0]
+        assert isinstance(stmt, For)
+        assert stmt.init is not None
+
+    def test_for_empty_clauses(self):
+        stmt = parse_stmt("for (;;) break;")[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_increment_decrement_sugar(self):
+        stmts = parse_stmt("i++; j--;")
+        assert all(isinstance(s, Assign) for s in stmts)
+        assert stmts[0].op == "+=" and stmts[1].op == "-="
+
+    def test_compound_assignment(self):
+        stmt = parse_stmt("x *= 3;")[0]
+        assert isinstance(stmt, Assign) and stmt.op == "*="
+
+    def test_assign_to_index(self):
+        stmt = parse_stmt("a[i + 1] = 5;")[0]
+        assert isinstance(stmt.target, Index)
+
+    def test_assign_to_rvalue_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("(x + 1) = 5;")
+
+    def test_call_statement(self):
+        stmt = parse_stmt("f(1, 2);")[0]
+        assert isinstance(stmt, ExprStmt)
+        assert isinstance(stmt.expr, Call)
+
+    def test_return_with_and_without_value(self):
+        stmts = parse_stmt("return; return 5;")
+        assert isinstance(stmts[0], Return) and stmts[0].value is None
+        assert isinstance(stmts[1].value, IntLit)
+
+
+class TestSwitch:
+    def test_groups_and_fallthrough(self):
+        stmt = parse_stmt(
+            "switch (x) { case 1: case 2: y = 1; break; default: y = 2; }"
+        )[0]
+        assert isinstance(stmt, Switch)
+        assert stmt.groups[0].values == (1, 2)
+        assert stmt.groups[1].is_default
+
+    def test_negative_case_values(self):
+        stmt = parse_stmt("switch (x) { case -3: y = 1; }")[0]
+        assert stmt.groups[0].values == (-3,)
+
+    def test_char_case_values(self):
+        stmt = parse_stmt("switch (x) { case 'a': y = 1; }")[0]
+        assert stmt.groups[0].values == (97,)
+
+    def test_statement_before_label_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("switch (x) { y = 1; }")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert isinstance(expr.left, Binary)
+        assert expr.right.value == 3
+
+    def test_comparison_below_logical(self):
+        expr = parse_expr("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<" and expr.right.op == ">"
+
+    def test_bitwise_precedence_chain(self):
+        expr = parse_expr("a | b ^ c & d")
+        assert expr.op == "|"
+        assert expr.right.op == "^"
+        assert expr.right.right.op == "&"
+
+    def test_ternary_right_associative(self):
+        expr = parse_expr("a ? 1 : b ? 2 : 3")
+        assert isinstance(expr, Ternary)
+        assert isinstance(expr.otherwise, Ternary)
+
+    def test_unary_chain(self):
+        expr = parse_expr("-~!x")
+        assert isinstance(expr, Unary) and expr.op == "-"
+        assert expr.operand.op == "~"
+        assert expr.operand.operand.op == "!"
+
+    def test_unary_plus_is_identity(self):
+        expr = parse_expr("+x")
+        assert isinstance(expr, Ident)
+
+    def test_address_of(self):
+        expr = parse_expr("&f")
+        assert isinstance(expr, Unary) and expr.op == "&"
+
+    def test_postfix_chains(self):
+        expr = parse_expr("t[i](1)(2)")
+        assert isinstance(expr, Call)
+        assert isinstance(expr.callee, Call)
+        assert isinstance(expr.callee.callee, Index)
+
+    def test_parenthesised(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_shift_precedence(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int main() { if x) {} }",
+            "int main() { while (1 {} }",
+            "int main() { return 1 }",
+            "int main() { x = ; }",
+            "int main() { case 1: ; }",
+            "int main() { break }",
+            "int main() { int a[0]; }",
+            "int main() { int a[2] = 5; }",
+            "int main() { register int a[2]; }",
+            "int 5x() {}",
+            "float main() {}",
+            "int main() { x = 1 +; }",
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(ParseError):
+            parse(source)

@@ -1,0 +1,178 @@
+"""MiniC semantic analysis."""
+
+import pytest
+
+from repro.lang.errors import SemaError
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+
+def check(source: str):
+    return analyze(parse(source))
+
+
+class TestValidPrograms:
+    def test_minimal(self):
+        info = check("int main() { return 0; }")
+        assert "main" in info.functions
+
+    def test_mutual_recursion_without_prototypes(self):
+        check(
+            "int even(int n) { if (n == 0) return 1; return odd(n - 1); }"
+            "int odd(int n) { if (n == 0) return 0; return even(n - 1); }"
+            "int main() { return even(4); }"
+        )
+
+    def test_global_scalars_and_arrays(self):
+        info = check("int g; int a[4]; int main() { g = a[0]; return g; }")
+        assert info.globals["a"].is_array
+        assert info.globals["a"].size == 4
+        assert not info.globals["g"].is_array
+
+    def test_shadowing_in_nested_scopes(self):
+        check(
+            "int x; int main() { int x = 1; { int x = 2; } return x; }"
+        )
+
+    def test_function_pointer_flow(self):
+        check(
+            "int f(int x) { return x; }"
+            "int main() { int p = &f; return p(3); }"
+        )
+
+    def test_initializer_referencing_function(self):
+        check("int t[] = { &main }; int main() { return 0; }")
+
+
+class TestDeclarationErrors:
+    @pytest.mark.parametrize(
+        "source,fragment",
+        [
+            ("int main() { return x; }", "undeclared"),
+            ("int main() { int a; int a; return 0; }", "redeclaration"),
+            ("int f() {} int f() {} int main() {}", "redeclaration"),
+            ("int g; int g; int main() {}", "redeclaration"),
+            ("int print_int; int main() {}", "redeclaration"),
+            ("int f() {}", "no main"),
+            ("int main(int x) { return x; }", "no arguments"),
+            ("int f(int a, int a) { return a; } int main() {}", "duplicate"),
+            ("int t[] = { &nosuch }; int main() {}", "unknown name"),
+        ],
+    )
+    def test_rejected(self, source, fragment):
+        with pytest.raises(SemaError, match=fragment):
+            check(source)
+
+    def test_sibling_scopes_may_reuse_names(self):
+        check("int main() { { int x; x = 1; } { int x; x = 2; } return 0; }")
+
+    def test_use_before_decl_in_block_rejected(self):
+        with pytest.raises(SemaError, match="undeclared"):
+            check("int main() { x = 1; int x; return 0; }")
+
+
+class TestCallChecking:
+    def test_arity_mismatch(self):
+        with pytest.raises(SemaError, match="takes 2 arguments"):
+            check("int f(int a, int b) { return a; } int main() { return f(1); }")
+
+    def test_builtin_arity(self):
+        with pytest.raises(SemaError, match="takes 1 arguments"):
+            check("int main() { print_int(1, 2); return 0; }")
+
+    def test_too_many_args(self):
+        args = ", ".join("1" for _ in range(9))
+        with pytest.raises(SemaError, match="too many arguments"):
+            check(
+                "int f(int a) { return a; }"
+                f"int main() {{ return f({args}); }}"
+            )
+
+    def test_indirect_call_any_arity(self):
+        check("int main() { int p = 0; return p(1, 2, 3); }")
+
+    def test_print_str_requires_literal(self):
+        with pytest.raises(SemaError, match="string literal"):
+            check("int main() { int s = 0; print_str(s); return 0; }")
+
+    def test_local_shadows_function_forces_indirect(self):
+        # `f` resolves to the local, so the call is indirect — no arity check
+        check(
+            "int f(int a, int b) { return a + b; }"
+            "int main() { int f = 0; return f(1); }"
+        )
+
+
+class TestLvaluesAndAddresses:
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(SemaError, match="array"):
+            check("int a[3]; int main() { a = 1; return 0; }")
+
+    def test_assign_to_local_array_rejected(self):
+        with pytest.raises(SemaError, match="array"):
+            check("int main() { int a[3]; a = 1; return 0; }")
+
+    def test_assign_to_function_rejected(self):
+        with pytest.raises(SemaError, match="function"):
+            check("int f() { return 0; } int main() { f = 1; return 0; }")
+
+    def test_address_of_expression_rejected(self):
+        with pytest.raises(SemaError, match="named"):
+            check("int main() { int x; return &(x + 1); }")
+
+    def test_address_of_parenthesised_name_ok(self):
+        # &(x) is structurally &x after parenthesis removal
+        check("int main() { int x; return &(x); }")
+
+    def test_address_of_register_var_rejected(self):
+        with pytest.raises(SemaError, match="register"):
+            check("int main() { register int x; return &x; }")
+
+    def test_address_of_builtin_rejected(self):
+        with pytest.raises(SemaError, match="builtin"):
+            check("int main() { return &print_int; }")
+
+
+class TestControlContext:
+    def test_break_outside_loop(self):
+        with pytest.raises(SemaError, match="break"):
+            check("int main() { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemaError, match="continue"):
+            check("int main() { continue; return 0; }")
+
+    def test_continue_inside_switch_in_loop_ok(self):
+        check(
+            "int main() { int i; for (i = 0; i < 3; i++) {"
+            "switch (i) { case 0: continue; } } return 0; }"
+        )
+
+    def test_break_in_switch_ok(self):
+        check("int main() { switch (1) { case 1: break; } return 0; }")
+
+
+class TestSwitchChecks:
+    def test_duplicate_case(self):
+        with pytest.raises(SemaError, match="duplicate case"):
+            check(
+                "int main() { switch (1) { case 1: break; case 1: break; }"
+                "return 0; }"
+            )
+
+    def test_multiple_defaults(self):
+        with pytest.raises(SemaError, match="default"):
+            check(
+                "int main() { switch (1) { default: break; default: break; }"
+                "return 0; }"
+            )
+
+
+class TestStringLiterals:
+    def test_string_outside_print_str_rejected(self):
+        with pytest.raises(SemaError, match="print_str"):
+            check('int main() { int x = "nope"; return 0; }')
+
+    def test_string_as_plain_arg_rejected(self):
+        with pytest.raises(SemaError, match="print_str"):
+            check('int f(int s) { return s; } int main() { return f("x"); }')

@@ -1,0 +1,186 @@
+"""Per-instruction semantics via tiny assembly programs."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.machine.errors import DivideByZeroFault, MemoryFault
+from repro.machine.interpreter import Interpreter
+
+from conftest import run_asm
+
+
+def run_and_v0(body: str, inputs=None) -> int:
+    """Run a snippet that leaves its result in v0; returns it signed."""
+    source = (
+        ".text\nmain:\n"
+        + body
+        + "\nmv a0, v0\nli v0, 1\nsyscall\nli v0, 10\nsyscall\n"
+    )
+    result = run_asm(source, inputs=inputs)
+    return int(result.output)
+
+
+class TestALU:
+    def test_add_sub(self):
+        assert run_and_v0("li t0, 7\nli t1, 5\nadd v0, t0, t1") == 12
+        assert run_and_v0("li t0, 7\nli t1, 5\nsub v0, t0, t1") == 2
+
+    def test_add_wraps_32bit(self):
+        assert run_and_v0(
+            "li t0, 0x7fffffff\nli t1, 1\nadd v0, t0, t1"
+        ) == -2147483648
+
+    def test_logical(self):
+        assert run_and_v0("li t0, 0xf0\nli t1, 0x0f\nor v0, t0, t1") == 0xFF
+        assert run_and_v0("li t0, 0xf0\nli t1, 0xff\nand v0, t0, t1") == 0xF0
+        assert run_and_v0("li t0, 0xf0\nli t1, 0xff\nxor v0, t0, t1") == 0x0F
+        assert run_and_v0("li t0, 0\nli t1, 0\nnor v0, t0, t1") == -1
+
+    def test_slt_signed(self):
+        assert run_and_v0("li t0, -1\nli t1, 1\nslt v0, t0, t1") == 1
+        assert run_and_v0("li t0, 1\nli t1, -1\nslt v0, t0, t1") == 0
+
+    def test_sltu_unsigned(self):
+        # -1 is 0xffffffff unsigned: not < 1
+        assert run_and_v0("li t0, -1\nli t1, 1\nsltu v0, t0, t1") == 0
+        assert run_and_v0("li t0, 1\nli t1, -1\nsltu v0, t0, t1") == 1
+
+    def test_immediates(self):
+        assert run_and_v0("li t0, 10\naddi v0, t0, -3") == 7
+        assert run_and_v0("li t0, 0xff\nandi v0, t0, 0x0f") == 0x0F
+        assert run_and_v0("li t0, 0xf0\nori v0, t0, 0x0f") == 0xFF
+        assert run_and_v0("li t0, 0xff\nxori v0, t0, 0xff") == 0
+        assert run_and_v0("li t0, 4\nslti v0, t0, 5") == 1
+        assert run_and_v0("li t0, -1\nsltiu v0, t0, 5") == 0
+
+    def test_lui(self):
+        assert run_and_v0("lui v0, 0x1234") == 0x12340000
+
+    def test_mul(self):
+        assert run_and_v0("li t0, -3\nli t1, 7\nmul v0, t0, t1") == -21
+
+    def test_div_truncates_toward_zero(self):
+        assert run_and_v0("li t0, 7\nli t1, 2\ndiv v0, t0, t1") == 3
+        assert run_and_v0("li t0, -7\nli t1, 2\ndiv v0, t0, t1") == -3
+        assert run_and_v0("li t0, 7\nli t1, -2\ndiv v0, t0, t1") == -3
+
+    def test_rem_sign_follows_dividend(self):
+        assert run_and_v0("li t0, 7\nli t1, 3\nrem v0, t0, t1") == 1
+        assert run_and_v0("li t0, -7\nli t1, 3\nrem v0, t0, t1") == -1
+        assert run_and_v0("li t0, 7\nli t1, -3\nrem v0, t0, t1") == 1
+
+    def test_divide_by_zero_faults(self):
+        prog = assemble(".text\nmain:\nli t0, 1\ndiv v0, t0, zero\n")
+        with pytest.raises(DivideByZeroFault):
+            Interpreter(prog).run()
+
+
+class TestShifts:
+    def test_immediate_shifts(self):
+        assert run_and_v0("li t0, 1\nsll v0, t0, 4") == 16
+        assert run_and_v0("li t0, 16\nsrl v0, t0, 2") == 4
+        assert run_and_v0("li t0, -16\nsra v0, t0, 2") == -4
+        assert run_and_v0("li t0, -16\nsrl v0, t0, 28") == 0xF
+
+    def test_variable_shifts_rd_rs_rt_order(self):
+        # rd = rs shifted by rt
+        assert run_and_v0("li t0, 3\nli t1, 2\nsllv v0, t0, t1") == 12
+        assert run_and_v0("li t0, 12\nli t1, 2\nsrlv v0, t0, t1") == 3
+        assert run_and_v0("li t0, -12\nli t1, 2\nsrav v0, t0, t1") == -3
+
+    def test_variable_shift_masks_to_5_bits(self):
+        assert run_and_v0("li t0, 1\nli t1, 33\nsllv v0, t0, t1") == 2
+
+
+class TestMemoryOps:
+    def test_word(self):
+        assert run_and_v0(
+            "li t0, 0x12345678\nla t1, x\nsw t0, 0(t1)\nlw v0, 0(t1)\n"
+            ".data\nx: .word 0\n.text"
+        ) == 0x12345678
+
+    def test_byte_sign_extension(self):
+        assert run_and_v0(
+            "li t0, 0x80\nla t1, x\nsb t0, 0(t1)\nlb v0, 0(t1)\n"
+            ".data\nx: .word 0\n.text"
+        ) == -128
+
+    def test_byte_zero_extension(self):
+        assert run_and_v0(
+            "li t0, 0x80\nla t1, x\nsb t0, 0(t1)\nlbu v0, 0(t1)\n"
+            ".data\nx: .word 0\n.text"
+        ) == 128
+
+    def test_half_sign_and_zero(self):
+        assert run_and_v0(
+            "li t0, 0x8000\nla t1, x\nsh t0, 0(t1)\nlh v0, 0(t1)\n"
+            ".data\nx: .word 0\n.text"
+        ) == -32768
+        assert run_and_v0(
+            "li t0, 0x8000\nla t1, x\nsh t0, 0(t1)\nlhu v0, 0(t1)\n"
+            ".data\nx: .word 0\n.text"
+        ) == 32768
+
+    def test_negative_offset(self):
+        assert run_and_v0(
+            "la t1, y\nlw v0, -4(t1)\n"
+            ".data\nx: .word 77\ny: .word 0\n.text"
+        ) == 77
+
+
+class TestControl:
+    def test_branch_taken_and_not(self):
+        assert run_and_v0(
+            "li v0, 1\nli t0, 5\nli t1, 5\nbeq t0, t1, yes\nli v0, 0\nyes:"
+        ) == 1
+        assert run_and_v0(
+            "li v0, 1\nli t0, 5\nli t1, 6\nbeq t0, t1, yes\nli v0, 0\nyes:"
+        ) == 0
+
+    def test_signed_vs_unsigned_branches(self):
+        assert run_and_v0(
+            "li v0, 0\nli t0, -1\nli t1, 1\nblt t0, t1, yes\nj no\n"
+            "yes:\nli v0, 1\nno:"
+        ) == 1
+        assert run_and_v0(
+            "li v0, 0\nli t0, -1\nli t1, 1\nbltu t0, t1, yes\nj no\n"
+            "yes:\nli v0, 1\nno:"
+        ) == 0
+
+    def test_jal_sets_ra(self):
+        result = run_and_v0("jal f\nj out\nf:\nmv v0, ra\nret\nout:")
+        # ra = address of the instruction after jal (main+4)
+        from repro.isa.program import TEXT_BASE
+        assert result == TEXT_BASE + 4
+
+    def test_jalr_writes_rd_then_jumps(self):
+        # jalr with rs == rd still jumps to the *old* register value,
+        # and the link lands in rd (t0), not ra
+        assert run_and_v0(
+            "la t0, f\njalr t0, t0\nj out\nf:\nli v0, 9\njr t0\nout:"
+        ) == 9
+
+    def test_jr_through_table(self):
+        assert run_and_v0(
+            "la t0, tab\nlw t1, 4(t0)\njr t1\n"
+            "a:\nli v0, 10\nj out\n"
+            "b:\nli v0, 20\nj out\n"
+            "out:\n"
+            ".data\ntab: .word a, b\n.text"
+        ) == 20
+
+    def test_fetch_outside_text_faults(self):
+        prog = assemble(".text\nmain:\nli t0, 0x100\njr t0\n")
+        with pytest.raises(MemoryFault):
+            Interpreter(prog).run()
+
+
+class TestZeroRegister:
+    def test_writes_discarded(self):
+        assert run_and_v0("li t0, 5\nadd zero, t0, t0\nmv v0, zero") == 0
+
+    def test_jal_link_to_zero_via_jalr(self):
+        # jalr zero, rs jumps without linking
+        assert run_and_v0(
+            "li v0, 3\nla t0, f\njalr zero, t0\nf:\nmv t5, zero"
+        ) == 3

@@ -1,0 +1,125 @@
+"""Guest memory: loads/stores, alignment, sparseness, properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.errors import AlignmentFault, MemoryFault
+from repro.machine.memory import PAGE_SIZE, Memory
+
+
+class TestBasicAccess:
+    def test_byte_roundtrip(self):
+        mem = Memory()
+        mem.store_byte(100, 0xAB)
+        assert mem.load_byte(100) == 0xAB
+
+    def test_word_roundtrip(self):
+        mem = Memory()
+        mem.store_word(0x1000, 0xDEADBEEF)
+        assert mem.load_word(0x1000) == 0xDEADBEEF
+
+    def test_half_roundtrip(self):
+        mem = Memory()
+        mem.store_half(0x2000, 0x1234)
+        assert mem.load_half(0x2000) == 0x1234
+
+    def test_little_endian(self):
+        mem = Memory()
+        mem.store_word(0, 0x04030201)
+        assert [mem.load_byte(i) for i in range(4)] == [1, 2, 3, 4]
+
+    def test_unmapped_reads_zero(self):
+        mem = Memory()
+        assert mem.load_word(0x7FFF0000) == 0
+        assert mem.load_byte(12345) == 0
+
+    def test_store_truncates(self):
+        mem = Memory()
+        mem.store_word(0, 0x1_2345_6789)
+        assert mem.load_word(0) == 0x2345_6789
+        mem.store_byte(8, 0x1FF)
+        assert mem.load_byte(8) == 0xFF
+
+    def test_cross_page_isolation(self):
+        mem = Memory()
+        mem.store_word(PAGE_SIZE - 4, 0x11111111)
+        mem.store_word(PAGE_SIZE, 0x22222222)
+        assert mem.load_word(PAGE_SIZE - 4) == 0x11111111
+        assert mem.load_word(PAGE_SIZE) == 0x22222222
+
+
+class TestFaults:
+    @pytest.mark.parametrize("addr", [1, 2, 3, 0x1001, 0x1002, 0x1003])
+    def test_misaligned_word(self, addr):
+        mem = Memory()
+        with pytest.raises(AlignmentFault):
+            mem.load_word(addr)
+        with pytest.raises(AlignmentFault):
+            mem.store_word(addr, 0)
+
+    def test_misaligned_half(self):
+        mem = Memory()
+        with pytest.raises(AlignmentFault):
+            mem.load_half(1)
+
+    def test_out_of_range(self):
+        mem = Memory()
+        with pytest.raises(MemoryFault):
+            mem.load_byte(1 << 32)
+        with pytest.raises(MemoryFault):
+            mem.store_word((1 << 32) - 2, 1)
+
+    def test_unterminated_cstring(self):
+        mem = Memory()
+        mem.write_bytes(0, b"abcd")
+        with pytest.raises(MemoryFault):
+            mem.read_cstring(0, limit=4)
+
+
+class TestBulk:
+    def test_write_read_bytes(self):
+        mem = Memory()
+        mem.write_bytes(0x100, b"hello world")
+        assert mem.read_bytes(0x100, 11) == b"hello world"
+
+    def test_cstring(self):
+        mem = Memory()
+        mem.write_bytes(0x200, b"guest\0")
+        assert mem.read_cstring(0x200) == "guest"
+
+    def test_resident_pages_sparse(self):
+        mem = Memory()
+        mem.store_byte(0, 1)
+        mem.store_byte(0x7000_0000, 1)
+        assert mem.resident_pages == 2
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, (1 << 30) - 1).map(lambda a: a * 4),
+            st.integers(0, 0xFFFFFFFF),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_last_write_wins_property(writes):
+    """Memory behaves like a map: last word write to an address wins."""
+    mem = Memory()
+    expected: dict[int, int] = {}
+    for addr, value in writes:
+        mem.store_word(addr, value)
+        expected[addr] = value
+    for addr, value in expected.items():
+        assert mem.load_word(addr) == value
+
+
+@given(st.integers(0, (1 << 32) - 4).map(lambda a: a & ~3),
+       st.integers(0, 0xFFFFFFFF))
+def test_word_byte_agreement_property(addr, value):
+    """A stored word reads back identically through byte loads (LE)."""
+    mem = Memory()
+    mem.store_word(addr, value)
+    recomposed = sum(mem.load_byte(addr + i) << (8 * i) for i in range(4))
+    assert recomposed == value

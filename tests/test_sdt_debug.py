@@ -1,0 +1,81 @@
+"""Fragment-cache introspection helpers."""
+
+from conftest import ALL_IB_KINDS_SOURCE
+from repro.host.profile import SIMPLE
+from repro.lang import compile_to_program
+from repro.sdt.config import SDTConfig
+from repro.sdt.debug import dump_fragment_cache, format_fragment, hottest_fragments
+from repro.sdt.vm import SDTVM
+
+
+def run_vm():
+    vm = SDTVM(compile_to_program(ALL_IB_KINDS_SOURCE),
+               SDTConfig(profile=SIMPLE))
+    vm.run()
+    return vm
+
+
+class TestFormatFragment:
+    def test_header_fields(self):
+        vm = run_vm()
+        fragment = hottest_fragments(vm, 1)[0]
+        text = format_fragment(fragment, disassemble=False)
+        assert f"{fragment.guest_pc:#010x}" in text
+        assert f"execs={fragment.executions}" in text
+        assert fragment.exit_kind.value in text
+
+    def test_disassembly_lines(self):
+        vm = run_vm()
+        fragment = hottest_fragments(vm, 1)[0]
+        text = format_fragment(fragment, disassemble=True)
+        assert len(text.splitlines()) == 1 + len(fragment.instrs)
+
+    def test_links_rendered(self):
+        vm = run_vm()
+        linked = [f for f in vm.cache.fragments() if f.links]
+        assert linked  # the hot loop must have linked exits
+        text = format_fragment(linked[0], disassemble=False)
+        assert "->" in text
+
+
+class TestDump:
+    def test_summary_line(self):
+        vm = run_vm()
+        text = dump_fragment_cache(vm)
+        first = text.splitlines()[0]
+        assert f"{len(vm.cache.fragments())} fragments" in first
+        assert f"{vm.cache.bytes_used} bytes" in first
+
+    def test_limit(self):
+        vm = run_vm()
+        text = dump_fragment_cache(vm, limit=3)
+        assert len(text.splitlines()) == 4  # summary + 3
+
+    def test_min_executions_filter(self):
+        vm = run_vm()
+        everything = dump_fragment_cache(vm)
+        hot_only = dump_fragment_cache(vm, min_executions=10)
+        assert len(hot_only.splitlines()) <= len(everything.splitlines())
+
+    def test_sorted_by_heat(self):
+        vm = run_vm()
+        fragments = hottest_fragments(vm, 5)
+        executions = [fragment.executions for fragment in fragments]
+        assert executions == sorted(executions, reverse=True)
+
+
+class TestCLICommands:
+    def test_fragments_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["fragments", "eon_like", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fragment cache:" in out
+
+    def test_fanout_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["fanout", "gcc_like", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "IB sites" in out
+        assert "monomorphic" in out

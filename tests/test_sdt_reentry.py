@@ -1,0 +1,104 @@
+"""Translator re-entry baseline and the SDT<->interpreter differential
+property test over randomly generated programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import assert_equivalent, run_minic, run_minic_sdt
+from repro.host.costs import Category
+from repro.host.profile import SIMPLE
+from repro.sdt.config import SDTConfig
+
+from test_sdt_ibtc import dispatch_source
+
+
+class TestReentryBaseline:
+    def test_every_dispatch_is_a_miss(self):
+        result = run_minic_sdt(
+            dispatch_source(2, iterations=100),
+            SDTConfig(profile=SIMPLE, ib="reentry"),
+        )
+        dispatches = sum(result.stats.ib_dispatches.values())
+        assert result.stats.mechanism["reentry.miss"] == dispatches
+        assert result.stats.mechanism["reentry.hit"] == 0
+
+    def test_context_switch_cost_dominates(self):
+        result = run_minic_sdt(
+            dispatch_source(2, iterations=300),
+            SDTConfig(profile=SIMPLE, ib="reentry"),
+        )
+        breakdown = result.cycles
+        assert breakdown[Category.CONTEXT_SWITCH.value] > \
+            breakdown[Category.TRANSLATE.value]
+
+    def test_reentry_slower_than_any_cache(self):
+        source = dispatch_source(3, iterations=200)
+        reentry = run_minic_sdt(source, SDTConfig(profile=SIMPLE, ib="reentry"))
+        ibtc = run_minic_sdt(source, SDTConfig(profile=SIMPLE, ib="ibtc"))
+        sieve = run_minic_sdt(source, SDTConfig(profile=SIMPLE, ib="sieve"))
+        assert reentry.total_cycles > ibtc.total_cycles
+        assert reentry.total_cycles > sieve.total_cycles
+
+
+# -- differential property test ------------------------------------------------
+
+_CONFIGS = [
+    SDTConfig(profile=SIMPLE, ib="reentry"),
+    SDTConfig(profile=SIMPLE, ib="ibtc", ibtc_entries=16),
+    SDTConfig(profile=SIMPLE, ib="sieve", sieve_buckets=8),
+    SDTConfig(profile=SIMPLE, ib="ibtc", returns="fast"),
+    SDTConfig(profile=SIMPLE, ib="ibtc", returns="shadow", shadow_depth=3),
+    SDTConfig(profile=SIMPLE, ib="sieve", returns="retcache",
+              retcache_entries=4),
+]
+
+
+def _generated_program(seed: int, targets: int, iters: int, depth: int) -> str:
+    """A deterministic random-ish program with all IB kinds."""
+    funcs = "".join(
+        f"int g{i}(int x) {{ return x * {i + 2} + {seed % 97}; }}\n"
+        for i in range(targets)
+    )
+    table = "int tab[] = { " + ", ".join(
+        f"&g{i}" for i in range(targets)
+    ) + " };\n"
+    return funcs + table + f"""
+    int rec(int n) {{
+        if (n <= 0) return {seed % 13};
+        return rec(n - 1) + n;
+    }}
+    int pick(int x) {{
+        switch (x & 7) {{
+        case 0: return 1; case 1: return 3; case 2: return 5;
+        case 3: return 7; case 4: return 11; case 5: return 13;
+        case 6: return 17; default: return 19;
+        }}
+    }}
+    int main() {{
+        int total = {seed & 0xFF};
+        int i;
+        for (i = 0; i < {iters}; i++) {{
+            int f = tab[(i * {seed % 7 + 1}) % {targets}];
+            total += f(i) + pick(total) + rec(i % {depth});
+            total &= 0xffffff;
+        }}
+        print_int(total);
+        return 0;
+    }}
+    """
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    targets=st.integers(1, 6),
+    iters=st.integers(1, 40),
+    depth=st.integers(1, 8),
+    config_index=st.integers(0, len(_CONFIGS) - 1),
+)
+def test_sdt_equivalent_to_interpreter_property(
+    seed, targets, iters, depth, config_index
+):
+    """For random programs and any mechanism, SDT output, exit code and
+    retired-instruction count match the reference interpreter exactly."""
+    source = _generated_program(seed, targets, iters, depth)
+    assert_equivalent(source, _CONFIGS[config_index])

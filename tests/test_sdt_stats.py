@@ -1,0 +1,47 @@
+"""SDTStats bookkeeping."""
+
+from repro.sdt.stats import SDTStats
+
+
+class TestHitRate:
+    def test_no_traffic_is_zero(self):
+        stats = SDTStats()
+        assert stats.hit_rate("ibtc-shared-64") == 0.0
+
+    def test_ratio(self):
+        stats = SDTStats()
+        stats.mechanism["m.hit"] = 9
+        stats.mechanism["m.miss"] = 1
+        assert stats.hit_rate("m") == 0.9
+
+    def test_all_misses(self):
+        stats = SDTStats()
+        stats.mechanism["m.miss"] = 5
+        assert stats.hit_rate("m") == 0.0
+
+
+class TestAsDict:
+    def test_keys_and_nested_counters(self):
+        stats = SDTStats()
+        stats.fragments_translated = 3
+        stats.ib_dispatches["ret"] = 7
+        stats.mechanism["m.hit"] = 2
+        snapshot = stats.as_dict()
+        assert snapshot["fragments_translated"] == 3
+        assert snapshot["ib_dispatches"] == {"ret": 7}
+        assert snapshot["mechanism"] == {"m.hit": 2}
+        assert set(snapshot) == {
+            "fragments_translated",
+            "instrs_translated",
+            "cache_flushes",
+            "links_patched",
+            "translator_reentries",
+            "ib_dispatches",
+            "mechanism",
+        }
+
+    def test_snapshot_is_detached(self):
+        stats = SDTStats()
+        snapshot = stats.as_dict()
+        stats.ib_dispatches["ret"] = 1
+        assert snapshot["ib_dispatches"] == {}

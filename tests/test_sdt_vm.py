@@ -1,0 +1,206 @@
+"""SDT VM: execution equivalence, linking, flushes, accounting."""
+
+import pytest
+
+from conftest import ALL_IB_KINDS_SOURCE, assert_equivalent, run_minic, run_minic_sdt
+from repro.host.costs import Category
+from repro.host.profile import SIMPLE
+from repro.isa.assembler import assemble
+from repro.lang import compile_to_program
+from repro.machine.errors import FuelExhausted
+from repro.sdt.config import SDTConfig
+from repro.sdt.vm import SDTVM
+
+
+def all_configs():
+    return [
+        SDTConfig(profile=SIMPLE, ib="reentry"),
+        SDTConfig(profile=SIMPLE, ib="ibtc"),
+        SDTConfig(profile=SIMPLE, ib="ibtc", ibtc_shared=False,
+                  ibtc_entries=8),
+        SDTConfig(profile=SIMPLE, ib="sieve", sieve_buckets=32),
+        SDTConfig(profile=SIMPLE, ib="ibtc", returns="fast"),
+        SDTConfig(profile=SIMPLE, ib="ibtc", returns="shadow"),
+        SDTConfig(profile=SIMPLE, ib="ibtc", returns="retcache"),
+        SDTConfig(profile=SIMPLE, ib="sieve", returns="fast"),
+        SDTConfig(profile=SIMPLE, ib="reentry", linking=False),
+    ]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "config", all_configs(), ids=lambda c: c.label
+    )
+    def test_all_ib_kinds_program(self, config):
+        assert_equivalent(ALL_IB_KINDS_SOURCE, config)
+
+    def test_inputs_flow_through(self):
+        source = "int main() { print_int(read_int() * 2); return 0; }"
+        result = run_minic_sdt(source, inputs=[21])
+        assert result.output == "42"
+
+    def test_exit_code_preserved(self):
+        result = run_minic_sdt("int main() { exit(9); return 0; }")
+        assert result.exit_code == 9
+
+    def test_mid_fragment_exit(self):
+        # exit() inside a basic block must stop before the block ends
+        native = run_minic("int main() { exit(1); print_int(7); return 0; }")
+        translated = run_minic_sdt(
+            "int main() { exit(1); print_int(7); return 0; }"
+        )
+        assert translated.output == native.output == ""
+        assert translated.retired == native.retired
+
+
+class TestLinking:
+    SOURCE = """
+    int main() {
+        int i;
+        int s = 0;
+        for (i = 0; i < 100; i++) s += i;
+        print_int(s);
+        return 0;
+    }
+    """
+
+    def test_linking_eliminates_reentries(self):
+        linked = run_minic_sdt(self.SOURCE, SDTConfig(profile=SIMPLE))
+        unlinked = run_minic_sdt(
+            self.SOURCE, SDTConfig(profile=SIMPLE, linking=False)
+        )
+        assert linked.stats.translator_reentries < 30
+        assert unlinked.stats.translator_reentries > 200
+        assert unlinked.total_cycles > linked.total_cycles
+
+    def test_each_exit_linked_once(self):
+        result = run_minic_sdt(self.SOURCE, SDTConfig(profile=SIMPLE))
+        # links patched is bounded by (fragments x exits), not executions
+        assert result.stats.links_patched <= \
+            2 * result.stats.fragments_translated
+
+    def test_link_cycles_charged(self):
+        result = run_minic_sdt(self.SOURCE, SDTConfig(profile=SIMPLE))
+        assert result.cycles[Category.LINK.value] == \
+            result.stats.links_patched * SIMPLE.link_patch
+
+
+class TestFragmentCachePressure:
+    def test_tiny_cache_flushes_and_still_correct(self):
+        config = SDTConfig(profile=SIMPLE, fragment_cache_bytes=512)
+        result = assert_equivalent(ALL_IB_KINDS_SOURCE, config)
+        assert result.stats.cache_flushes > 0
+
+    def test_tiny_cache_with_fast_returns(self):
+        config = SDTConfig(
+            profile=SIMPLE, fragment_cache_bytes=512, returns="fast"
+        )
+        result = assert_equivalent(ALL_IB_KINDS_SOURCE, config)
+        assert result.stats.cache_flushes > 0
+
+    def test_short_fragments_still_correct(self):
+        config = SDTConfig(profile=SIMPLE, max_fragment_instrs=2)
+        assert_equivalent(ALL_IB_KINDS_SOURCE, config)
+
+
+class TestAccounting:
+    def test_app_cycles_equal_native_cycles(self):
+        """The APP category must equal the native baseline's class costs.
+
+        Both engines execute the same retired instruction stream, so any
+        difference would mean the SDT is charging application work wrong.
+        """
+        from repro.host.costs import HostModel, NativeCostObserver
+        from repro.machine.interpreter import Interpreter
+
+        program = compile_to_program(ALL_IB_KINDS_SOURCE)
+        model = HostModel(SIMPLE)
+        Interpreter(program, observer=NativeCostObserver(model)).run()
+        native_app = model.cycles[Category.APP]
+
+        result = run_minic_sdt(ALL_IB_KINDS_SOURCE, SDTConfig(profile=SIMPLE))
+        assert result.cycles[Category.APP.value] == native_app
+
+    def test_total_is_sum_of_breakdown(self):
+        result = run_minic_sdt(ALL_IB_KINDS_SOURCE, SDTConfig(profile=SIMPLE))
+        assert result.total_cycles == sum(result.cycles.values())
+
+    def test_ib_dispatch_counts_match_iclass_counts(self):
+        from repro.isa.opcodes import InstrClass
+
+        result = run_minic_sdt(ALL_IB_KINDS_SOURCE, SDTConfig(profile=SIMPLE))
+        assert result.stats.ib_dispatches["ret"] == \
+            result.iclass_counts[InstrClass.RET]
+        assert result.stats.ib_dispatches["icall"] == \
+            result.iclass_counts[InstrClass.ICALL]
+        assert result.stats.ib_dispatches["ijump"] == \
+            result.iclass_counts[InstrClass.IJUMP]
+
+    def test_overhead_vs(self):
+        result = run_minic_sdt("int main() { return 0; }",
+                               SDTConfig(profile=SIMPLE))
+        assert result.overhead_vs(result.total_cycles) == 1.0
+        with pytest.raises(ValueError):
+            result.overhead_vs(0)
+
+
+class TestFuel:
+    def test_infinite_loop_detected(self):
+        program = assemble(".text\nmain:\nloop:\nj loop\n")
+        vm = SDTVM(program, SDTConfig(profile=SIMPLE))
+        with pytest.raises(FuelExhausted):
+            vm.run(fuel=1000)
+
+
+class TestConfigValidation:
+    def test_bad_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            SDTConfig(ib="oracle")
+
+    def test_bad_return_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            SDTConfig(returns="magic")
+
+    def test_labels(self):
+        assert SDTConfig(ib="ibtc", ibtc_entries=64).label == \
+            "ibtc(shared,64)"
+        assert SDTConfig(ib="sieve", sieve_buckets=32).label == "sieve(32)"
+        assert "nolink" in SDTConfig(ib="reentry", linking=False).label
+        assert "ret=fast" in SDTConfig(returns="fast").label
+
+    def test_with_profile(self):
+        from repro.host.profile import X86_K8
+
+        config = SDTConfig(ib="sieve").with_profile(X86_K8)
+        assert config.profile is X86_K8
+        assert config.ib == "sieve"
+
+
+class TestExtremeConfigs:
+    def test_single_instruction_fragments(self):
+        """max_fragment_instrs=1: every instruction is its own fragment."""
+        config = SDTConfig(profile=SIMPLE, max_fragment_instrs=1)
+        result = assert_equivalent(ALL_IB_KINDS_SOURCE, config)
+        # fragments hold exactly one instruction each
+        assert result.stats.instrs_translated == \
+            result.stats.fragments_translated
+
+    def test_single_instruction_fragments_with_traces(self):
+        config = SDTConfig(profile=SIMPLE, max_fragment_instrs=1,
+                           trace_jumps=True)
+        assert_equivalent(ALL_IB_KINDS_SOURCE, config)
+
+    def test_every_feature_at_once(self):
+        config = SDTConfig(
+            profile=SIMPLE,
+            ib="sieve",
+            sieve_buckets=8,
+            inline_predict=True,
+            returns="shadow",
+            shadow_depth=4,
+            trace_jumps=True,
+            fragment_cache_bytes=600,
+            max_fragment_instrs=16,
+        )
+        result = assert_equivalent(ALL_IB_KINDS_SOURCE, config)
+        assert result.stats.cache_flushes > 0

@@ -1,0 +1,121 @@
+"""Workload suite: registry, determinism, advertised IB profiles."""
+
+import pytest
+
+from repro.isa.opcodes import InstrClass
+from repro.machine.interpreter import Interpreter
+from repro.workloads import SCALES, get_workload, suite, workload_names
+from repro.workloads.base import Workload, register
+
+
+EXPECTED_NAMES = {
+    "bzip2_like", "crafty_like", "eon_like", "gap_like", "gcc_like",
+    "gzip_like",
+    "mcf_like", "parser_like", "perl_like", "twolf_like", "vortex_like",
+    "vpr_like",
+}
+
+
+def run_tiny(name: str):
+    workload = get_workload(name, "tiny")
+    return Interpreter(workload.compile()).run(fuel=10_000_000)
+
+
+class TestRegistry:
+    def test_all_expected_workloads_registered(self):
+        assert set(workload_names()) == EXPECTED_NAMES
+
+    def test_suite_builds_all(self):
+        workloads = suite("tiny")
+        assert len(workloads) == len(EXPECTED_NAMES)
+        assert all(isinstance(w, Workload) for w in workloads)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("spice_like")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_workload("gzip_like", "huge")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register("gzip_like")(lambda scale: None)
+
+    def test_scales_exported(self):
+        assert SCALES == ("tiny", "small", "large")
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+class TestEachWorkload:
+    def test_compiles_runs_and_exits_cleanly(self, name):
+        result = run_tiny(name)
+        assert result.exit_code == 0
+        assert result.output.strip()  # printed a checksum
+
+    def test_deterministic(self, name):
+        assert run_tiny(name).output == run_tiny(name).output
+
+    def test_scales_are_ordered(self, name):
+        tiny = get_workload(name, "tiny")
+        small = get_workload(name, "small")
+        retired_tiny = Interpreter(tiny.compile()).run(20_000_000).retired
+        retired_small = Interpreter(small.compile()).run(20_000_000).retired
+        assert retired_small > retired_tiny
+
+    def test_metadata(self, name):
+        workload = get_workload(name, "tiny")
+        assert workload.name == name
+        assert workload.spec_analog
+        assert workload.ib_profile
+        assert workload.description
+
+
+class TestIBProfiles:
+    """Each workload must exhibit the IB mix its docstring advertises —
+    that mix is what makes it a valid stand-in for its SPEC analog."""
+
+    def _counts(self, name):
+        return run_tiny(name).iclass_counts
+
+    def test_gcc_like_is_ijump_heavy(self):
+        counts = self._counts("gcc_like")
+        assert counts[InstrClass.IJUMP] > 100
+        assert counts[InstrClass.IJUMP] > counts[InstrClass.ICALL]
+
+    def test_perl_like_is_icall_heavy(self):
+        counts = self._counts("perl_like")
+        assert counts[InstrClass.ICALL] > 100
+
+    def test_eon_like_uses_icalls(self):
+        assert self._counts("eon_like")[InstrClass.ICALL] > 50
+
+    def test_vortex_like_uses_icalls(self):
+        assert self._counts("vortex_like")[InstrClass.ICALL] > 100
+
+    def test_bzip2_like_comparator_icalls(self):
+        assert self._counts("bzip2_like")[InstrClass.ICALL] > 100
+
+    def test_crafty_like_is_return_dominated(self):
+        counts = self._counts("crafty_like")
+        assert counts[InstrClass.RET] > 100
+        assert counts[InstrClass.IJUMP] == 0
+        assert counts[InstrClass.ICALL] == 0
+
+    def test_gzip_and_mcf_low_ib_rate(self):
+        for name in ("gzip_like", "mcf_like"):
+            result = run_tiny(name)
+            rate = result.indirect_branches / result.retired
+            assert rate < 1 / 80, name
+
+    def test_suite_ib_rates_span_an_order_of_magnitude(self):
+        rates = []
+        for name in sorted(EXPECTED_NAMES):
+            result = run_tiny(name)
+            rates.append(result.indirect_branches / result.retired)
+        assert max(rates) / min(rates) > 5
+
+    def test_parser_like_mixes_switch_and_recursion(self):
+        counts = self._counts("parser_like")
+        assert counts[InstrClass.IJUMP] > 20
+        assert counts[InstrClass.RET] > 200
