@@ -1,0 +1,55 @@
+"""Static analysis of SR32 program images.
+
+The subsystem has three layers, each usable on its own:
+
+- :mod:`repro.analysis.cfg` — basic-block recovery and direct edges over
+  an assembled :class:`~repro.isa.program.Program`;
+- :mod:`repro.analysis.classify` — static classification of every
+  indirect-branch site (return / indirect call / jump table / computed
+  jump) with sound fan-out upper bounds;
+- :mod:`repro.analysis.lint` — a pluggable lint engine emitting
+  structured :class:`~repro.analysis.lint.Diagnostic` records.
+
+The static bounds are cross-validated against dynamic fan-out profiles by
+:mod:`repro.eval.static_dynamic`.
+"""
+
+from repro.analysis.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.classify import (
+    FuncExtent,
+    IBSite,
+    JumpTable,
+    StaticAnalysis,
+    analyze_program,
+)
+from repro.analysis.lint import (
+    LINT_CHECKS,
+    Diagnostic,
+    LintReport,
+    lint_check,
+    run_lint,
+)
+from repro.analysis.report import (
+    analysis_summary,
+    analysis_to_json,
+    format_analysis,
+)
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "FuncExtent",
+    "IBSite",
+    "JumpTable",
+    "StaticAnalysis",
+    "analyze_program",
+    "LINT_CHECKS",
+    "Diagnostic",
+    "LintReport",
+    "lint_check",
+    "run_lint",
+    "analysis_summary",
+    "analysis_to_json",
+    "format_analysis",
+]

@@ -1,0 +1,310 @@
+"""Control-flow graph recovery over assembled SR32 programs.
+
+The builder works from a linked :class:`~repro.isa.program.Program` image
+alone — no symbols are required (they only improve diagnostics).  Recovery
+is classical: decode every text word, compute basic-block leaders (the
+entry point, direct branch/jump/call targets, the instruction after any
+control transfer, and every code address referenced from data or
+materialised as a constant), then split the text into blocks and wire the
+statically visible edges.
+
+Indirect successors (``jr``/``jalr``/``ret``) are deliberately *not*
+resolved here; that is the job of :mod:`repro.analysis.classify`, which
+layers jump-table and callee-set recovery on top of this graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrClass, Op
+from repro.isa.program import Program
+from repro.isa.registers import REG_RA
+
+#: Block terminator categories (``BasicBlock.terminator``).
+TERM_FALL = "fall"        # runs into the next block
+TERM_BRANCH = "branch"    # conditional direct branch
+TERM_JUMP = "jump"        # unconditional direct jump
+TERM_CALL = "call"        # direct call; falls through on return
+TERM_IJUMP = "ijump"      # indirect jump (jr, non-ra)
+TERM_ICALL = "icall"      # indirect call (jalr); falls through on return
+TERM_RET = "ret"          # return (ret, or jr ra)
+TERM_HALT = "halt"        # halt
+TERM_DATA = "data"        # undecodable word embedded in .text
+
+#: Terminators after which execution may continue at ``block.end``.
+FALLTHROUGH_TERMINATORS = frozenset(
+    {TERM_FALL, TERM_BRANCH, TERM_CALL, TERM_ICALL}
+)
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """One maximal straight-line run of instructions."""
+
+    start: int
+    instrs: list[tuple[int, Instruction]]
+    terminator: str = TERM_FALL
+    #: Intra-procedural successor block starts (direct edges only).
+    successors: tuple[int, ...] = ()
+    #: Direct call target (``jal``), if the block ends in one.
+    call_target: int | None = None
+
+    @property
+    def end(self) -> int:
+        """First address past the block."""
+        return self.start + 4 * max(len(self.instrs), 1)
+
+    @property
+    def last(self) -> tuple[int, Instruction] | None:
+        return self.instrs[-1] if self.instrs else None
+
+    @property
+    def falls_through(self) -> bool:
+        return self.terminator in FALLTHROUGH_TERMINATORS
+
+
+@dataclass(slots=True)
+class CFG:
+    """Whole-program control-flow graph (indirect edges unresolved)."""
+
+    program: Program
+    #: Decoded instruction per text address; ``None`` for undecodable words.
+    instrs: dict[int, Instruction | None]
+    blocks: dict[int, BasicBlock]
+    #: pc -> start address of the containing block.
+    block_start_of: dict[int, int] = field(default_factory=dict)
+    #: Text addresses materialised by ``lui``/``ori`` pairs in code.
+    const_code_refs: frozenset[int] = frozenset()
+    #: data-word address -> text address it stores.
+    data_code_words: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def text_lo(self) -> int:
+        return self.program.text.base
+
+    @property
+    def text_hi(self) -> int:
+        return self.program.text.end
+
+    def in_text(self, addr: int) -> bool:
+        return self.text_lo <= addr < self.text_hi and addr % 4 == 0
+
+    def block_at(self, pc: int) -> BasicBlock | None:
+        start = self.block_start_of.get(pc)
+        return self.blocks[start] if start is not None else None
+
+    def linear(self) -> list[tuple[int, Instruction]]:
+        """All decodable instructions in address order."""
+        return [
+            (pc, instr)
+            for pc, instr in sorted(self.instrs.items())
+            if instr is not None
+        ]
+
+    def reachable_blocks(
+        self, roots: set[int], indirect_successors: dict[int, set[int]] | None = None
+    ) -> set[int]:
+        """Block starts reachable from ``roots`` (text addresses).
+
+        ``indirect_successors`` maps an indirect-branch pc to its resolved
+        target set (e.g. recovered jump tables) and is folded into the
+        walk when given.
+        """
+        indirect = indirect_successors or {}
+        seen: set[int] = set()
+        work = [self.block_start_of[r] for r in roots if r in self.block_start_of]
+        while work:
+            start = work.pop()
+            if start in seen:
+                continue
+            seen.add(start)
+            block = self.blocks[start]
+            succ: set[int] = set(block.successors)
+            if block.call_target is not None:
+                succ.add(block.call_target)
+            last = block.last
+            if last is not None and last[0] in indirect:
+                succ.update(indirect[last[0]])
+            for target in succ:
+                target_start = self.block_start_of.get(target)
+                if target_start is not None and target_start not in seen:
+                    work.append(target_start)
+        return seen
+
+
+def _is_return(instr: Instruction) -> bool:
+    """``ret``, or the architectural spelling ``jr ra``."""
+    if instr.op is Op.RET:
+        return True
+    return instr.op is Op.JR and instr.rs == REG_RA
+
+
+def terminator_kind(instr: Instruction) -> str:
+    """Terminator category for a control-transfer instruction."""
+    iclass = instr.iclass
+    if iclass is InstrClass.BRANCH:
+        return TERM_BRANCH
+    if iclass is InstrClass.JUMP:
+        return TERM_JUMP
+    if iclass is InstrClass.CALL:
+        return TERM_CALL
+    if iclass is InstrClass.ICALL:
+        return TERM_ICALL
+    if iclass is InstrClass.RET:
+        return TERM_RET
+    if iclass is InstrClass.IJUMP:
+        return TERM_RET if _is_return(instr) else TERM_IJUMP
+    if iclass is InstrClass.HALT:
+        return TERM_HALT
+    return TERM_FALL
+
+
+def _decode_text(program: Program) -> dict[int, Instruction | None]:
+    instrs: dict[int, Instruction | None] = {}
+    base = program.text.base
+    for index, word in enumerate(program.text_words()):
+        pc = base + 4 * index
+        try:
+            instrs[pc] = decode(word)
+        except DecodeError:
+            instrs[pc] = None
+    return instrs
+
+
+def find_const_code_refs(
+    instrs: list[tuple[int, Instruction]], program: Program
+) -> frozenset[int]:
+    """Text addresses materialised by ``lui``/``ori`` pairs (``la`` idiom)."""
+    refs: set[int] = set()
+    lo, hi = program.text.base, program.text.end
+    for index, (_, instr) in enumerate(instrs):
+        if instr.op is not Op.LUI:
+            continue
+        value = (instr.imm & 0xFFFF) << 16
+        if index + 1 < len(instrs):
+            nxt = instrs[index + 1][1]
+            if (
+                nxt.op is Op.ORI
+                and nxt.rt == instr.rt
+                and nxt.rs == instr.rt
+            ):
+                value |= nxt.imm & 0xFFFF
+        if lo <= value < hi and value % 4 == 0:
+            refs.add(value)
+    return frozenset(refs)
+
+
+def find_data_code_words(program: Program) -> dict[int, int]:
+    """Aligned data words whose value is a text address."""
+    words: dict[int, int] = {}
+    raw = program.data.data
+    base = program.data.base
+    lo, hi = program.text.base, program.text.end
+    for offset in range(0, len(raw) - len(raw) % 4, 4):
+        value = int.from_bytes(raw[offset : offset + 4], "little")
+        if lo <= value < hi and value % 4 == 0:
+            words[base + offset] = value
+    return words
+
+
+def build_cfg(program: Program) -> CFG:
+    """Recover basic blocks and direct edges from a program image."""
+    instr_map = _decode_text(program)
+    linear = [(pc, i) for pc, i in sorted(instr_map.items()) if i is not None]
+    const_refs = find_const_code_refs(linear, program)
+    data_words = find_data_code_words(program)
+
+    lo, hi = program.text.base, program.text.end
+
+    def in_text(addr: int) -> bool:
+        return lo <= addr < hi and addr % 4 == 0
+
+    leaders: set[int] = {program.entry if in_text(program.entry) else lo}
+    leaders.add(lo)
+    for pc, instr in instr_map.items():
+        if instr is None:
+            # data words break the instruction stream on both sides
+            leaders.add(pc)
+            if in_text(pc + 4):
+                leaders.add(pc + 4)
+            continue
+        iclass = instr.iclass
+        if iclass in (InstrClass.BRANCH, InstrClass.JUMP, InstrClass.CALL):
+            target = instr.branch_target(pc)
+            if in_text(target):
+                leaders.add(target)
+        if instr.is_control and in_text(pc + 4):
+            leaders.add(pc + 4)
+    for ref in const_refs:
+        leaders.add(ref)
+    for value in data_words.values():
+        leaders.add(value)
+
+    ordered = sorted(leaders)
+    blocks: dict[int, BasicBlock] = {}
+    block_start_of: dict[int, int] = {}
+    for index, start in enumerate(ordered):
+        limit = ordered[index + 1] if index + 1 < len(ordered) else hi
+        pc = start
+        instrs: list[tuple[int, Instruction]] = []
+        terminator = TERM_FALL
+        while pc < limit:
+            instr = instr_map.get(pc)
+            if instr is None:
+                terminator = TERM_DATA
+                break
+            instrs.append((pc, instr))
+            if instr.is_control:
+                terminator = terminator_kind(instr)
+                pc += 4
+                break
+            pc += 4
+        block = BasicBlock(start=start, instrs=instrs, terminator=terminator)
+        blocks[start] = block
+        span = max(len(instrs), 1)
+        for offset in range(span):
+            block_start_of[start + 4 * offset] = start
+
+    # successors
+    for block in blocks.values():
+        succ: list[int] = []
+        last = block.last
+        if last is not None:
+            pc, instr = last
+            kind = block.terminator
+            if kind == TERM_BRANCH:
+                target = instr.branch_target(pc)
+                if in_text(target):
+                    succ.append(target)
+                if in_text(block.end):
+                    succ.append(block.end)
+            elif kind == TERM_JUMP:
+                target = instr.branch_target(pc)
+                if in_text(target):
+                    succ.append(target)
+            elif kind == TERM_CALL:
+                block.call_target = instr.branch_target(pc)
+                if in_text(block.end):
+                    succ.append(block.end)
+            elif kind == TERM_ICALL:
+                if in_text(block.end):
+                    succ.append(block.end)
+            elif kind == TERM_FALL:
+                if in_text(block.end):
+                    succ.append(block.end)
+            # TERM_JUMP handled; ret/halt/ijump have no direct successors
+        elif block.terminator == TERM_FALL and in_text(block.end):
+            succ.append(block.end)
+        block.successors = tuple(dict.fromkeys(succ))
+
+    return CFG(
+        program=program,
+        instrs=instr_map,
+        blocks=blocks,
+        block_start_of=block_start_of,
+        const_code_refs=const_refs,
+        data_code_words=data_words,
+    )

@@ -1,0 +1,423 @@
+"""Static classification of indirect-branch sites.
+
+Every ``jr``/``jalr``/``ret`` in the text section is tagged with a *role*
+and, where the defining instructions are statically visible, a **sound
+upper bound** on its target set:
+
+``return``
+    ``ret`` or ``jr ra``.  Bound: the return sites of the enclosing
+    function — one past every direct call to it, plus one past every
+    indirect call site if the function's address is taken.
+``jump-table``
+    ``jr`` fed by the canonical bounds-checked table-load idiom the MiniC
+    compiler emits.  Bound: the distinct code addresses stored in the
+    recovered table.
+``indirect-call``
+    ``jalr``.  Bound: the *address-taken* set — every code address
+    materialised as a constant in text or stored as a word in data.
+``computed-jump``
+    a ``jr`` whose defining instructions could not be recovered.  Bound:
+    every instruction address in text (the trivial top — still sound).
+
+The bounds are deliberately conservative: the cross-validator in
+:mod:`repro.eval.static_dynamic` asserts ``dynamic targets ⊆ static
+bound`` for every site of every workload, which is the correctness oracle
+for both this analyzer and the VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrClass, Op
+from repro.isa.program import Program
+from repro.isa.registers import REG_RA, REG_ZERO
+
+#: How far a backward use-def scan may walk when recovering a jump table.
+_SCAN_WINDOW = 64
+
+
+@dataclass(frozen=True, slots=True)
+class JumpTable:
+    """A recovered bounds-checked jump table."""
+
+    jr_pc: int
+    base: int            # address of the first table word
+    span: int            # number of entries (from the bounds check)
+    targets: frozenset[int]
+    #: Addresses of the table words themselves (for address-taken pruning).
+    word_addrs: frozenset[int]
+
+
+@dataclass(frozen=True, slots=True)
+class FuncExtent:
+    """One function: ``[entry, limit)`` in the text section."""
+
+    entry: int
+    limit: int
+    name: str | None = None
+
+    def contains(self, pc: int) -> bool:
+        return self.entry <= pc < self.limit
+
+
+@dataclass(slots=True)
+class IBSite:
+    """One static indirect-branch site."""
+
+    pc: int
+    kind: str            # dynamic class: "ijump" | "icall" | "ret"
+    role: str            # "return" | "indirect-call" | "jump-table" | "computed-jump"
+    bounded: bool        # a non-trivial bound was recovered
+    targets: frozenset[int] = frozenset()
+    bound: int = 0       # static fan-out upper bound (== len(targets) if bounded)
+    table: JumpTable | None = None
+    function: str | None = None
+
+
+@dataclass(slots=True)
+class StaticAnalysis:
+    """CFG + IB classification for one program."""
+
+    program: Program
+    cfg: CFG
+    sites: dict[int, IBSite]
+    functions: list[FuncExtent]
+    address_taken: frozenset[int]
+    jump_tables: list[JumpTable] = field(default_factory=list)
+
+    def function_of(self, pc: int) -> FuncExtent | None:
+        for func in self.functions:
+            if func.contains(pc):
+                return func
+        return None
+
+    def sites_by_role(self) -> dict[str, list[IBSite]]:
+        grouped: dict[str, list[IBSite]] = {}
+        for site in self.sites.values():
+            grouped.setdefault(site.role, []).append(site)
+        return grouped
+
+    def indirect_successors(self) -> dict[int, set[int]]:
+        """pc -> resolved static targets, for CFG reachability walks."""
+        out: dict[int, set[int]] = {}
+        for site in self.sites.values():
+            if site.bounded and site.role != "return":
+                out[site.pc] = set(site.targets)
+        return out
+
+
+# -- constant tracking ------------------------------------------------------
+
+
+def constant_states(
+    instrs: list[tuple[int, Instruction]]
+) -> list[tuple[int, Instruction, dict[int, int]]]:
+    """Linear constant propagation: value of each register *before* each
+    instruction, for registers holding statically known constants.
+
+    State is reset at every control transfer (conservative: no constants
+    survive a block boundary).  ``zero`` is always 0.
+    """
+    out: list[tuple[int, Instruction, dict[int, int]]] = []
+    consts: dict[int, int] = {REG_ZERO: 0}
+    for pc, instr in instrs:
+        out.append((pc, instr, dict(consts)))
+        op = instr.op
+        if op is Op.LUI:
+            consts[instr.rt] = (instr.imm & 0xFFFF) << 16
+        elif op is Op.ORI and instr.rs in consts:
+            consts[instr.rt] = (consts[instr.rs] | (instr.imm & 0xFFFF)) & 0xFFFFFFFF
+        elif op is Op.ADDI and instr.rs in consts:
+            consts[instr.rt] = (consts[instr.rs] + instr.imm) & 0xFFFFFFFF
+        else:
+            dest = instr.writes_reg
+            if dest is not None and dest != REG_ZERO:
+                consts.pop(dest, None)
+        if instr.is_control:
+            consts = {REG_ZERO: 0}
+        consts[REG_ZERO] = 0
+    return out
+
+
+# -- jump-table recovery ----------------------------------------------------
+
+
+def _find_def(
+    instrs: list[tuple[int, Instruction]], index: int, reg: int
+) -> int | None:
+    """Index of the nearest preceding instruction writing ``reg``."""
+    stop = max(0, index - _SCAN_WINDOW)
+    for i in range(index - 1, stop - 1, -1):
+        if instrs[i][1].writes_reg == reg:
+            return i
+    return None
+
+
+def _const_at(
+    instrs: list[tuple[int, Instruction]], index: int, reg: int
+) -> int | None:
+    """Constant value of ``reg`` at ``index``, via the la/lui/ori idiom."""
+    if reg == REG_ZERO:
+        return 0
+    d = _find_def(instrs, index, reg)
+    if d is None:
+        return None
+    instr = instrs[d][1]
+    if instr.op is Op.LUI:
+        return (instr.imm & 0xFFFF) << 16
+    if instr.op is Op.ORI and instr.rs == reg:
+        hi_idx = _find_def(instrs, d, reg)
+        if hi_idx is not None and instrs[hi_idx][1].op is Op.LUI:
+            hi = (instrs[hi_idx][1].imm & 0xFFFF) << 16
+            return (hi | (instr.imm & 0xFFFF)) & 0xFFFFFFFF
+    return None
+
+
+def _read_word(program: Program, addr: int) -> int | None:
+    for section in (program.data, program.text):
+        if section.base <= addr and addr + 4 <= section.end:
+            offset = addr - section.base
+            return int.from_bytes(section.data[offset : offset + 4], "little")
+    return None
+
+
+def recover_jump_table(cfg: CFG, jr_pc: int) -> JumpTable | None:
+    """Pattern-match the bounds-checked jump-table idiom feeding a ``jr``.
+
+    Expected shape (registers are arbitrary)::
+
+        sltiu g, i, SPAN        ; bounds check on the unscaled index
+        beq   g, zero, default
+        sll   s, i, 2           ; scale
+        lui   b, hi(table)
+        ori   b, b, lo(table)
+        add   a, s, b           ; (either operand order)
+        lw    x, OFF(a)
+        jr    x
+
+    Returns ``None`` when any link of the chain is missing — the caller
+    falls back to the trivial (still sound) bound.
+    """
+    linear = cfg.linear()
+    positions = {pc: i for i, (pc, _) in enumerate(linear)}
+    if jr_pc not in positions:
+        return None
+    jr_idx = positions[jr_pc]
+    jr = linear[jr_idx][1]
+
+    # 1. the value being jumped through must come from a table load
+    load_idx = _find_def(linear, jr_idx, jr.rs)
+    if load_idx is None:
+        return None
+    load = linear[load_idx][1]
+    if load.op is not Op.LW:
+        return None
+
+    # 2. the load address is index*4 + table base
+    add_idx = _find_def(linear, load_idx, load.rs)
+    if add_idx is None:
+        return None
+    add = linear[add_idx][1]
+    if add.op is not Op.ADD:
+        return None
+
+    base = None
+    index_reg = None
+    sll_idx = None
+    for scaled, other in ((add.rs, add.rt), (add.rt, add.rs)):
+        cand = _find_def(linear, add_idx, scaled)
+        if cand is None:
+            continue
+        cand_instr = linear[cand][1]
+        if cand_instr.op is Op.SLL and cand_instr.shamt == 2:
+            const = _const_at(linear, add_idx, other)
+            if const is not None:
+                sll_idx = cand
+                index_reg = cand_instr.rt
+                base = const
+                break
+    if base is None or sll_idx is None or index_reg is None:
+        return None
+
+    # 3. the unscaled index must be bounds-checked by sltiu + beqz
+    span = None
+    stop = max(0, sll_idx - _SCAN_WINDOW)
+    for i in range(sll_idx - 1, stop - 1, -1):
+        pc_i, instr_i = linear[i]
+        if instr_i.op is Op.SLTIU and instr_i.rs == index_reg:
+            guard = instr_i.rt
+            if i + 1 < len(linear):
+                nxt = linear[i + 1][1]
+                if nxt.op in (Op.BEQ, Op.BNE) and guard in (nxt.rs, nxt.rt):
+                    span = instr_i.imm
+            break
+        if instr_i.writes_reg == index_reg:
+            break
+    if span is None or span <= 0:
+        return None
+
+    base = (base + load.imm) & 0xFFFFFFFF
+    targets: set[int] = set()
+    word_addrs: set[int] = set()
+    for entry in range(span):
+        addr = base + 4 * entry
+        value = _read_word(cfg.program, addr)
+        if value is None:
+            return None
+        word_addrs.add(addr)
+        if cfg.in_text(value):
+            targets.add(value)
+    return JumpTable(
+        jr_pc=jr_pc,
+        base=base,
+        span=span,
+        targets=frozenset(targets),
+        word_addrs=frozenset(word_addrs),
+    )
+
+
+# -- function partitioning --------------------------------------------------
+
+
+def _function_extents(
+    cfg: CFG, address_taken: frozenset[int]
+) -> list[FuncExtent]:
+    """Partition the text into functions.
+
+    Entries are behavioural: the program entry, every direct-call target
+    and every address-taken code address.  Extents are the contiguous
+    ranges between consecutive entries (functions are contiguous in all
+    code this toolchain produces).
+    """
+    program = cfg.program
+    entries: set[int] = set()
+    if cfg.in_text(program.entry):
+        entries.add(program.entry)
+    entries.add(cfg.text_lo)
+    for pc, instr in cfg.linear():
+        if instr.iclass is InstrClass.CALL:
+            target = instr.branch_target(pc)
+            if cfg.in_text(target):
+                entries.add(target)
+    entries.update(addr for addr in address_taken if cfg.in_text(addr))
+
+    addr_to_name: dict[int, str] = {}
+    for name, addr in sorted(program.symbols.items()):
+        if not name.startswith(".") and cfg.in_text(addr):
+            addr_to_name.setdefault(addr, name)
+
+    ordered = sorted(entries)
+    extents = []
+    for index, entry in enumerate(ordered):
+        limit = ordered[index + 1] if index + 1 < len(ordered) else cfg.text_hi
+        extents.append(
+            FuncExtent(entry=entry, limit=limit, name=addr_to_name.get(entry))
+        )
+    return extents
+
+
+# -- whole-program analysis -------------------------------------------------
+
+
+def analyze_program(program: Program) -> StaticAnalysis:
+    """Build the CFG and classify every indirect-branch site."""
+    cfg = build_cfg(program)
+    linear = cfg.linear()
+
+    # indirect sites and jump-table recovery
+    ib_pcs: list[tuple[int, Instruction]] = [
+        (pc, instr) for pc, instr in linear if instr.is_indirect
+    ]
+    tables: dict[int, JumpTable] = {}
+    for pc, instr in ib_pcs:
+        if instr.iclass is InstrClass.IJUMP and instr.rs != REG_RA:
+            table = recover_jump_table(cfg, pc)
+            if table is not None:
+                tables[pc] = table
+
+    # address-taken: constants in text + data words that are not table slots
+    table_word_addrs: set[int] = set()
+    for table in tables.values():
+        table_word_addrs.update(table.word_addrs)
+    address_taken = set(cfg.const_code_refs)
+    for word_addr, value in cfg.data_code_words.items():
+        if word_addr not in table_word_addrs:
+            address_taken.add(value)
+    address_taken_frozen = frozenset(address_taken)
+
+    functions = _function_extents(cfg, address_taken_frozen)
+
+    # call-site returns, for ret bounds
+    direct_return_sites: dict[int, set[int]] = {}   # callee entry -> {pc+4}
+    indirect_return_sites: set[int] = set()
+    for pc, instr in linear:
+        if instr.iclass is InstrClass.CALL:
+            target = instr.branch_target(pc)
+            direct_return_sites.setdefault(target, set()).add(pc + 4)
+        elif instr.iclass is InstrClass.ICALL:
+            indirect_return_sites.add(pc + 4)
+
+    trivial_bound = len(linear)
+
+    sites: dict[int, IBSite] = {}
+    for pc, instr in ib_pcs:
+        func = next((f for f in functions if f.contains(pc)), None)
+        func_name = func.name if func is not None else None
+        iclass = instr.iclass
+        kind = iclass.value
+        if iclass is InstrClass.RET or (
+            iclass is InstrClass.IJUMP and instr.rs == REG_RA
+        ):
+            targets: set[int] = set()
+            if func is not None:
+                targets |= direct_return_sites.get(func.entry, set())
+                if func.entry in address_taken_frozen:
+                    targets |= indirect_return_sites
+            sites[pc] = IBSite(
+                pc=pc, kind=kind, role="return", bounded=True,
+                targets=frozenset(targets), bound=len(targets),
+                function=func_name,
+            )
+        elif iclass is InstrClass.ICALL:
+            sites[pc] = IBSite(
+                pc=pc, kind=kind, role="indirect-call", bounded=True,
+                targets=address_taken_frozen, bound=len(address_taken_frozen),
+                function=func_name,
+            )
+        else:  # IJUMP, non-ra
+            table = tables.get(pc)
+            if table is not None:
+                sites[pc] = IBSite(
+                    pc=pc, kind=kind, role="jump-table", bounded=True,
+                    targets=table.targets, bound=len(table.targets),
+                    table=table, function=func_name,
+                )
+            else:
+                sites[pc] = IBSite(
+                    pc=pc, kind=kind, role="computed-jump", bounded=False,
+                    targets=frozenset(), bound=trivial_bound,
+                    function=func_name,
+                )
+
+    return StaticAnalysis(
+        program=program,
+        cfg=cfg,
+        sites=sites,
+        functions=functions,
+        address_taken=address_taken_frozen,
+        jump_tables=sorted(tables.values(), key=lambda t: t.jr_pc),
+    )
+
+
+__all__ = [
+    "IBSite",
+    "JumpTable",
+    "FuncExtent",
+    "StaticAnalysis",
+    "analyze_program",
+    "recover_jump_table",
+    "constant_states",
+]

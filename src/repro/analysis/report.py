@@ -1,0 +1,87 @@
+"""Human- and machine-readable rendering of a static analysis."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.classify import StaticAnalysis
+
+
+def analysis_summary(analysis: StaticAnalysis) -> dict[str, object]:
+    """Structured summary of one program's static analysis."""
+    cfg = analysis.cfg
+    roles: dict[str, int] = {}
+    for site in analysis.sites.values():
+        roles[site.role] = roles.get(site.role, 0) + 1
+    return {
+        "text_bytes": len(analysis.program.text.data),
+        "instructions": len(cfg.linear()),
+        "blocks": len(cfg.blocks),
+        "functions": len(analysis.functions),
+        "ib_sites": len(analysis.sites),
+        "sites_by_role": roles,
+        "jump_tables": len(analysis.jump_tables),
+        "address_taken": len(analysis.address_taken),
+    }
+
+
+def analysis_to_json(analysis: StaticAnalysis) -> str:
+    sites = [
+        {
+            "pc": site.pc,
+            "kind": site.kind,
+            "role": site.role,
+            "bounded": site.bounded,
+            "bound": site.bound,
+            "targets": sorted(site.targets),
+            "function": site.function,
+            "table": None
+            if site.table is None
+            else {
+                "base": site.table.base,
+                "span": site.table.span,
+                "targets": sorted(site.table.targets),
+            },
+        }
+        for site in sorted(analysis.sites.values(), key=lambda s: s.pc)
+    ]
+    functions = [
+        {"entry": f.entry, "limit": f.limit, "name": f.name}
+        for f in analysis.functions
+    ]
+    return json.dumps(
+        {
+            "summary": analysis_summary(analysis),
+            "functions": functions,
+            "sites": sites,
+        },
+        indent=2,
+    )
+
+
+def format_analysis(analysis: StaticAnalysis, limit: int = 20) -> str:
+    """Render the analyze-command text report."""
+    summary = analysis_summary(analysis)
+    lines = [
+        f"text       : {summary['text_bytes']} bytes, "
+        f"{summary['instructions']} instructions",
+        f"cfg        : {summary['blocks']} basic blocks, "
+        f"{summary['functions']} functions",
+        f"IB sites   : {summary['ib_sites']} "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(summary['sites_by_role'].items())) or 'none'})",
+        f"addr-taken : {summary['address_taken']} code addresses",
+        f"jump tables: {summary['jump_tables']}",
+    ]
+    shown = sorted(analysis.sites.values(), key=lambda s: (-s.bound, s.pc))
+    for site in shown[:limit]:
+        func = f" in {site.function}" if site.function else ""
+        bound = f"bound={site.bound}" + ("" if site.bounded else " (trivial)")
+        extra = ""
+        if site.table is not None:
+            extra = f", table@{site.table.base:#x} span={site.table.span}"
+        lines.append(
+            f"  {site.role:13s} @ {site.pc:#010x}: {bound}{extra}{func}"
+        )
+    if len(shown) > limit:
+        lines.append(f"  ... {len(shown) - limit} more site(s)")
+    return "\n".join(lines)

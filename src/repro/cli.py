@@ -7,9 +7,15 @@
     repro-sdt experiment <e1..e12|all> [--scale S]
     repro-sdt fragments <workload> [--disassemble]  # fragment-cache dump
     repro-sdt fanout <workload>                     # per-site IB targets
+    repro-sdt analyze <prog> [--json]               # static CFG/IB analysis
+    repro-sdt lint <prog> [--json]                  # static lint checks
+    repro-sdt crossval <workload|all> [--json]      # static-vs-dynamic oracle
     repro-sdt compile <file.mc> [-O] [-o out.s]     # MiniC -> assembly
     repro-sdt asm <file.s> [--run]                  # assemble (and run)
     repro-sdt list                                  # workloads & profiles
+
+``<prog>`` accepts a registered workload name, a MiniC source file
+(``*.mc``) or an SR32 assembly file (``*.s``/``*.asm``).
 """
 
 from __future__ import annotations
@@ -139,6 +145,62 @@ def _cmd_fanout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_guest_program(spec: str, scale: str):
+    """Resolve a CLI program spec: workload name, ``.mc`` or ``.s`` file."""
+    if spec.endswith(".mc"):
+        from repro.lang import compile_to_program
+
+        with open(spec) as handle:
+            return compile_to_program(handle.read())
+    if spec.endswith((".s", ".asm")):
+        with open(spec) as handle:
+            return assemble(handle.read())
+    return get_workload(spec, scale).compile()
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_program, analysis_to_json, format_analysis
+
+    program = _load_guest_program(args.prog, args.scale)
+    analysis = analyze_program(program)
+    if args.json:
+        print(analysis_to_json(analysis))
+    else:
+        print(f"program  : {args.prog}")
+        print(format_analysis(analysis, limit=args.limit))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import run_lint
+
+    program = _load_guest_program(args.prog, args.scale)
+    report = run_lint(program, only=args.check or None)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(f"program  : {args.prog}")
+        print(report.format())
+    return 0 if report.clean else 1
+
+
+def _cmd_crossval(args: argparse.Namespace) -> int:
+    from repro.eval.static_dynamic import cross_validate, cross_validate_suite
+
+    if args.workload == "all":
+        reports = cross_validate_suite(scale=args.scale)
+    else:
+        reports = [cross_validate(args.workload, scale=args.scale)]
+    if args.json:
+        import json
+
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.format(limit=args.limit))
+    return 0 if all(report.all_sound for report in reports) else 1
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     with open(args.file) as handle:
         source = handle.read()
@@ -218,6 +280,38 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("tiny", "small", "large"))
     fanout.add_argument("--limit", type=int, default=10)
 
+    analyze = sub.add_parser(
+        "analyze", help="static CFG and indirect-branch site analysis"
+    )
+    analyze.add_argument("prog", help="workload name, .mc file, or .s file")
+    analyze.add_argument("--scale", default="tiny",
+                         choices=("tiny", "small", "large"))
+    analyze.add_argument("--limit", type=int, default=20)
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+
+    lint = sub.add_parser(
+        "lint", help="run static lint checks over a guest program"
+    )
+    lint.add_argument("prog", help="workload name, .mc file, or .s file")
+    lint.add_argument("--scale", default="tiny",
+                      choices=("tiny", "small", "large"))
+    lint.add_argument("--check", action="append", metavar="ID",
+                      help="run only this check (repeatable)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable output")
+
+    crossval = sub.add_parser(
+        "crossval",
+        help="cross-validate static fan-out bounds against a dynamic run",
+    )
+    crossval.add_argument("workload", help="workload name, or 'all'")
+    crossval.add_argument("--scale", default="tiny",
+                          choices=("tiny", "small", "large"))
+    crossval.add_argument("--limit", type=int, default=10)
+    crossval.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+
     compile_cmd = sub.add_parser("compile", help="compile MiniC to assembly")
     compile_cmd.add_argument("file")
     compile_cmd.add_argument("-o", "--output")
@@ -237,6 +331,9 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "fragments": _cmd_fragments,
     "fanout": _cmd_fanout,
+    "analyze": _cmd_analyze,
+    "lint": _cmd_lint,
+    "crossval": _cmd_crossval,
     "compile": _cmd_compile,
     "asm": _cmd_asm,
 }

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.host.profile import ArchProfile
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import INDIRECT_CLASSES
 from repro.machine.interpreter import Interpreter

@@ -36,7 +36,7 @@ from repro.isa.encoding import encode
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Fmt, MNEMONIC_TO_OP, Op, spec
 from repro.isa.program import DATA_BASE, Program, Section, TEXT_BASE
-from repro.isa.registers import REG_AT, REG_RA, REG_ZERO, reg_number
+from repro.isa.registers import REG_RA, REG_ZERO, reg_number
 
 
 class AssemblyError(ValueError):

@@ -7,7 +7,7 @@ All instructions are 32-bit little-endian words.  See
 from __future__ import annotations
 
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import Fmt, Op, op_for_fields, spec
+from repro.isa.opcodes import Fmt, op_for_fields, spec
 
 
 class EncodeError(ValueError):

@@ -102,6 +102,48 @@ class _ParamSlot:
 
 _Binding = _StackSlot | _RegVar | _ParamSlot | GlobalInfo | str
 
+#: Mnemonics after which straight-line execution cannot continue.
+_UNCONDITIONAL = frozenset({"j", "jr", "ret", "b", "halt"})
+
+
+def _strip_dead_lines(lines: list[str], external_refs: set[str]) -> list[str]:
+    """Remove instructions no control flow can reach.
+
+    ``lines`` is a function's full emitted body (labels and instructions).
+    An instruction is dead when it follows an unconditional transfer with
+    no live label in between; a label is live when referenced from a kept
+    instruction or from ``external_refs`` (jump tables in ``.data``).
+    Iterates to a fixpoint so code kept alive only by dead references is
+    also removed.
+    """
+    current = lines
+    while True:
+        refs = set(external_refs)
+        for line in current:
+            text = line.strip()
+            if text.endswith(":"):
+                continue
+            for token in text.replace(",", " ").split()[1:]:
+                refs.add(token)
+        kept: list[str] = []
+        live = True
+        for line in current:
+            text = line.strip()
+            if text.endswith(":"):
+                if text[:-1] in refs or not kept:
+                    live = live or text[:-1] in refs
+                    kept.append(line)
+                # an unreferenced label is dropped; liveness is unchanged
+                continue
+            if not live:
+                continue
+            kept.append(line)
+            if text.split()[0] in _UNCONDITIONAL:
+                live = False
+        if kept == current:
+            return kept
+        current = kept
+
 
 class _FuncGen:
     """Generates one function."""
@@ -216,7 +258,18 @@ class _FuncGen:
         )
         # default return value 0 if control falls off the end
         falloff = ["        li   v0, 0"]
-        return prologue + self.lines + falloff + epilogue
+        full = prologue + self.lines + falloff + epilogue
+        # strip unreachable instructions (dead returns-after-return, the
+        # fall-off default after a terminal statement, ...): the static
+        # linter treats unreachable code as a finding, and the SDT never
+        # translates it anyway
+        external_refs: set[str] = set()
+        for data_line in self.u.data_lines:
+            text = data_line.strip()
+            if text.startswith(".word"):
+                for token in text[len(".word"):].replace(",", " ").split():
+                    external_refs.add(token)
+        return _strip_dead_lines(full, external_refs)
 
     def _exit_label(self) -> str:
         return f".L_{self.func.name}_exit"

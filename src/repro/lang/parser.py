@@ -109,7 +109,7 @@ class Parser:
                 )
             start = self.pos
             self.advance()  # int/void
-            name = self.expect_ident()
+            self.expect_ident()
             if self.check("("):
                 self.pos = start
                 func = self._func_def()

@@ -19,12 +19,9 @@ from typing import Callable, Protocol
 from repro.isa.encoding import decode
 from repro.isa.instruction import Instruction
 from repro.isa.program import Program
-from repro.machine.cpu import CPUState
 from repro.machine.errors import FuelExhausted, MemoryFault
 from repro.machine.executor import execute
 from repro.machine.loader import load_program
-from repro.machine.memory import Memory
-from repro.machine.syscalls import SyscallHandler
 
 DEFAULT_FUEL = 50_000_000
 

@@ -11,7 +11,7 @@ bound :class:`repro.host.costs.HostModel` as they occur.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.host.costs import Category, HostModel
 from repro.isa.opcodes import InstrClass

@@ -1,0 +1,163 @@
+"""CFG recovery (repro.analysis.cfg)."""
+
+from repro.analysis.cfg import (
+    TERM_BRANCH,
+    TERM_CALL,
+    TERM_FALL,
+    TERM_HALT,
+    TERM_IJUMP,
+    TERM_JUMP,
+    TERM_RET,
+    build_cfg,
+    terminator_kind,
+)
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode
+from repro.lang import compile_to_program
+
+LOOP_SOURCE = """
+.text
+main:
+    li   t0, 3
+loop:
+    addi t0, t0, -1
+    bne  t0, zero, loop
+    jal  helper
+    halt
+helper:
+    jr   ra
+"""
+
+
+class TestBlocks:
+    def test_leaders_split_at_branch_targets(self):
+        program = assemble(LOOP_SOURCE)
+        cfg = build_cfg(program)
+        loop = program.symbol("loop")
+        helper = program.symbol("helper")
+        assert program.entry in cfg.blocks
+        assert loop in cfg.blocks
+        assert helper in cfg.blocks
+
+    def test_terminators(self):
+        program = assemble(LOOP_SOURCE)
+        cfg = build_cfg(program)
+        loop = program.symbol("loop")
+        helper = program.symbol("helper")
+        kinds = {start: b.terminator for start, b in cfg.blocks.items()}
+        assert kinds[program.entry] == TERM_FALL
+        assert kinds[loop] == TERM_BRANCH
+        assert kinds[helper] == TERM_RET   # jr ra is a return
+
+    def test_branch_successors_include_fallthrough(self):
+        program = assemble(LOOP_SOURCE)
+        cfg = build_cfg(program)
+        loop = program.symbol("loop")
+        block = cfg.blocks[loop]
+        assert loop in block.successors        # taken edge
+        assert block.end in block.successors   # fall-through edge
+
+    def test_call_block_records_target_and_falls_through(self):
+        program = assemble(LOOP_SOURCE)
+        cfg = build_cfg(program)
+        helper = program.symbol("helper")
+        call_block = next(
+            b for b in cfg.blocks.values() if b.terminator == TERM_CALL
+        )
+        assert call_block.call_target == helper
+        assert call_block.successors == (call_block.end,)
+
+    def test_halt_has_no_successors(self):
+        program = assemble(LOOP_SOURCE)
+        cfg = build_cfg(program)
+        halt_block = next(
+            b for b in cfg.blocks.values() if b.terminator == TERM_HALT
+        )
+        assert halt_block.successors == ()
+
+    def test_block_at_maps_interior_pcs(self):
+        program = assemble(LOOP_SOURCE)
+        cfg = build_cfg(program)
+        loop = program.symbol("loop")
+        assert cfg.block_at(loop + 4).start == loop
+
+    def test_linear_covers_all_text(self):
+        program = assemble(LOOP_SOURCE)
+        cfg = build_cfg(program)
+        assert len(cfg.linear()) == len(program.text_words())
+
+
+class TestTerminatorKind:
+    def test_jr_ra_is_return(self):
+        program = assemble(".text\nmain:\njr ra\n")
+        instr = decode(program.text_words()[0])
+        assert terminator_kind(instr) == TERM_RET
+
+    def test_jr_other_register_is_ijump(self):
+        program = assemble(".text\nmain:\njr t0\n")
+        instr = decode(program.text_words()[0])
+        assert terminator_kind(instr) == TERM_IJUMP
+
+    def test_direct_jump(self):
+        program = assemble(".text\nmain:\nj main\n")
+        instr = decode(program.text_words()[0])
+        assert terminator_kind(instr) == TERM_JUMP
+
+
+class TestCodeRefs:
+    def test_la_materialises_const_code_ref(self):
+        program = assemble(
+            ".text\nmain:\nla t0, helper\nhalt\nhelper:\njr ra\n"
+        )
+        cfg = build_cfg(program)
+        assert program.symbol("helper") in cfg.const_code_refs
+
+    def test_data_word_pointing_into_text(self):
+        program = assemble(
+            ".text\nmain:\nhalt\nhelper:\njr ra\n"
+            ".data\nptr: .word helper\n"
+        )
+        cfg = build_cfg(program)
+        ptr = program.symbol("ptr")
+        assert cfg.data_code_words[ptr] == program.symbol("helper")
+
+    def test_plain_data_word_is_not_a_code_ref(self):
+        program = assemble(
+            ".text\nmain:\nhalt\n.data\nval: .word 42\n"
+        )
+        cfg = build_cfg(program)
+        assert cfg.data_code_words == {}
+
+
+class TestReachability:
+    def test_unreached_block_not_in_walk(self):
+        program = assemble(
+            ".text\nmain:\nhalt\ndead:\nnop\nhalt\n"
+        )
+        cfg = build_cfg(program)
+        reached = cfg.reachable_blocks({program.entry})
+        assert program.symbol("dead") not in reached
+
+    def test_indirect_successors_extend_walk(self):
+        program = assemble(
+            ".text\nmain:\njr t0\nisland:\nhalt\n"
+        )
+        cfg = build_cfg(program)
+        island = program.symbol("island")
+        jr_pc = program.entry
+        without = cfg.reachable_blocks({program.entry})
+        assert island not in without
+        with_edges = cfg.reachable_blocks(
+            {program.entry}, indirect_successors={jr_pc: {island}}
+        )
+        assert island in with_edges
+
+
+class TestCompiledPrograms:
+    def test_cfg_builds_for_compiled_minic(self):
+        program = compile_to_program(
+            "int main() { print_int(42); return 0; }"
+        )
+        cfg = build_cfg(program)
+        assert cfg.blocks
+        assert cfg.block_at(program.entry) is not None

@@ -1,0 +1,175 @@
+"""IB-site classification and bound recovery (repro.analysis.classify)."""
+
+from conftest import ALL_IB_KINDS_SOURCE
+
+from repro.analysis.classify import analyze_program, constant_states
+from repro.isa.assembler import assemble
+from repro.isa.registers import reg_number
+from repro.lang import compile_to_program
+
+#: Hand-written canonical jump-table idiom: 3 cases plus a default.
+TABLE_SOURCE = """
+.text
+main:
+    li    t0, 1
+    sltiu t9, t0, 3
+    beq   t9, zero, default
+    sll   t8, t0, 2
+    la    t9, table
+    add   t8, t8, t9
+    lw    t8, 0(t8)
+    jr    t8
+case0:
+    halt
+case1:
+    halt
+case2:
+    halt
+default:
+    halt
+
+.data
+table: .word case0, case1, case2
+"""
+
+
+def analyze_source(source: str):
+    return analyze_program(assemble(source))
+
+
+class TestJumpTableRecovery:
+    def test_recovers_table_site(self):
+        analysis = analyze_source(TABLE_SOURCE)
+        program = analysis.program
+        sites = analysis.sites_by_role()
+        assert len(sites["jump-table"]) == 1
+        site = sites["jump-table"][0]
+        assert site.bounded
+        assert site.table is not None
+        assert site.table.span == 3
+        assert site.targets == frozenset(
+            program.symbol(n) for n in ("case0", "case1", "case2")
+        )
+        assert site.bound == 3
+
+    def test_table_words_are_not_address_taken(self):
+        # table slots must not be misread as function entries
+        analysis = analyze_source(TABLE_SOURCE)
+        program = analysis.program
+        for name in ("case0", "case1", "case2"):
+            assert program.symbol(name) not in analysis.address_taken
+
+    def test_unrecovered_jr_gets_trivial_sound_bound(self):
+        analysis = analyze_source(".text\nmain:\njr t0\n")
+        (site,) = analysis.sites.values()
+        assert site.role == "computed-jump"
+        assert not site.bounded
+        assert site.bound == len(analysis.cfg.linear())
+
+
+class TestReturnBounds:
+    def test_return_bound_is_caller_return_sites(self):
+        analysis = analyze_source(
+            ".text\nmain:\njal f\njal f\nhalt\nf:\njr ra\n"
+        )
+        program = analysis.program
+        ret = analysis.sites[program.symbol("f")]
+        assert ret.role == "return"
+        assert ret.bounded
+        # one past each of the two jal sites
+        assert ret.targets == frozenset(
+            {program.entry + 4, program.entry + 8}
+        )
+
+    def test_ret_opcode_also_classified_as_return(self):
+        analysis = analyze_source(
+            ".text\nmain:\njal f\nhalt\nf:\nret\n"
+        )
+        (site,) = [s for s in analysis.sites.values() if s.role == "return"]
+        assert site.kind == "ret"
+        assert site.bound == 1
+
+    def test_address_taken_function_includes_indirect_call_returns(self):
+        analysis = analyze_source(
+            ".text\n"
+            "main:\n"
+            "    la   t0, f\n"
+            "    jalr t0\n"
+            "    jal  f\n"
+            "    halt\n"
+            "f:\n"
+            "    jr ra\n"
+        )
+        program = analysis.program
+        ret = analysis.sites[program.symbol("f")]
+        jalr_pc = program.entry + 8   # after the la expansion (lui+ori)
+        assert jalr_pc + 4 in ret.targets       # indirect call return site
+        assert program.entry + 16 in ret.targets  # jal return site
+
+
+class TestIndirectCalls:
+    def test_icall_bound_is_address_taken_set(self):
+        analysis = analyze_source(
+            ".text\nmain:\nla t0, f\njalr t0\nhalt\nf:\njr ra\n"
+        )
+        program = analysis.program
+        (icall,) = analysis.sites_by_role()["indirect-call"]
+        assert icall.bounded
+        assert icall.targets == analysis.address_taken
+        assert program.symbol("f") in icall.targets
+
+
+class TestFunctions:
+    def test_jal_targets_partition_text(self):
+        analysis = analyze_source(
+            ".text\nmain:\njal f\nhalt\nf:\njr ra\n"
+        )
+        program = analysis.program
+        f = analysis.function_of(program.symbol("f"))
+        assert f is not None
+        assert f.entry == program.symbol("f")
+        assert f.name == "f"
+        assert analysis.function_of(program.entry).name == "main"
+
+
+class TestConstantStates:
+    def test_li_tracks_lui_ori_and_addi(self):
+        program = assemble(
+            ".text\nmain:\nli t0, 0x12345678\naddi t0, t0, 8\nsw t1, 0(t0)\nhalt\n"
+        )
+        states = constant_states(analyze_program(program).cfg.linear())
+        t0 = reg_number("t0")
+        # state *before* the store reflects both the li and the addi
+        sw_state = next(s for _, i, s in states if i.op.value == "sw")
+        assert sw_state[t0] == 0x12345680
+
+    def test_constants_reset_at_control_transfers(self):
+        program = assemble(
+            ".text\nmain:\nli t0, 4\njal f\nsw t1, 0(t0)\nhalt\nf:\njr ra\n"
+        )
+        analysis = analyze_program(program)
+        states = constant_states(analysis.cfg.linear())
+        t0 = reg_number("t0")
+        sw_state = next(s for _, i, s in states if i.op.value == "sw")
+        assert t0 not in sw_state
+
+
+class TestCompiledAllKinds:
+    def test_all_three_roles_recovered(self):
+        program = compile_to_program(ALL_IB_KINDS_SOURCE)
+        analysis = analyze_program(program)
+        roles = analysis.sites_by_role()
+        assert roles.get("jump-table")
+        assert roles.get("indirect-call")
+        assert roles.get("return")
+        # every site bounded except possibly computed-jump fallbacks
+        for site in analysis.sites.values():
+            if site.role != "computed-jump":
+                assert site.bounded
+                assert site.bound == len(site.targets)
+
+    def test_switch_table_span_matches_cases(self):
+        program = compile_to_program(ALL_IB_KINDS_SOURCE)
+        analysis = analyze_program(program)
+        (table_site,) = analysis.sites_by_role()["jump-table"]
+        assert table_site.table.span == 7   # cases 0..6; default is the guard

@@ -1,0 +1,202 @@
+"""Lint engine and shipped checks (repro.analysis.lint)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import LINT_CHECKS, run_lint
+from repro.isa.assembler import assemble
+from repro.lang import compile_to_program
+from repro.workloads import get_workload, workload_names
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples" / "guest").glob("*.mc")
+)
+
+
+def lint_asm(source: str):
+    return run_lint(assemble(source))
+
+
+class TestGolden:
+    """Everything the toolchain ships must be lint-clean."""
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_guest_examples_clean(self, path):
+        report = run_lint(compile_to_program(path.read_text()))
+        assert report.clean, report.format()
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_workloads_clean(self, name):
+        program = get_workload(name, "tiny").compile()
+        report = run_lint(program)
+        assert report.clean, report.format()
+
+
+class TestUnreachableCode:
+    def test_dead_block_reported(self):
+        report = lint_asm(".text\nmain:\nhalt\nnop\nnop\n")
+        findings = report.by_check("unreachable-code")
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert "2 unreachable" in findings[0].message
+
+    def test_labelled_function_is_a_root(self):
+        # an exported label nothing calls is not "unreachable"
+        report = lint_asm(".text\nmain:\nhalt\nspare:\nhalt\n")
+        assert report.by_check("unreachable-code") == []
+
+    def test_jump_table_targets_are_reachable(self):
+        source = """
+.text
+main:
+    li    t0, 1
+    sltiu t9, t0, 2
+    beq   t9, zero, default
+    sll   t8, t0, 2
+    la    t9, table
+    add   t8, t8, t9
+    lw    t8, 0(t8)
+    jr    t8
+.Lcase0:
+    halt
+.Lcase1:
+    halt
+default:
+    halt
+.data
+table: .word .Lcase0, .Lcase1
+"""
+        report = lint_asm(source)
+        assert report.by_check("unreachable-code") == []
+
+
+class TestTextFallthrough:
+    def test_fall_off_end_of_text(self):
+        report = lint_asm(".text\nmain:\nnop\n")
+        findings = report.by_check("text-fallthrough")
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+
+    def test_halt_terminated_program_clean(self):
+        report = lint_asm(".text\nmain:\nnop\nhalt\n")
+        assert report.by_check("text-fallthrough") == []
+
+
+class TestClobberedLinkRegister:
+    def test_leaf_call_then_return(self):
+        # f calls g without saving ra, then returns through the stale ra
+        report = lint_asm(
+            ".text\nmain:\njal f\nhalt\nf:\njal g\njr ra\ng:\njr ra\n"
+        )
+        findings = report.by_check("clobbered-link-register")
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+        assert findings[0].function == "f"
+
+    def test_save_restore_is_clean(self):
+        report = lint_asm(
+            ".text\n"
+            "main:\n"
+            "    jal f\n"
+            "    halt\n"
+            "f:\n"
+            "    addi sp, sp, -4\n"
+            "    sw   ra, 0(sp)\n"
+            "    jal  g\n"
+            "    lw   ra, 0(sp)\n"
+            "    addi sp, sp, 4\n"
+            "    jr   ra\n"
+            "g:\n"
+            "    jr ra\n"
+        )
+        assert report.by_check("clobbered-link-register") == []
+
+
+class TestStackImbalance:
+    def test_unbalanced_prologue(self):
+        report = lint_asm(
+            ".text\nmain:\njal f\nhalt\nf:\naddi sp, sp, -8\njr ra\n"
+        )
+        findings = report.by_check("stack-imbalance")
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert "-8" in findings[0].message
+
+    def test_balanced_frame_clean(self):
+        report = lint_asm(
+            ".text\nmain:\njal f\nhalt\n"
+            "f:\naddi sp, sp, -8\naddi sp, sp, 8\njr ra\n"
+        )
+        assert report.by_check("stack-imbalance") == []
+
+
+class TestZeroRegisterWrite:
+    def test_write_to_zero_reported(self):
+        report = lint_asm(".text\nmain:\naddi zero, zero, 1\nhalt\n")
+        findings = report.by_check("zero-register-write")
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+
+    def test_canonical_nop_exempt(self):
+        report = lint_asm(".text\nmain:\nnop\nhalt\n")
+        assert report.by_check("zero-register-write") == []
+
+
+class TestStoreToText:
+    def test_store_through_text_constant(self):
+        report = lint_asm(
+            ".text\nmain:\nla t0, main\nsw t1, 0(t0)\nhalt\n"
+        )
+        findings = report.by_check("store-to-text")
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+        assert "self-modifying" in findings[0].message
+
+    def test_store_to_data_clean(self):
+        report = lint_asm(
+            ".text\nmain:\nla t0, buf\nsw t1, 0(t0)\nhalt\n"
+            ".data\nbuf: .word 0\n"
+        )
+        assert report.by_check("store-to-text") == []
+
+
+class TestDriver:
+    def test_only_selects_checks(self):
+        report = lint_asm(".text\nmain:\nnop\nhalt\n")
+        full = set(report.checks_run)
+        assert full == set(LINT_CHECKS)
+        narrowed = run_lint(
+            assemble(".text\nmain:\nnop\nhalt\n"),
+            only=["store-to-text"],
+        )
+        assert narrowed.checks_run == ("store-to-text",)
+
+    def test_ignore_removes_checks(self):
+        report = run_lint(
+            assemble(".text\nmain:\nnop\n"),
+            ignore=["text-fallthrough"],
+        )
+        assert "text-fallthrough" not in report.checks_run
+        assert report.by_check("text-fallthrough") == []
+
+    def test_unknown_check_raises(self):
+        with pytest.raises(KeyError, match="no-such-check"):
+            run_lint(
+                assemble(".text\nmain:\nhalt\n"), only=["no-such-check"]
+            )
+
+    def test_report_json_shape(self):
+        report = lint_asm(".text\nmain:\nnop\n")
+        payload = json.loads(report.to_json())
+        assert payload["clean"] is False
+        assert payload["errors"] == 1
+        diag = payload["diagnostics"][0]
+        assert set(diag) == {"check", "severity", "pc", "message", "function"}
+
+    def test_clean_requires_no_warnings(self):
+        report = lint_asm(".text\nmain:\naddi zero, zero, 1\nhalt\n")
+        assert report.errors == 0
+        assert report.warnings == 1
+        assert not report.clean

@@ -100,3 +100,78 @@ class TestJsonOutput:
         assert payload["overhead"] > 1.0
         assert payload["sdt_cycles"] > payload["native_cycles"]
         assert "app" in payload["breakdown"]
+
+
+class TestAnalyze:
+    def test_analyze_workload_text(self, capsys):
+        assert main(["analyze", "eon_like"]) == 0
+        out = capsys.readouterr().out
+        assert "IB sites" in out
+        assert "indirect-call" in out
+
+    def test_analyze_json_shape(self, capsys):
+        import json
+
+        assert main(["analyze", "mcf_like", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"summary", "functions", "sites"}
+        assert payload["summary"]["ib_sites"] == len(payload["sites"])
+        for site in payload["sites"]:
+            assert site["role"] in {
+                "return", "indirect-call", "jump-table", "computed-jump"
+            }
+
+    def test_analyze_minic_file(self, tmp_path, capsys):
+        source = tmp_path / "p.mc"
+        source.write_text("int main() { print_int(1); return 0; }")
+        assert main(["analyze", str(source)]) == 0
+        assert "return" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_lint_clean_workload_exits_zero(self, capsys):
+        assert main(["lint", "gzip_like"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_dirty_asm_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text(".text\nmain:\nnop\n")   # falls off end of .text
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "text-fallthrough" in out
+
+    def test_lint_check_selection(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text(".text\nmain:\nnop\n")
+        # the selected check does not fire on this program
+        assert main(
+            ["lint", str(bad), "--check", "store-to-text"]
+        ) == 0
+
+    def test_lint_json_shape(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.s"
+        bad.write_text(".text\nmain:\nnop\n")
+        assert main(["lint", str(bad), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["errors"] >= 1
+        assert payload["diagnostics"][0]["check"] == "text-fallthrough"
+
+
+class TestCrossval:
+    def test_crossval_workload(self, capsys):
+        assert main(["crossval", "eon_like", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "SOUND" in out
+
+    def test_crossval_json(self, capsys):
+        import json
+
+        assert main(
+            ["crossval", "mcf_like", "--scale", "tiny", "--json"]
+        ) == 0
+        (payload,) = json.loads(capsys.readouterr().out)
+        assert payload["all_sound"] is True
+        assert payload["workload"] == "mcf_like"

@@ -1,6 +1,5 @@
 """MiniC code generation: behavioural tests (compile, run, check output)."""
 
-import pytest
 
 from conftest import run_minic
 

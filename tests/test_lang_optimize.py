@@ -4,8 +4,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.lang import compile_source, compile_to_program
-from repro.lang.nodes import Binary, Block, IntLit, Return, Unary
-from repro.lang.optimize import fold_expr, fold_stmt, optimize_unit
+from repro.lang.nodes import Binary, IntLit, Return
+from repro.lang.optimize import fold_expr, optimize_unit
 from repro.lang.parser import parse
 from repro.machine.interpreter import run_program
 

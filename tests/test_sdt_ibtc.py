@@ -92,16 +92,18 @@ class TestHitRates:
 
 class TestScope:
     def test_per_site_isolates_conflicts(self):
-        """Two sites whose targets conflict in a tiny shared table do not
-        conflict in per-site tables of the same size."""
-        source = dispatch_source(8, iterations=400)
-        shared = run_ibtc(source, entries=4, shared=True)
-        persite = run_ibtc(source, entries=4, shared=False)
-        shared_rate = shared.stats.hit_rate("ibtc-shared-4")
-        persite_rate = persite.stats.hit_rate("ibtc-persite-4")
-        # the ret site and the icall site no longer evict each other,
-        # though 8 targets still thrash 4 entries at the icall site
-        assert persite_rate >= shared_rate
+        """Two monomorphic sites thrash a shared single-entry table (the
+        icall target and the return target evict each other every
+        dispatch) but both hit in per-site tables of the same size —
+        regardless of how the targets happen to hash."""
+        source = dispatch_source(1, iterations=400)
+        shared = run_ibtc(source, entries=1, shared=True)
+        persite = run_ibtc(source, entries=1, shared=False)
+        shared_rate = shared.stats.hit_rate("ibtc-shared-1")
+        persite_rate = persite.stats.hit_rate("ibtc-persite-1")
+        assert persite_rate > 0.9
+        assert shared_rate < 0.5
+        assert persite_rate > shared_rate
 
     def test_persite_label(self):
         config = SDTConfig(ib="ibtc", ibtc_shared=False, ibtc_entries=16)

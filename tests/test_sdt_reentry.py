@@ -3,7 +3,7 @@ property test over randomly generated programs."""
 
 from hypothesis import given, settings, strategies as st
 
-from conftest import assert_equivalent, run_minic, run_minic_sdt
+from conftest import assert_equivalent, run_minic_sdt
 from repro.host.costs import Category
 from repro.host.profile import SIMPLE
 from repro.sdt.config import SDTConfig
