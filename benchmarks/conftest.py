@@ -7,6 +7,11 @@ the simulator's own performance.
 
 Scale: ``REPRO_SCALE`` env var (``tiny`` / ``small`` / ``large``),
 default ``small`` — the fidelity/runtime sweet spot on a laptop.
+
+The tables are regenerated through the shared executor
+(:mod:`repro.eval.parallel`): ``REPRO_JOBS`` selects the worker count
+(default 1 = serial) and ``REPRO_DISK_CACHE=1`` enables the persistent
+``results/.cache`` store so re-runs skip already-simulated cells.
 """
 
 from __future__ import annotations
@@ -16,6 +21,19 @@ import sys
 
 #: experiment drivers import this
 SCALE = os.environ.get("REPRO_SCALE", "small")
+#: worker processes for the experiment executor
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+#: opt-in persistent disk cache under results/.cache
+USE_DISK_CACHE = os.environ.get("REPRO_DISK_CACHE", "") == "1"
+
+
+def run_experiment_table(name: str):
+    """Regenerate one experiment table via the shared executor."""
+    from repro.eval.diskcache import DiskCache
+    from repro.eval.parallel import run_experiment
+
+    cache = DiskCache() if USE_DISK_CACHE else None
+    return run_experiment(name, scale=SCALE, jobs=JOBS, cache=cache)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

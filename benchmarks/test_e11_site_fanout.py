@@ -7,14 +7,13 @@ simulation so pytest-benchmark tracks simulator performance too.
 Run: ``pytest benchmarks/test_e11_site_fanout.py --benchmark-only -s``
 """
 
-from conftest import SCALE, fresh_simulation, run_once
-from repro.eval.experiments import e11_site_fanout
+from conftest import fresh_simulation, run_experiment_table, run_once
 from repro.host.profile import X86_P4
 from repro.sdt.config import SDTConfig
 
 
 def test_e11_site_fanout(benchmark):
-    headers, rows = e11_site_fanout(SCALE)
+    headers, rows = run_experiment_table("e11")
     assert rows, "experiment produced no rows"
     result = run_once(
         benchmark,

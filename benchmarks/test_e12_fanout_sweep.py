@@ -7,8 +7,7 @@ simulation so pytest-benchmark tracks simulator performance too.
 Run: ``pytest benchmarks/test_e12_fanout_sweep.py --benchmark-only -s``
 """
 
-from conftest import SCALE, run_once
-from repro.eval.experiments import e12_fanout_sweep
+from conftest import run_experiment_table, run_once
 from repro.host.profile import X86_P4
 from repro.sdt.config import SDTConfig
 from repro.sdt.vm import SDTVM
@@ -16,7 +15,7 @@ from repro.workloads.microbench import dispatch_microbench
 
 
 def test_e12_fanout_sweep(benchmark):
-    headers, rows = e12_fanout_sweep(SCALE)
+    headers, rows = run_experiment_table("e12")
     assert rows, "experiment produced no rows"
 
     def representative():

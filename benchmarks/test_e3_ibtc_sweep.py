@@ -7,14 +7,13 @@ simulation so pytest-benchmark tracks simulator performance too.
 Run: ``pytest benchmarks/test_e3_ibtc_sweep.py --benchmark-only -s``
 """
 
-from conftest import SCALE, fresh_simulation, run_once
-from repro.eval.experiments import e3_ibtc_sweep
+from conftest import fresh_simulation, run_experiment_table, run_once
 from repro.host.profile import SPARC_US3, X86_P4
 from repro.sdt.config import SDTConfig
 
 
 def test_e3_ibtc_sweep(benchmark):
-    headers, rows = e3_ibtc_sweep(SCALE)
+    headers, rows = run_experiment_table("e3")
     assert rows, "experiment produced no rows"
     result = run_once(
         benchmark,

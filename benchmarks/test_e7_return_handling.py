@@ -7,14 +7,13 @@ simulation so pytest-benchmark tracks simulator performance too.
 Run: ``pytest benchmarks/test_e7_return_handling.py --benchmark-only -s``
 """
 
-from conftest import SCALE, fresh_simulation, run_once
-from repro.eval.experiments import e7_return_handling
+from conftest import fresh_simulation, run_experiment_table, run_once
 from repro.host.profile import SPARC_US3, X86_P4
 from repro.sdt.config import SDTConfig
 
 
 def test_e7_return_handling(benchmark):
-    headers, rows = e7_return_handling(SCALE)
+    headers, rows = run_experiment_table("e7")
     assert rows, "experiment produced no rows"
     result = run_once(
         benchmark,

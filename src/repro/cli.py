@@ -5,6 +5,8 @@
     repro-sdt run <workload> [--scale S] [--ib M] [--returns R]
                              [--profile P] [--json]
     repro-sdt experiment <e1..e12|all> [--scale S]
+    repro-sdt experiments [--only e3,e6] [--jobs N] [--no-cache]
+                          [--cache-dir D] [--scale S]  # parallel executor
     repro-sdt fragments <workload> [--disassemble]  # fragment-cache dump
     repro-sdt fanout <workload>                     # per-site IB targets
     repro-sdt analyze <prog> [--json]               # static CFG/IB analysis
@@ -105,6 +107,44 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(f"unknown experiment {name!r}", file=sys.stderr)
             return 2
         ALL_EXPERIMENTS[name](args.scale)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    """Parallel + disk-cached regeneration of the experiment grid."""
+    from repro.eval.diskcache import DiskCache
+    from repro.eval.experiments import EXPERIMENT_SPECS
+    from repro.eval.parallel import run_experiments
+
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = [n for n in names if n not in EXPERIMENT_SPECS]
+        if unknown:
+            print(f"unknown experiment(s): {', '.join(unknown)}; "
+                  f"available: {', '.join(EXPERIMENT_SPECS)}",
+                  file=sys.stderr)
+            return 2
+    else:
+        names = list(EXPERIMENT_SPECS)
+
+    cache = None if args.no_cache else DiskCache(args.cache_dir)
+
+    def progress(event) -> None:
+        source = "cache" if event.source == "cache" else f"{event.seconds:.2f}s"
+        print(f"[{event.index:3d}/{event.total}] {event.label:<55s} {source}",
+              file=sys.stderr)
+
+    _tables, report = run_experiments(
+        names, scale=args.scale, jobs=args.jobs, cache=cache,
+        progress=None if args.quiet else progress,
+    )
+    print(
+        f"\ncells: {report.requested} requested, {report.unique} unique "
+        f"after dedup, {report.cache_hits} from cache, "
+        f"{report.computed} simulated "
+        f"({report.hit_rate:.0%} cache hits) in {report.elapsed:.1f}s "
+        f"with {args.jobs} job(s)"
+    )
     return 0
 
 
@@ -255,9 +295,35 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="machine-readable output")
 
-    experiment = sub.add_parser("experiment", help="run an E1..E11 driver")
+    experiment = sub.add_parser("experiment", help="run an E1..E12 driver")
     experiment.add_argument("name")
     experiment.add_argument("--scale", default=None)
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="regenerate experiments on the parallel, disk-cached executor",
+    )
+    experiments.add_argument(
+        "--only", default=None, metavar="e3,e6",
+        help="comma-separated experiment subset (default: all)",
+    )
+    experiments.add_argument("--scale", default=None)
+    experiments.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial in-process)",
+    )
+    experiments.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the results/.cache disk cache entirely",
+    )
+    experiments.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="disk-cache root (default: results/.cache)",
+    )
+    experiments.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-cell progress output",
+    )
 
     fragments = sub.add_parser(
         "fragments", help="dump a workload's fragment cache after a run"
@@ -329,6 +395,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "experiment": _cmd_experiment,
+    "experiments": _cmd_experiments,
     "fragments": _cmd_fragments,
     "fanout": _cmd_fanout,
     "analyze": _cmd_analyze,

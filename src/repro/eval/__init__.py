@@ -3,9 +3,16 @@
 - :mod:`repro.eval.runner` — measure one (workload, SDT-config, profile)
   cell, with equivalence checking against the reference interpreter and
   in-process caching,
+- :mod:`repro.eval.cells` — the declarative cell model (one schedulable,
+  cacheable simulation) with content-addressed fingerprints,
+- :mod:`repro.eval.diskcache` — persistent result store under
+  ``results/.cache/`` (atomic writes, corruption-tolerant loads),
+- :mod:`repro.eval.parallel` — process-pool executor with
+  cross-experiment cell dedup and deterministic table assembly,
 - :mod:`repro.eval.report` — text/CSV table rendering,
-- :mod:`repro.eval.experiments` — E1…E9 drivers (see DESIGN.md for the
-  experiment index).
+- :mod:`repro.eval.experiments` — E1…E12 drivers declared as cell lists
+  plus table builders (see DESIGN.md for the experiment index and
+  docs/experiments.md for the executor).
 """
 
 from repro.eval.runner import Measurement, NativeBaseline, measure, run_native

@@ -1,8 +1,21 @@
-"""E1–E9: drivers that regenerate the paper's tables and figures.
+"""E1–E12: drivers that regenerate the paper's tables and figures.
 
-Each driver returns ``(headers, rows)`` and persists the table under
-``results/`` via :func:`repro.eval.report.write_results`.  See DESIGN.md
-for the experiment index and EXPERIMENTS.md for paper-vs-measured notes.
+Each experiment is declared in two halves so the shared executor
+(:mod:`repro.eval.parallel`) can schedule, deduplicate, parallelise and
+persist the underlying simulations:
+
+- ``cells(scale)`` — the declarative list of :class:`repro.eval.cells.Cell`
+  grid cells the experiment needs (duplicates across experiments are
+  simulated once; e.g. E9 reuses the whole E3 grid and the
+  ``ibtc(shared,4096)`` column is shared by E3/E4/E6/E9),
+- ``build(lookup, scale)`` — assembles ``(headers, rows)`` from the cell
+  results, in declared order, so output is byte-identical whatever the
+  worker count or execution order.
+
+The public ``eN_*`` drivers keep their historical signatures: they run
+their cells serially in-process and persist the table under ``results/``
+via :func:`repro.eval.report.write_results`.  See DESIGN.md for the
+experiment index and EXPERIMENTS.md for paper-vs-measured notes.
 
 The default host profile for single-architecture experiments is the
 P4-like x86 profile (the paper's headline machine); E8 sweeps all three.
@@ -11,9 +24,11 @@ P4-like x86 profile (the paper's headline machine); E8 sweeps all three.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
+from typing import Callable
 
-from repro.eval.report import geomean, write_results
-from repro.eval.runner import measure, run_native
+from repro.eval.cells import Cell, fanout_cell, measure_cell, native_cell
+from repro.eval.report import geomean
 from repro.host.profile import ArchProfile, SPARC_US3, X86_K8, X86_P4
 from repro.sdt.config import SDTConfig
 from repro.workloads import workload_names
@@ -27,6 +42,20 @@ SIEVE_SIZES = (32, 128, 512, 2048)
 #: The tuned configurations compared head-to-head in E6/E8.
 BEST_IBTC = 4096
 BEST_SIEVE = 512
+
+#: ``build`` receives this: resolves a declared cell to its result.
+CellLookup = Callable[[Cell], object]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment, split into a cell list and a table builder."""
+
+    name: str       #: short id ("e3")
+    slug: str       #: results/ file stem ("e3_ibtc_sweep")
+    title: Callable[[str], str]
+    cells: Callable[[str], list[Cell]]
+    build: Callable[[CellLookup, str], tuple[list[str], list[list[object]]]]
 
 
 def bench_scale() -> str:
@@ -48,19 +77,29 @@ def _overhead_row_foot(
     return foot
 
 
+def _run(name: str, scale: str | None):
+    """Serial in-process execution of one experiment (legacy driver body)."""
+    from repro.eval.parallel import run_experiment
+
+    return run_experiment(name, scale=scale)
+
+
 # -- E1: Table 1 — indirect branch characteristics ---------------------------
 
 
-def e1_ib_characteristics(scale: str | None = None) -> tuple[list[str], list[list[object]]]:
-    """Dynamic IB counts and rates per benchmark (native run)."""
-    scale = scale or bench_scale()
+def _cells_e1(scale: str) -> list[Cell]:
+    return [native_cell(name, scale, DEFAULT_PROFILE)
+            for name in _suite_names()]
+
+
+def _build_e1(lookup: CellLookup, scale: str):
     headers = [
         "benchmark", "retired", "ijump", "icall", "ret",
         "IB total", "instrs/IB",
     ]
     rows: list[list[object]] = []
     for name in _suite_names():
-        base = run_native(name, DEFAULT_PROFILE, scale=scale)
+        base = lookup(native_cell(name, scale, DEFAULT_PROFILE))
         total = base.indirect_branches
         rows.append(
             [
@@ -68,146 +107,171 @@ def e1_ib_characteristics(scale: str | None = None) -> tuple[list[str], list[lis
                 total, round(base.retired / max(total, 1), 1),
             ]
         )
-    write_results(
-        "e1_ib_characteristics",
-        f"E1 (Table 1): dynamic indirect-branch characteristics "
-        f"[scale={scale}]",
-        headers,
-        rows,
-    )
     return headers, rows
+
+
+def e1_ib_characteristics(scale: str | None = None):
+    """Dynamic IB counts and rates per benchmark (native run)."""
+    return _run("e1", scale)
 
 
 # -- E2: baseline overhead (translator re-entry on every IB) -----------------
 
 
-def e2_baseline_overhead(scale: str | None = None):
-    """Slowdown of the unoptimised SDT, with and without fragment linking."""
-    scale = scale or bench_scale()
-    headers = ["benchmark", "reentry", "reentry+nolink"]
+def _e2_configs() -> dict[str, SDTConfig]:
+    return {
+        "reentry": SDTConfig(profile=DEFAULT_PROFILE, ib="reentry"),
+        "reentry+nolink": SDTConfig(
+            profile=DEFAULT_PROFILE, ib="reentry", linking=False
+        ),
+    }
+
+
+def _cells_e2(scale: str) -> list[Cell]:
+    return [
+        measure_cell(name, scale, config)
+        for name in _suite_names()
+        for config in _e2_configs().values()
+    ]
+
+
+def _build_e2(lookup: CellLookup, scale: str):
+    configs = _e2_configs()
+    headers = ["benchmark"] + list(configs)
     rows: list[list[object]] = []
     for name in _suite_names():
-        linked = measure(
-            name, SDTConfig(profile=DEFAULT_PROFILE, ib="reentry"), scale
-        )
-        nolink = measure(
-            name,
-            SDTConfig(profile=DEFAULT_PROFILE, ib="reentry", linking=False),
-            scale,
-        )
-        rows.append([name, linked.overhead, nolink.overhead])
+        row: list[object] = [name]
+        for config in configs.values():
+            row.append(lookup(measure_cell(name, scale, config)).overhead)
+        rows.append(row)
     rows.append(_overhead_row_foot(rows))
-    write_results(
-        "e2_baseline_overhead",
-        f"E2 (Fig.): baseline SDT overhead vs native "
-        f"({DEFAULT_PROFILE.name}) [scale={scale}]",
-        headers,
-        rows,
-    )
     return headers, rows
+
+
+def e2_baseline_overhead(scale: str | None = None):
+    """Slowdown of the unoptimised SDT, with and without fragment linking."""
+    return _run("e2", scale)
 
 
 # -- E3: shared IBTC size sweep ------------------------------------------------
 
 
-def e3_ibtc_sweep(scale: str | None = None):
-    """Overhead vs shared-IBTC size."""
-    scale = scale or bench_scale()
+def _e3_config(size: int) -> SDTConfig:
+    return SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                     ibtc_entries=size, ibtc_shared=True)
+
+
+def _cells_e3(scale: str) -> list[Cell]:
+    return [
+        measure_cell(name, scale, _e3_config(size))
+        for name in _suite_names()
+        for size in IBTC_SIZES
+    ]
+
+
+def _build_e3(lookup: CellLookup, scale: str):
     headers = ["benchmark"] + [str(size) for size in IBTC_SIZES]
     rows: list[list[object]] = []
     for name in _suite_names():
         row: list[object] = [name]
         for size in IBTC_SIZES:
-            m = measure(
-                name,
-                SDTConfig(
-                    profile=DEFAULT_PROFILE, ib="ibtc",
-                    ibtc_entries=size, ibtc_shared=True,
-                ),
-                scale,
+            row.append(
+                lookup(measure_cell(name, scale, _e3_config(size))).overhead
             )
-            row.append(m.overhead)
         rows.append(row)
     rows.append(_overhead_row_foot(rows))
-    write_results(
-        "e3_ibtc_sweep",
-        f"E3 (Fig.): overhead vs shared IBTC entries [scale={scale}]",
-        headers,
-        rows,
-    )
     return headers, rows
+
+
+def e3_ibtc_sweep(scale: str | None = None):
+    """Overhead vs shared-IBTC size."""
+    return _run("e3", scale)
 
 
 # -- E4: shared vs per-site IBTC ------------------------------------------------
 
+E4_SHARED_SIZES = (64, 1024, 4096)
+E4_PERSITE_SIZES = (4, 16, 64)
 
-def e4_ibtc_scope(scale: str | None = None):
-    """Shared tables vs per-site tables across sizes."""
-    scale = scale or bench_scale()
-    shared_sizes = (64, 1024, 4096)
-    persite_sizes = (4, 16, 64)
+
+def _e4_config(size: int, shared: bool) -> SDTConfig:
+    return SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                     ibtc_entries=size, ibtc_shared=shared)
+
+
+def _cells_e4(scale: str) -> list[Cell]:
+    cells = []
+    for name in _suite_names():
+        for size in E4_SHARED_SIZES:
+            cells.append(measure_cell(name, scale, _e4_config(size, True)))
+        for size in E4_PERSITE_SIZES:
+            cells.append(measure_cell(name, scale, _e4_config(size, False)))
+    return cells
+
+
+def _build_e4(lookup: CellLookup, scale: str):
     headers = (
         ["benchmark"]
-        + [f"shared/{s}" for s in shared_sizes]
-        + [f"persite/{s}" for s in persite_sizes]
+        + [f"shared/{s}" for s in E4_SHARED_SIZES]
+        + [f"persite/{s}" for s in E4_PERSITE_SIZES]
     )
     rows: list[list[object]] = []
     for name in _suite_names():
         row: list[object] = [name]
-        for size in shared_sizes:
-            m = measure(
-                name,
-                SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
-                          ibtc_entries=size, ibtc_shared=True),
-                scale,
+        for size in E4_SHARED_SIZES:
+            row.append(
+                lookup(measure_cell(name, scale, _e4_config(size, True)))
+                .overhead
             )
-            row.append(m.overhead)
-        for size in persite_sizes:
-            m = measure(
-                name,
-                SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
-                          ibtc_entries=size, ibtc_shared=False),
-                scale,
+        for size in E4_PERSITE_SIZES:
+            row.append(
+                lookup(measure_cell(name, scale, _e4_config(size, False)))
+                .overhead
             )
-            row.append(m.overhead)
         rows.append(row)
     rows.append(_overhead_row_foot(rows))
-    write_results(
-        "e4_ibtc_scope",
-        f"E4 (Fig.): shared vs per-site IBTC [scale={scale}]",
-        headers,
-        rows,
-    )
     return headers, rows
+
+
+def e4_ibtc_scope(scale: str | None = None):
+    """Shared tables vs per-site tables across sizes."""
+    return _run("e4", scale)
 
 
 # -- E5: sieve bucket sweep -------------------------------------------------------
 
 
-def e5_sieve_sweep(scale: str | None = None):
-    """Overhead vs sieve bucket count."""
-    scale = scale or bench_scale()
+def _e5_config(buckets: int) -> SDTConfig:
+    return SDTConfig(profile=DEFAULT_PROFILE, ib="sieve",
+                     sieve_buckets=buckets)
+
+
+def _cells_e5(scale: str) -> list[Cell]:
+    return [
+        measure_cell(name, scale, _e5_config(buckets))
+        for name in _suite_names()
+        for buckets in SIEVE_SIZES
+    ]
+
+
+def _build_e5(lookup: CellLookup, scale: str):
     headers = ["benchmark"] + [str(b) for b in SIEVE_SIZES]
     rows: list[list[object]] = []
     for name in _suite_names():
         row: list[object] = [name]
         for buckets in SIEVE_SIZES:
-            m = measure(
-                name,
-                SDTConfig(profile=DEFAULT_PROFILE, ib="sieve",
-                          sieve_buckets=buckets),
-                scale,
+            row.append(
+                lookup(measure_cell(name, scale, _e5_config(buckets)))
+                .overhead
             )
-            row.append(m.overhead)
         rows.append(row)
     rows.append(_overhead_row_foot(rows))
-    write_results(
-        "e5_sieve_sweep",
-        f"E5 (Fig.): overhead vs sieve buckets [scale={scale}]",
-        headers,
-        rows,
-    )
     return headers, rows
+
+
+def e5_sieve_sweep(scale: str | None = None):
+    """Overhead vs sieve bucket count."""
+    return _run("e5", scale)
 
 
 # -- E6: tuned mechanism comparison --------------------------------------------------
@@ -224,134 +288,140 @@ def _e6_configs(profile: ArchProfile) -> dict[str, SDTConfig]:
     }
 
 
-def e6_mechanism_comparison(scale: str | None = None):
-    """Baseline vs tuned IBTC vs tuned sieve vs IBTC+fast-returns."""
-    scale = scale or bench_scale()
+def _cells_e6(scale: str) -> list[Cell]:
+    return [
+        measure_cell(name, scale, config)
+        for name in _suite_names()
+        for config in _e6_configs(DEFAULT_PROFILE).values()
+    ]
+
+
+def _build_e6(lookup: CellLookup, scale: str):
     configs = _e6_configs(DEFAULT_PROFILE)
     headers = ["benchmark"] + list(configs)
     rows: list[list[object]] = []
     for name in _suite_names():
         row: list[object] = [name]
         for config in configs.values():
-            row.append(measure(name, config, scale).overhead)
+            row.append(lookup(measure_cell(name, scale, config)).overhead)
         rows.append(row)
     rows.append(_overhead_row_foot(rows))
-    write_results(
-        "e6_mechanism_comparison",
-        f"E6 (Fig.): tuned mechanism comparison [scale={scale}]",
-        headers,
-        rows,
-    )
     return headers, rows
+
+
+def e6_mechanism_comparison(scale: str | None = None):
+    """Baseline vs tuned IBTC vs tuned sieve vs IBTC+fast-returns."""
+    return _run("e6", scale)
 
 
 # -- E7: return handling ------------------------------------------------------------
 
+E7_SCHEMES = ("same", "shadow", "retcache", "fast")
 
-def e7_return_handling(scale: str | None = None):
-    """Return schemes over an IBTC base configuration."""
-    scale = scale or bench_scale()
-    schemes = ("same", "shadow", "retcache", "fast")
-    headers = ["benchmark"] + [f"ret={s}" for s in schemes]
+
+def _e7_config(scheme: str) -> SDTConfig:
+    return SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                     ibtc_entries=BEST_IBTC, returns=scheme)
+
+
+def _cells_e7(scale: str) -> list[Cell]:
+    return [
+        measure_cell(name, scale, _e7_config(scheme))
+        for name in _suite_names()
+        for scheme in E7_SCHEMES
+    ]
+
+
+def _build_e7(lookup: CellLookup, scale: str):
+    headers = ["benchmark"] + [f"ret={s}" for s in E7_SCHEMES]
     rows: list[list[object]] = []
     for name in _suite_names():
         row: list[object] = [name]
-        for scheme in schemes:
-            m = measure(
-                name,
-                SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
-                          ibtc_entries=BEST_IBTC, returns=scheme),
-                scale,
+        for scheme in E7_SCHEMES:
+            row.append(
+                lookup(measure_cell(name, scale, _e7_config(scheme)))
+                .overhead
             )
-            row.append(m.overhead)
         rows.append(row)
     rows.append(_overhead_row_foot(rows))
-    write_results(
-        "e7_return_handling",
-        f"E7 (Fig.): return-handling mechanisms (generic=IBTC/"
-        f"{BEST_IBTC}) [scale={scale}]",
-        headers,
-        rows,
-    )
     return headers, rows
+
+
+def e7_return_handling(scale: str | None = None):
+    """Return schemes over an IBTC base configuration."""
+    return _run("e7", scale)
 
 
 # -- E8: cross-architecture sensitivity ------------------------------------------------
 
+E8_PROFILES = (X86_P4, X86_K8, SPARC_US3)
 
-def e8_cross_arch(scale: str | None = None):
-    """Geomean overhead of each mechanism under each host profile."""
-    scale = scale or bench_scale()
-    profiles = (X86_P4, X86_K8, SPARC_US3)
+
+def _cells_e8(scale: str) -> list[Cell]:
+    return [
+        measure_cell(name, scale, config)
+        for profile in E8_PROFILES
+        for config in _e6_configs(profile).values()
+        for name in _suite_names()
+    ]
+
+
+def _build_e8(lookup: CellLookup, scale: str):
     config_names = list(_e6_configs(X86_P4))
     headers = ["profile"] + config_names + ["winner"]
     rows: list[list[object]] = []
-    for profile in profiles:
+    for profile in E8_PROFILES:
         configs = _e6_configs(profile)
         row: list[object] = [profile.name]
         means = []
         for config in configs.values():
             overheads = [
-                measure(name, config, scale).overhead
+                lookup(measure_cell(name, scale, config)).overhead
                 for name in _suite_names()
             ]
             means.append(geomean(overheads))
         row.extend(means)
         row.append(config_names[means.index(min(means))])
         rows.append(row)
-    write_results(
-        "e8_cross_arch",
-        f"E8 (Fig.): cross-architecture geomean overhead [scale={scale}]",
-        headers,
-        rows,
-    )
     return headers, rows
+
+
+def e8_cross_arch(scale: str | None = None):
+    """Geomean overhead of each mechanism under each host profile."""
+    return _run("e8", scale)
 
 
 # -- E9: IBTC hit rates -----------------------------------------------------------------
 
 
-def e9_ibtc_hitrate(scale: str | None = None):
-    """IBTC hit rate per benchmark per size (explains the E3 knee)."""
-    scale = scale or bench_scale()
+def _cells_e9(scale: str) -> list[Cell]:
+    # the exact E3 grid: cross-experiment dedup makes E9 free after E3
+    return _cells_e3(scale)
+
+
+def _build_e9(lookup: CellLookup, scale: str):
     headers = ["benchmark"] + [str(size) for size in IBTC_SIZES]
     rows: list[list[object]] = []
     for name in _suite_names():
         row: list[object] = [name]
         for size in IBTC_SIZES:
-            m = measure(
-                name,
-                SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
-                          ibtc_entries=size, ibtc_shared=True),
-                scale,
-            )
+            m = lookup(measure_cell(name, scale, _e3_config(size)))
             mechanism = f"ibtc-shared-{size}"
             row.append(m.hit_rates.get(mechanism, 0.0))
         rows.append(row)
-    write_results(
-        "e9_ibtc_hitrate",
-        f"E9 (Table): shared IBTC hit rates by size [scale={scale}]",
-        headers,
-        rows,
-    )
     return headers, rows
+
+
+def e9_ibtc_hitrate(scale: str | None = None):
+    """IBTC hit rate per benchmark per size (explains the E3 knee)."""
+    return _run("e9", scale)
 
 
 # -- E10: design-choice ablations ---------------------------------------------------
 
 
-def e10_ablations(scale: str | None = None):
-    """Ablations of the design choices DESIGN.md calls out.
-
-    Columns (geomean overhead over the suite):
-
-    - IBTC probe inlined at each site vs. one shared out-of-line stub,
-    - IBTC hash: xor-fold vs. plain shift/mask,
-    - sieve stub insertion: MRU-prepend vs. append,
-    - fragment linking on vs. off (the E2 companion, aggregated).
-    """
-    scale = scale or bench_scale()
-    ablations: dict[str, tuple[SDTConfig, SDTConfig]] = {
+def _e10_ablations() -> dict[str, tuple[SDTConfig, SDTConfig]]:
+    return {
         "ibtc inline vs outline": (
             SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
                       ibtc_entries=BEST_IBTC, ibtc_inline=True),
@@ -383,46 +453,61 @@ def e10_ablations(scale: str | None = None):
                       ibtc_entries=BEST_IBTC, trace_jumps=True),
         ),
     }
+
+
+def _cells_e10(scale: str) -> list[Cell]:
+    return [
+        measure_cell(name, scale, config)
+        for base_config, variant_config in _e10_ablations().values()
+        for config in (base_config, variant_config)
+        for name in _suite_names()
+    ]
+
+
+def _build_e10(lookup: CellLookup, scale: str):
     headers = ["ablation", "base", "variant", "variant/base"]
     rows: list[list[object]] = []
-    for name, (base_config, variant_config) in ablations.items():
+    for name, (base_config, variant_config) in _e10_ablations().items():
         base = geomean(
-            [measure(w, base_config, scale).overhead for w in _suite_names()]
+            [lookup(measure_cell(w, scale, base_config)).overhead
+             for w in _suite_names()]
         )
         variant = geomean(
-            [measure(w, variant_config, scale).overhead
+            [lookup(measure_cell(w, scale, variant_config)).overhead
              for w in _suite_names()]
         )
         rows.append([name, base, variant, variant / base])
-    write_results(
-        "e10_ablations",
-        f"E10 (ablations): design choices, geomean overhead [scale={scale}]",
-        headers,
-        rows,
-    )
     return headers, rows
+
+
+def e10_ablations(scale: str | None = None):
+    """Ablations of the design choices DESIGN.md calls out.
+
+    Columns (geomean overhead over the suite):
+
+    - IBTC probe inlined at each site vs. one shared out-of-line stub,
+    - IBTC hash: xor-fold vs. plain shift/mask,
+    - sieve stub insertion: MRU-prepend vs. append,
+    - fragment linking on vs. off (the E2 companion, aggregated).
+    """
+    return _run("e10", scale)
 
 
 # -- E11: per-site target fan-out ------------------------------------------------
 
 
-def e11_site_fanout(scale: str | None = None):
-    """Distribution of distinct dynamic targets per IB site.
+def _cells_e11(scale: str) -> list[Cell]:
+    return [fanout_cell(name, scale) for name in _suite_names()]
 
-    The paper's motivation table: most sites are monomorphic (a BTB/IBTC
-    entry suffices), while a handful of megamorphic sites carry most of
-    the dynamic dispatches on interpreter-style codes.
-    """
-    from repro.eval.fanout import collect_fanout
 
-    scale = scale or bench_scale()
+def _build_e11(lookup: CellLookup, scale: str):
     headers = [
         "benchmark", "IB sites", "mono", "2-4", "5-16", ">16",
         "mono disp%", ">16 disp%", "max fanout", "wmean fanout",
     ]
     rows: list[list[object]] = []
     for name in _suite_names():
-        profile = collect_fanout(name, scale=scale)
+        profile = lookup(fanout_cell(name, scale))
         rows.append(
             [
                 name,
@@ -437,20 +522,53 @@ def e11_site_fanout(scale: str | None = None):
                 round(profile.weighted_mean_fanout, 2),
             ]
         )
-    write_results(
-        "e11_site_fanout",
-        f"E11 (Table): per-site indirect-branch target fan-out "
-        f"[scale={scale}]",
-        headers,
-        rows,
-    )
     return headers, rows
+
+
+def e11_site_fanout(scale: str | None = None):
+    """Distribution of distinct dynamic targets per IB site.
+
+    The paper's motivation table: most sites are monomorphic (a BTB/IBTC
+    entry suffices), while a handful of megamorphic sites carry most of
+    the dynamic dispatches on interpreter-style codes.
+    """
+    return _run("e11", scale)
 
 
 # -- E12: overhead vs site fan-out (synthetic sweep) -----------------------------
 
+E12_FANOUTS = (1, 2, 4, 8, 16, 32)
+E12_ITERATIONS = {"tiny": 500, "small": 2000, "large": 8000}
 
-def e12_fanout_sweep(scale: str | None = None):
+
+def _e12_configs() -> dict[str, SDTConfig]:
+    return {
+        "reentry": SDTConfig(profile=DEFAULT_PROFILE, ib="reentry"),
+        "ibtc": SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc"),
+        "ibtc+predict": SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
+                                  inline_predict=True),
+        "sieve": SDTConfig(profile=DEFAULT_PROFILE, ib="sieve"),
+    }
+
+
+def _e12_workload(fanout: int, skewed: bool, scale: str):
+    from repro.workloads.microbench import dispatch_microbench
+
+    return dispatch_microbench(
+        fanout, iterations=E12_ITERATIONS[scale], skewed=skewed
+    )
+
+
+def _cells_e12(scale: str) -> list[Cell]:
+    return [
+        measure_cell(_e12_workload(fanout, skewed, scale), scale, config)
+        for skewed in (False, True)
+        for fanout in E12_FANOUTS
+        for config in _e12_configs().values()
+    ]
+
+
+def _build_e12(lookup: CellLookup, scale: str):
     """Overhead of each mechanism as one site's fan-out grows.
 
     A controlled version of the paper's polymorphism discussion: with a
@@ -459,40 +577,151 @@ def e12_fanout_sweep(scale: str | None = None):
     mechanisms only pay the hardware misprediction; a skewed pattern
     restores the cheap cases.  ``scale`` selects iteration count.
     """
-    from repro.eval.runner import measure
-    from repro.workloads.microbench import dispatch_microbench
-
-    scale = scale or bench_scale()
-    iterations = {"tiny": 500, "small": 2000, "large": 8000}[scale]
-    fanouts = (1, 2, 4, 8, 16, 32)
-    configs = {
-        "reentry": SDTConfig(profile=DEFAULT_PROFILE, ib="reentry"),
-        "ibtc": SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc"),
-        "ibtc+predict": SDTConfig(profile=DEFAULT_PROFILE, ib="ibtc",
-                                  inline_predict=True),
-        "sieve": SDTConfig(profile=DEFAULT_PROFILE, ib="sieve"),
-    }
+    configs = _e12_configs()
     headers = ["site", *configs]
     rows: list[list[object]] = []
     for skewed in (False, True):
-        for fanout in fanouts:
-            workload = dispatch_microbench(
-                fanout, iterations=iterations, skewed=skewed
-            )
+        for fanout in E12_FANOUTS:
+            workload = _e12_workload(fanout, skewed, scale)
             label = f"{'skew' if skewed else 'unif'}/{fanout}"
             row: list[object] = [label]
             for config in configs.values():
-                row.append(measure(workload, config, scale).overhead)
+                row.append(
+                    lookup(measure_cell(workload, scale, config)).overhead
+                )
             rows.append(row)
-    write_results(
-        "e12_fanout_sweep",
-        f"E12 (Fig.): overhead vs dispatch-site fan-out [scale={scale}]",
-        headers,
-        rows,
-    )
     return headers, rows
 
 
+def e12_fanout_sweep(scale: str | None = None):
+    """Overhead of each mechanism as one dispatch site's fan-out grows."""
+    return _run("e12", scale)
+
+
+# -- registry -----------------------------------------------------------------
+
+EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        ExperimentSpec(
+            name="e1",
+            slug="e1_ib_characteristics",
+            title=lambda scale: (
+                f"E1 (Table 1): dynamic indirect-branch characteristics "
+                f"[scale={scale}]"
+            ),
+            cells=_cells_e1,
+            build=_build_e1,
+        ),
+        ExperimentSpec(
+            name="e2",
+            slug="e2_baseline_overhead",
+            title=lambda scale: (
+                f"E2 (Fig.): baseline SDT overhead vs native "
+                f"({DEFAULT_PROFILE.name}) [scale={scale}]"
+            ),
+            cells=_cells_e2,
+            build=_build_e2,
+        ),
+        ExperimentSpec(
+            name="e3",
+            slug="e3_ibtc_sweep",
+            title=lambda scale: (
+                f"E3 (Fig.): overhead vs shared IBTC entries [scale={scale}]"
+            ),
+            cells=_cells_e3,
+            build=_build_e3,
+        ),
+        ExperimentSpec(
+            name="e4",
+            slug="e4_ibtc_scope",
+            title=lambda scale: (
+                f"E4 (Fig.): shared vs per-site IBTC [scale={scale}]"
+            ),
+            cells=_cells_e4,
+            build=_build_e4,
+        ),
+        ExperimentSpec(
+            name="e5",
+            slug="e5_sieve_sweep",
+            title=lambda scale: (
+                f"E5 (Fig.): overhead vs sieve buckets [scale={scale}]"
+            ),
+            cells=_cells_e5,
+            build=_build_e5,
+        ),
+        ExperimentSpec(
+            name="e6",
+            slug="e6_mechanism_comparison",
+            title=lambda scale: (
+                f"E6 (Fig.): tuned mechanism comparison [scale={scale}]"
+            ),
+            cells=_cells_e6,
+            build=_build_e6,
+        ),
+        ExperimentSpec(
+            name="e7",
+            slug="e7_return_handling",
+            title=lambda scale: (
+                f"E7 (Fig.): return-handling mechanisms (generic=IBTC/"
+                f"{BEST_IBTC}) [scale={scale}]"
+            ),
+            cells=_cells_e7,
+            build=_build_e7,
+        ),
+        ExperimentSpec(
+            name="e8",
+            slug="e8_cross_arch",
+            title=lambda scale: (
+                f"E8 (Fig.): cross-architecture geomean overhead "
+                f"[scale={scale}]"
+            ),
+            cells=_cells_e8,
+            build=_build_e8,
+        ),
+        ExperimentSpec(
+            name="e9",
+            slug="e9_ibtc_hitrate",
+            title=lambda scale: (
+                f"E9 (Table): shared IBTC hit rates by size [scale={scale}]"
+            ),
+            cells=_cells_e9,
+            build=_build_e9,
+        ),
+        ExperimentSpec(
+            name="e10",
+            slug="e10_ablations",
+            title=lambda scale: (
+                f"E10 (ablations): design choices, geomean overhead "
+                f"[scale={scale}]"
+            ),
+            cells=_cells_e10,
+            build=_build_e10,
+        ),
+        ExperimentSpec(
+            name="e11",
+            slug="e11_site_fanout",
+            title=lambda scale: (
+                f"E11 (Table): per-site indirect-branch target fan-out "
+                f"[scale={scale}]"
+            ),
+            cells=_cells_e11,
+            build=_build_e11,
+        ),
+        ExperimentSpec(
+            name="e12",
+            slug="e12_fanout_sweep",
+            title=lambda scale: (
+                f"E12 (Fig.): overhead vs dispatch-site fan-out "
+                f"[scale={scale}]"
+            ),
+            cells=_cells_e12,
+            build=_build_e12,
+        ),
+    )
+}
+
+#: Legacy driver registry (CLI ``experiment`` subcommand, tests).
 ALL_EXPERIMENTS = {
     "e1": e1_ib_characteristics,
     "e2": e2_baseline_overhead,

@@ -1,0 +1,242 @@
+"""Parallel + persistent experiment executor.
+
+Fans deduplicated experiment cells across a process pool
+(:class:`concurrent.futures.ProcessPoolExecutor`), optionally backed by
+the on-disk result cache in :mod:`repro.eval.diskcache`.  Determinism is
+structural: results are collected into a mapping keyed by cell
+fingerprint and each experiment's ``build`` assembles its table in
+declared cell order, so tables (and the CSVs written from them) are
+byte-identical whatever the worker count or completion order.
+
+Flow per batch: dedup cells by fingerprint (first-seen order), serve
+what the disk cache already has, dispatch only the misses (serially
+in-process when ``jobs <= 1``, so the runner's memo caches still apply),
+then persist every newly computed result from the parent — workers never
+write the cache, which keeps persistence single-writer and atomic.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.eval.cells import Cell
+from repro.eval.diskcache import DiskCache
+
+#: Progress callback: called once per unique cell as its result lands.
+ProgressFn = Callable[["CellEvent"], None]
+
+
+@dataclass(frozen=True)
+class CellEvent:
+    """One unique cell finished (served from cache or simulated)."""
+
+    index: int          #: 1-based position among unique cells
+    total: int          #: unique cell count in this batch
+    label: str          #: human-readable cell identity
+    source: str         #: ``"cache"`` or ``"run"``
+    seconds: float      #: simulation wall time (0.0 for cache hits)
+
+
+@dataclass
+class ExecutionReport:
+    """Accounting for one executor batch."""
+
+    requested: int = 0      #: cells asked for, including duplicates
+    unique: int = 0         #: cells after fingerprint dedup
+    cache_hits: int = 0     #: unique cells served from the disk cache
+    computed: int = 0       #: unique cells actually simulated
+    elapsed: float = 0.0    #: wall time for the whole batch
+    cell_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Disk-cache hit rate over unique cells (0.0 for empty batches)."""
+        return self.cache_hits / self.unique if self.unique else 0.0
+
+
+def dedup_cells(cells: Iterable[Cell]) -> dict[str, Cell]:
+    """Unique cells keyed by fingerprint digest, in first-seen order."""
+    unique: dict[str, Cell] = {}
+    for cell in cells:
+        unique.setdefault(cell.key(), cell)
+    return unique
+
+
+def _execute_cell(cell: Cell) -> tuple[object, float]:
+    """Worker entry point: run one cell, return (result, seconds)."""
+    start = time.perf_counter()
+    result = cell.execute()
+    return result, time.perf_counter() - start
+
+
+def execute_cells(
+    cells: Iterable[Cell],
+    jobs: int = 1,
+    cache: DiskCache | None = None,
+    progress: ProgressFn | None = None,
+) -> tuple[dict[str, object], ExecutionReport]:
+    """Execute a batch of cells; returns ``(results_by_key, report)``.
+
+    ``results_by_key`` maps every requested cell's :meth:`Cell.key` to
+    its result (duplicates share one entry).  ``jobs <= 1`` runs
+    serially in-process; larger values fan misses across that many
+    worker processes.
+    """
+    start = time.perf_counter()
+    cell_list = list(cells)
+    unique = dedup_cells(cell_list)
+    report = ExecutionReport(requested=len(cell_list), unique=len(unique))
+    results: dict[str, object] = {}
+
+    pending: list[tuple[str, Cell]] = []
+    for key, cell in unique.items():
+        cached = cache.get(cell) if cache is not None else None
+        if cached is not None:
+            results[key] = cached
+            report.cache_hits += 1
+        else:
+            pending.append((key, cell))
+
+    def finish(key: str, cell: Cell, result: object, seconds: float) -> None:
+        results[key] = result
+        report.computed += 1
+        report.cell_seconds[key] = seconds
+        if cache is not None:
+            cache.put(cell, result)
+
+    if pending:
+        if jobs > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    (key, cell, pool.submit(_execute_cell, cell))
+                    for key, cell in pending
+                ]
+                for key, cell, future in futures:
+                    result, seconds = future.result()
+                    finish(key, cell, result, seconds)
+        else:
+            for key, cell in pending:
+                result, seconds = _execute_cell(cell)
+                finish(key, cell, result, seconds)
+
+    if progress is not None:
+        total = len(unique)
+        for index, (key, cell) in enumerate(unique.items(), start=1):
+            seconds = report.cell_seconds.get(key)
+            progress(CellEvent(
+                index=index,
+                total=total,
+                label=cell.label,
+                source="cache" if seconds is None else "run",
+                seconds=seconds or 0.0,
+            ))
+
+    report.elapsed = time.perf_counter() - start
+    return results, report
+
+
+# -- experiment-level entry points --------------------------------------------
+
+
+def plan_cells(
+    names: Iterable[str], scale: str
+) -> tuple[dict[str, list[Cell]], dict[str, Cell]]:
+    """Cell lists per experiment plus the cross-experiment unique set.
+
+    The unique set is what actually gets dispatched: shared cells (the
+    ``ibtc(shared,4096)`` column appears in E3, E6 and E7, E9 reuses the
+    whole E3 grid, …) are simulated once.
+    """
+    from repro.eval.experiments import EXPERIMENT_SPECS
+
+    per_experiment: dict[str, list[Cell]] = {}
+    for name in names:
+        try:
+            spec = EXPERIMENT_SPECS[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown experiment {name!r}; "
+                f"available: {sorted(EXPERIMENT_SPECS)}"
+            ) from None
+        per_experiment[name] = spec.cells(scale)
+    unique = dedup_cells(
+        cell for cells in per_experiment.values() for cell in cells
+    )
+    return per_experiment, unique
+
+
+def run_experiments(
+    names: Iterable[str],
+    scale: str | None = None,
+    jobs: int = 1,
+    cache: DiskCache | None = None,
+    progress: ProgressFn | None = None,
+    results_dir: Path | None = None,
+    write: bool = True,
+) -> tuple[dict[str, tuple[list[str], list[list[object]]]], ExecutionReport]:
+    """Run experiment drivers on the shared executor.
+
+    Cells are deduplicated *across* the selected experiments before
+    dispatch.  Each experiment's table is then assembled in its declared
+    cell order and (by default) persisted via
+    :func:`repro.eval.report.write_results`.  Returns
+    ``({name: (headers, rows)}, report)``.
+    """
+    from repro.eval.experiments import EXPERIMENT_SPECS, bench_scale
+    from repro.eval.report import write_results
+
+    names = list(names)
+    scale = scale or bench_scale()
+    per_experiment, _unique = plan_cells(names, scale)
+    all_cells = [
+        cell for cells in per_experiment.values() for cell in cells
+    ]
+    results, report = execute_cells(
+        all_cells, jobs=jobs, cache=cache, progress=progress
+    )
+
+    tables: dict[str, tuple[list[str], list[list[object]]]] = {}
+    for name in names:
+        spec = EXPERIMENT_SPECS[name]
+
+        def lookup(cell: Cell) -> object:
+            return results[cell.key()]
+
+        headers, rows = spec.build(lookup, scale)
+        if write:
+            write_results(spec.slug, spec.title(scale), headers, rows,
+                          results_dir=results_dir)
+        tables[name] = (headers, rows)
+    return tables, report
+
+
+def run_experiment(
+    name: str,
+    scale: str | None = None,
+    jobs: int = 1,
+    cache: DiskCache | None = None,
+    progress: ProgressFn | None = None,
+    results_dir: Path | None = None,
+    write: bool = True,
+) -> tuple[list[str], list[list[object]]]:
+    """Single-experiment convenience wrapper around :func:`run_experiments`."""
+    tables, _report = run_experiments(
+        [name], scale=scale, jobs=jobs, cache=cache, progress=progress,
+        results_dir=results_dir, write=write,
+    )
+    return tables[name]
+
+
+__all__ = [
+    "CellEvent",
+    "ExecutionReport",
+    "dedup_cells",
+    "execute_cells",
+    "plan_cells",
+    "run_experiment",
+    "run_experiments",
+]

@@ -5,9 +5,13 @@ Every SDT measurement is verified against the reference interpreter
 trusted — a run that diverges raises instead of producing a number.
 
 Native baselines and SDT measurements are cached in-process keyed on
-(workload, scale, profile/config), so experiment drivers can share cells
-(e.g. the `ibtc(shared,4096)` column appears in E3, E6 and E7 but is
-simulated once).
+(workload, scale, fuel, profile/config), so experiment drivers can share
+cells (e.g. the `ibtc(shared,4096)` column appears in E3, E6 and E7 but
+is simulated once).  ``fuel`` is part of every key: a short-fuel run must
+never be served to a full-fuel caller.  Config identity comes from
+:meth:`repro.sdt.config.SDTConfig.fingerprint`, which enumerates every
+declared field.  The persistent, cross-process counterpart of these
+caches lives in :mod:`repro.eval.diskcache`.
 """
 
 from __future__ import annotations
@@ -65,6 +69,12 @@ class Measurement:
     @property
     def overhead(self) -> float:
         """Slowdown vs native — the paper's y-axis."""
+        if self.native_cycles <= 0:
+            raise ValueError(
+                f"cell {self.workload}/{self.scale}/{self.profile}/"
+                f"{self.config_label} has non-positive native_cycles="
+                f"{self.native_cycles}; cannot normalise overhead"
+            )
         return self.sdt_cycles / self.native_cycles
 
     @property
@@ -82,7 +92,7 @@ class Measurement:
         return sum(self.breakdown.get(cat.value, 0) for cat in ib_categories)
 
 
-_NATIVE_CACHE: dict[tuple[str, str, str], NativeBaseline] = {}
+_NATIVE_CACHE: dict[tuple, NativeBaseline] = {}
 _MEASURE_CACHE: dict[tuple, Measurement] = {}
 
 
@@ -101,7 +111,7 @@ def run_native(
     """Interpreter run of a workload with native cost accounting (cached)."""
     if isinstance(workload, str):
         workload = get_workload(workload, scale)
-    key = (workload.name, scale, profile.name)
+    key = (workload.name, scale, fuel, profile.fingerprint())
     cached = _NATIVE_CACHE.get(key)
     if cached is not None:
         return cached
@@ -125,25 +135,6 @@ def run_native(
     )
     _NATIVE_CACHE[key] = baseline
     return baseline
-
-
-def _config_key(config: SDTConfig) -> tuple:
-    return (
-        config.profile.name,
-        config.label,
-        config.ibtc_entries,
-        config.ibtc_shared,
-        config.ibtc_inline,
-        config.ibtc_hash,
-        config.inline_predict,
-        config.sieve_buckets,
-        config.sieve_policy,
-        config.shadow_depth,
-        config.retcache_entries,
-        config.fragment_cache_bytes,
-        config.max_fragment_instrs,
-        config.trace_jumps,
-    )
 
 
 def _verify(
@@ -174,7 +165,7 @@ def measure(
     """Run a workload under an SDT config; verify and normalise (cached)."""
     if isinstance(workload, str):
         workload = get_workload(workload, scale)
-    key = (workload.name, scale) + _config_key(config)
+    key = (workload.name, scale, fuel, config.fingerprint())
     cached = _MEASURE_CACHE.get(key)
     if cached is not None:
         return cached

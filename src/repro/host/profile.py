@@ -91,6 +91,25 @@ class ArchProfile:
     def instr_cycles(self, iclass: InstrClass) -> int:
         return self.class_cycles[iclass]
 
+    def fingerprint(self) -> tuple:
+        """Canonical, hashable identity covering every cost parameter.
+
+        Two profiles with equal fingerprints charge identical costs, even
+        when :meth:`derive` reuses a preset name — cache keys must use
+        this, never just ``name``.
+        """
+        from dataclasses import fields
+
+        items: list[tuple[str, object]] = []
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, dict):
+                value = tuple(
+                    sorted((key.name, cycles) for key, cycles in value.items())
+                )
+            items.append((spec.name, value))
+        return tuple(items)
+
     def derive(self, name: str, **overrides) -> "ArchProfile":
         """A copy of this profile with some fields replaced."""
         return replace(self, name=name, **overrides)

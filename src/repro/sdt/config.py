@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.host.profile import ArchProfile, SIMPLE
 from repro.sdt.cache import DEFAULT_CAPACITY
@@ -94,6 +94,34 @@ class SDTConfig:
             parts.append("trace")
         return "+".join(parts)
 
+    def fingerprint(self) -> tuple:
+        """Canonical, hashable identity covering *every* declared field.
+
+        This is the one true cache key for a configuration: it is built by
+        introspecting the dataclass fields, so a newly added field can
+        never be silently omitted (the failure mode of a hand-enumerated
+        key, which aliases configs that differ only in the new field).
+        """
+        items: list[tuple[str, object]] = []
+        for spec in fields(self):
+            items.append((spec.name, _canonical(getattr(self, spec.name))))
+        return tuple(items)
+
     def with_profile(self, profile: ArchProfile) -> "SDTConfig":
         """The same configuration under a different host profile."""
         return replace(self, profile=profile)
+
+
+def _canonical(value: object) -> object:
+    """Reduce a config field value to a hashable canonical form."""
+    if isinstance(value, ArchProfile):
+        return value.fingerprint()
+    if isinstance(value, dict):
+        return tuple(sorted((key, _canonical(item))
+                            for key, item in value.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        canon = [_canonical(item) for item in value]
+        if isinstance(value, (set, frozenset)):
+            canon = sorted(canon)
+        return tuple(canon)
+    return value

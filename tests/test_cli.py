@@ -48,6 +48,30 @@ class TestCommands:
         assert "indirect-branch characteristics" in out
         assert (tmp_path / "results" / "e1_ib_characteristics.csv").exists()
 
+    def test_experiments_unknown_subset(self, capsys):
+        assert main(["experiments", "--only", "e1,e99"]) == 2
+        assert "e99" in capsys.readouterr().err
+
+    def test_experiments_executor(self, capsys, monkeypatch, tmp_path):
+        from repro.eval.runner import clear_caches
+
+        monkeypatch.chdir(tmp_path)  # results/ and results/.cache land in tmp
+        assert main(["experiments", "--only", "e1", "--scale", "tiny",
+                     "--jobs", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "indirect-branch characteristics" in captured.out
+        assert "unique after dedup" in captured.out
+        assert "[ 12/12]" in captured.err  # per-cell progress
+        assert (tmp_path / "results" / "e1_ib_characteristics.csv").exists()
+        assert list((tmp_path / "results" / ".cache").glob("*/*.json"))
+        # second invocation is served from the disk cache
+        clear_caches()
+        assert main(["experiments", "--only", "e1", "--scale", "tiny",
+                     "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "12 from cache, 0 simulated (100% cache hits)" in captured.out
+        assert captured.err == ""  # --quiet
+
     def test_compile(self, tmp_path, capsys):
         source = tmp_path / "p.mc"
         source.write_text("int main() { print_int(1); return 0; }")

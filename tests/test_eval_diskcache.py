@@ -1,0 +1,134 @@
+"""Disk cache: round-trips, hit/miss accounting, corruption tolerance."""
+
+import json
+
+import pytest
+
+from repro.eval import cells as cells_module
+from repro.eval.cells import (
+    decode_result,
+    encode_result,
+    fanout_cell,
+    measure_cell,
+    native_cell,
+)
+from repro.eval.diskcache import DiskCache
+from repro.eval.runner import clear_caches
+from repro.host.profile import SIMPLE
+from repro.sdt.config import SDTConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(tmp_path / "cache")
+
+
+def _measure_cell():
+    return measure_cell(
+        "gzip_like", "tiny", SDTConfig(profile=SIMPLE, ib="ibtc")
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make_cell", [
+        _measure_cell,
+        lambda: native_cell("gzip_like", "tiny", SIMPLE),
+        lambda: fanout_cell("gzip_like", "tiny"),
+    ])
+    def test_put_get_round_trip(self, cache, make_cell):
+        cell = make_cell()
+        result = cell.execute()
+        assert cache.get(cell) is None          # cold cache: miss
+        cache.put(cell, result)
+        restored = cache.get(cell)
+        assert restored is not None
+        assert encode_result(restored) == encode_result(result)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_codec_rejects_unknown_payloads(self):
+        with pytest.raises(TypeError):
+            encode_result(object())
+        with pytest.raises(ValueError):
+            decode_result({"type": "mystery", "data": {}})
+
+    def test_measurement_values_survive_json(self, cache):
+        cell = _measure_cell()
+        result = cell.execute()
+        cache.put(cell, result)
+        restored = cache.get(cell)
+        assert restored.overhead == result.overhead
+        assert restored.breakdown == result.breakdown
+        assert restored.hit_rates == result.hit_rates
+
+
+class TestCorruptionTolerance:
+    def test_truncated_entry_is_discarded_and_recomputed(self, cache):
+        cell = _measure_cell()
+        cache.put(cell, cell.execute())
+        path = cache.path_for(cell)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get(cell) is None
+        assert not path.exists()                # bad entry deleted
+        # recompute and repopulate as the executor would
+        cache.put(cell, cell.execute())
+        assert cache.get(cell) is not None
+
+    def test_garbage_json_is_discarded(self, cache):
+        cell = _measure_cell()
+        cache.put(cell, cell.execute())
+        cache.path_for(cell).write_text("{}")
+        assert cache.get(cell) is None
+
+    def test_fingerprint_mismatch_is_never_trusted(self, cache):
+        """An entry whose stored fingerprint disagrees is stale — drop it."""
+        cell = _measure_cell()
+        cache.put(cell, cell.execute())
+        path = cache.path_for(cell)
+        payload = json.loads(path.read_text())
+        payload["fingerprint"] = "something-else"
+        path.write_text(json.dumps(payload))
+        assert cache.get(cell) is None
+        assert not path.exists()
+
+    def test_no_temp_droppings_after_put(self, cache):
+        cell = _measure_cell()
+        cache.put(cell, cell.execute())
+        leftovers = [
+            p for p in cache.root.rglob("*") if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+        assert len(cache) == 1
+
+
+class TestInvalidation:
+    def test_code_salt_invalidates_old_entries(self, cache, monkeypatch):
+        cell = _measure_cell()
+        cache.put(cell, cell.execute())
+        monkeypatch.setattr(cells_module, "CODE_SALT", "repro/0.0.0-test")
+        assert cache.get(cell) is None          # different key → miss
+
+    def test_fuel_is_part_of_the_key(self, cache):
+        cell = _measure_cell()
+        other = measure_cell(
+            "gzip_like", "tiny", SDTConfig(profile=SIMPLE, ib="ibtc"),
+            fuel=cell.fuel - 1,
+        )
+        assert cell.key() != other.key()
+        cache.put(cell, cell.execute())
+        assert cache.get(other) is None
+
+    def test_workload_source_is_part_of_the_key(self):
+        from repro.workloads.microbench import dispatch_microbench
+
+        config = SDTConfig(profile=SIMPLE, ib="ibtc")
+        a = measure_cell(dispatch_microbench(2, iterations=10), "tiny", config)
+        b = measure_cell(dispatch_microbench(2, iterations=20), "tiny", config)
+        assert a.workload_name == b.workload_name  # same name ...
+        assert a.key() != b.key()                  # ... different source

@@ -78,13 +78,67 @@ class TestMeasure:
     def test_divergence_detected(self):
         """A config whose run diverges from the baseline must raise."""
         from repro.eval import runner as runner_module
+        from repro.eval.runner import DEFAULT_FUEL
 
         config = SDTConfig(profile=SIMPLE)
         baseline = run_native("gzip_like", SIMPLE, scale="tiny")
         broken = baseline.__class__(**{
             **baseline.__dict__, "output": baseline.output + "tampered",
         })
-        key = ("gzip_like", "tiny", SIMPLE.name)
+        key = ("gzip_like", "tiny", DEFAULT_FUEL, SIMPLE.fingerprint())
         runner_module._NATIVE_CACHE[key] = broken
         with pytest.raises(DivergenceError):
             measure("gzip_like", config, scale="tiny")
+
+
+class TestFuelKeying:
+    """Regression: fuel is part of every cache key.
+
+    Before the fix, `_NATIVE_CACHE`/`_MEASURE_CACHE` keys omitted fuel, so
+    a short-fuel run populated the cell and later full-fuel callers were
+    silently served its (potentially truncated) cycle counts.
+    """
+
+    def test_native_runs_at_different_fuels_are_distinct(self):
+        generous = run_native("gzip_like", SIMPLE, scale="tiny")
+        tighter = run_native("gzip_like", SIMPLE, scale="tiny",
+                             fuel=generous.retired + 1)
+        assert tighter is not generous
+        # and the original fuel still maps to its own cached entry
+        assert run_native("gzip_like", SIMPLE, scale="tiny") is generous
+
+    def test_measurements_at_different_fuels_are_distinct(self):
+        config = SDTConfig(profile=SIMPLE)
+        full = measure("eon_like", config, scale="tiny")
+        short = measure("eon_like", config, scale="tiny",
+                        fuel=full.native_cycles * 10)
+        assert short is not full
+        assert measure("eon_like", config, scale="tiny") is full
+
+    def test_exhausted_fuel_never_caches_a_truncated_run(self):
+        from repro.machine.errors import FuelExhausted
+
+        with pytest.raises(FuelExhausted):
+            run_native("gzip_like", SIMPLE, scale="tiny", fuel=10)
+        # the failed short-fuel attempt must not have poisoned anything
+        base = run_native("gzip_like", SIMPLE, scale="tiny")
+        assert base.exit_code == 0
+
+
+class TestOverheadGuard:
+    def test_zero_native_cycles_raises_value_error_naming_cell(self):
+        broken = Measurement(
+            workload="gzip_like", scale="tiny", profile="simple",
+            config_label="ibtc(shared,4096)", native_cycles=0,
+            sdt_cycles=123, breakdown={}, stats={}, hit_rates={},
+        )
+        with pytest.raises(ValueError, match=r"gzip_like/tiny/simple"):
+            broken.overhead
+
+    def test_positive_native_cycles_still_divide(self):
+        healthy = Measurement(
+            workload="gzip_like", scale="tiny", profile="simple",
+            config_label="x", native_cycles=100,
+            sdt_cycles=250, breakdown={}, stats={}, hit_rates={},
+        )
+        assert healthy.overhead == 2.5

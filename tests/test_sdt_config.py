@@ -1,0 +1,91 @@
+"""SDTConfig/ArchProfile canonical fingerprints (cache-key identity)."""
+
+import dataclasses
+
+import pytest
+
+from repro.host.profile import SIMPLE, SPARC_US3, X86_K8, X86_P4
+from repro.sdt.config import SDTConfig
+
+#: A valid alternate value per field, used to prove each field reaches the
+#: fingerprint.  A new SDTConfig field must be added here (the coverage
+#: test fails loudly otherwise) — which is exactly the point: it can no
+#: longer be silently omitted from cache keys.
+FIELD_ALTERNATES = {
+    "profile": X86_K8,
+    "ib": "sieve",
+    "ibtc_entries": 999,
+    "ibtc_shared": False,
+    "ibtc_inline": False,
+    "ibtc_hash": "shift",
+    "inline_predict": True,
+    "sieve_buckets": 77,
+    "sieve_policy": "append",
+    "returns": "fast",
+    "shadow_depth": 5,
+    "retcache_entries": 99,
+    "linking": False,
+    "trace_jumps": True,
+    "fragment_cache_bytes": 12345,
+    "max_fragment_instrs": 7,
+}
+
+
+class TestConfigFingerprint:
+    def test_every_declared_field_affects_the_fingerprint(self):
+        base = SDTConfig(profile=SIMPLE)
+        for spec in dataclasses.fields(SDTConfig):
+            assert spec.name in FIELD_ALTERNATES, (
+                f"new config field {spec.name!r}: add an alternate value to "
+                f"FIELD_ALTERNATES so fingerprint coverage is proven"
+            )
+            alternate = FIELD_ALTERNATES[spec.name]
+            assert alternate != getattr(base, spec.name), spec.name
+            variant = dataclasses.replace(base, **{spec.name: alternate})
+            assert variant.fingerprint() != base.fingerprint(), (
+                f"field {spec.name!r} does not affect SDTConfig.fingerprint()"
+            )
+
+    def test_no_stale_alternates(self):
+        declared = {spec.name for spec in dataclasses.fields(SDTConfig)}
+        assert set(FIELD_ALTERNATES) == declared
+
+    def test_equal_configs_equal_fingerprints(self):
+        a = SDTConfig(profile=X86_P4, ib="ibtc", ibtc_entries=64)
+        b = SDTConfig(profile=X86_P4, ib="ibtc", ibtc_entries=64)
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_is_hashable(self):
+        hash(SDTConfig(profile=SPARC_US3).fingerprint())
+
+    def test_same_name_derived_profile_changes_fingerprint(self):
+        """derive() reusing a preset name must still produce a new key."""
+        lookalike = X86_P4.derive("x86_p4", mispredict_penalty=1)
+        a = SDTConfig(profile=X86_P4)
+        b = SDTConfig(profile=lookalike)
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestProfileFingerprint:
+    def test_distinct_presets_distinct(self):
+        prints = {p.fingerprint() for p in (SIMPLE, X86_P4, X86_K8, SPARC_US3)}
+        assert len(prints) == 4
+
+    def test_class_cycles_reach_the_fingerprint(self):
+        from repro.isa.opcodes import InstrClass
+
+        tweaked = dict(SIMPLE.class_cycles)
+        tweaked[InstrClass.MUL] += 1
+        variant = SIMPLE.derive(SIMPLE.name, class_cycles=tweaked)
+        assert variant.fingerprint() != SIMPLE.fingerprint()
+
+    def test_covers_every_declared_field(self):
+        names = [name for name, _value in SIMPLE.fingerprint()]
+        declared = [spec.name for spec in dataclasses.fields(SIMPLE)]
+        assert names == declared
+
+
+def test_validation_still_rejects_bad_values():
+    with pytest.raises(ValueError):
+        SDTConfig(profile=SIMPLE, ib="oracle")
