@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Benchmark the oracle vs threaded execution engines.
+
+For every workload in the suite, times a native-baseline run and an SDT
+run under both engines, verifies the results are identical (output, exit
+code, retired count, iclass counts, cycle totals), and reports simulated
+guest instructions per second.  Writes ``BENCH_engine.json`` so the
+performance trajectory of the simulator itself is tracked over time.
+
+Usage::
+
+    python scripts/bench_engine.py                 # full suite, small scale
+    python scripts/bench_engine.py --quick         # CI smoke: 3 workloads, tiny
+    python scripts/bench_engine.py --check         # exit 1 if threaded <= oracle
+    python scripts/bench_engine.py -o out.json
+
+See docs/performance.md for the engine design and current numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+QUICK_WORKLOADS = ("gzip_like", "perl_like", "mcf_like")
+
+
+def _run_native(program, profile, engine: str, fuel: int):
+    from repro.host.costs import HostModel, NativeCostObserver
+    from repro.machine.interpreter import Interpreter
+
+    model = HostModel(profile)
+    interp = Interpreter(
+        program, observer=NativeCostObserver(model), engine=engine
+    )
+    start = time.perf_counter()
+    result = interp.run(fuel)
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "retired": result.retired,
+        "output": result.output,
+        "exit_code": result.exit_code,
+        "iclass_counts": {
+            ic.value: n for ic, n in sorted(
+                result.iclass_counts.items(), key=lambda kv: kv[0].value
+            )
+        },
+        "cycles": model.total_cycles,
+    }
+
+
+def _run_sdt(program, profile, engine: str, fuel: int):
+    from repro.sdt.config import SDTConfig
+    from repro.sdt.vm import SDTVM
+
+    config = SDTConfig(profile=profile, engine=engine)
+    vm = SDTVM(program, config=config)
+    start = time.perf_counter()
+    result = vm.run(fuel)
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "retired": result.retired,
+        "output": result.output,
+        "exit_code": result.exit_code,
+        "iclass_counts": {
+            ic.value: n for ic, n in sorted(
+                result.iclass_counts.items(), key=lambda kv: kv[0].value
+            )
+        },
+        "cycles": result.total_cycles,
+    }
+
+
+def _assert_identical(workload: str, mode: str, oracle: dict, threaded: dict):
+    for field in ("output", "exit_code", "retired", "iclass_counts",
+                  "cycles"):
+        if oracle[field] != threaded[field]:
+            raise SystemExit(
+                f"ENGINE DIVERGENCE: {workload}/{mode} differs on "
+                f"{field}: oracle={oracle[field]!r} "
+                f"threaded={threaded[field]!r}"
+            )
+
+
+def bench(scale: str, names: list[str], profile_name: str, fuel: int) -> dict:
+    from repro.host.profile import get_profile
+    from repro.machine.engine import ENGINES
+    from repro.workloads import get_workload
+
+    profile = get_profile(profile_name)
+    rows = []
+    totals = {
+        engine: {"retired": 0, "seconds": 0.0} for engine in ENGINES
+    }
+    for name in names:
+        workload = get_workload(name, scale)
+        program = workload.compile()  # compile outside the timed region
+        row: dict = {"workload": name}
+        for mode, runner in (("native", _run_native), ("sdt", _run_sdt)):
+            per_engine = {
+                engine: runner(program, profile, engine, fuel)
+                for engine in ENGINES
+            }
+            _assert_identical(name, mode, *(per_engine[e] for e in ENGINES))
+            row[mode] = {
+                engine: {
+                    "seconds": round(stats["seconds"], 6),
+                    "retired": stats["retired"],
+                    "instrs_per_sec": round(
+                        stats["retired"] / stats["seconds"]
+                    ) if stats["seconds"] else None,
+                }
+                for engine, stats in per_engine.items()
+            }
+            for engine, stats in per_engine.items():
+                totals[engine]["retired"] += stats["retired"]
+                totals[engine]["seconds"] += stats["seconds"]
+        rows.append(row)
+        print(
+            f"{name:16s} native {_speedup(row['native']):5.2f}x   "
+            f"sdt {_speedup(row['sdt']):5.2f}x",
+            flush=True,
+        )
+
+    for engine, agg in totals.items():
+        agg["instrs_per_sec"] = (
+            round(agg["retired"] / agg["seconds"]) if agg["seconds"] else None
+        )
+        agg["seconds"] = round(agg["seconds"], 6)
+    speedup = (
+        totals["threaded"]["instrs_per_sec"] / totals["oracle"]["instrs_per_sec"]
+        if totals["oracle"]["instrs_per_sec"] else None
+    )
+    return {
+        "bench": "engine",
+        "scale": scale,
+        "profile": profile_name,
+        "fuel": fuel,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "workloads": rows,
+        "totals": totals,
+        "speedup": round(speedup, 3) if speedup else None,
+    }
+
+
+def _speedup(per_mode: dict) -> float:
+    oracle = per_mode["oracle"]["instrs_per_sec"] or 0
+    threaded = per_mode["threaded"]["instrs_per_sec"] or 0
+    return threaded / oracle if oracle else 0.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "large"))
+    parser.add_argument("--profile", default="x86_p4")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI smoke: workloads {', '.join(QUICK_WORKLOADS)} at tiny scale",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the threaded engine beats oracle",
+    )
+    parser.add_argument("-o", "--output", default="BENCH_engine.json",
+                        metavar="FILE", help="JSON report path")
+    args = parser.parse_args(argv)
+
+    from repro.workloads import workload_names
+
+    if args.quick:
+        scale = "tiny"
+        names = list(QUICK_WORKLOADS)
+    else:
+        scale = args.scale
+        names = list(workload_names())
+
+    from repro.eval.runner import DEFAULT_FUEL
+
+    report = bench(scale, names, args.profile, DEFAULT_FUEL)
+    totals = report["totals"]
+    print(
+        f"\ntotal: oracle {totals['oracle']['instrs_per_sec']:,} i/s, "
+        f"threaded {totals['threaded']['instrs_per_sec']:,} i/s "
+        f"-> {report['speedup']:.2f}x "
+        f"({len(report['workloads'])} workloads, scale={scale})"
+    )
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check and (report["speedup"] is None or report["speedup"] <= 1.0):
+        print("FAIL: threaded engine is not faster than oracle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,10 @@
 ::
 
     repro-sdt run <workload> [--scale S] [--ib M] [--returns R]
-                             [--profile P] [--json]
+                             [--profile P] [--engine E] [--json]
     repro-sdt experiment <e1..e12|all> [--scale S]
     repro-sdt experiments [--only e3,e6] [--jobs N] [--no-cache]
-                          [--cache-dir D] [--scale S]  # parallel executor
+                          [--cache-dir D] [--scale S] [--engine E]
     repro-sdt fragments <workload> [--disassemble]  # fragment-cache dump
     repro-sdt fanout <workload>                     # per-site IB targets
     repro-sdt analyze <prog> [--json]               # static CFG/IB analysis
@@ -30,6 +30,7 @@ from repro.eval.runner import measure, run_native
 from repro.host.profile import PROFILES, get_profile
 from repro.isa.assembler import assemble
 from repro.lang import compile_source
+from repro.machine.engine import ENGINES, resolve_engine
 from repro.machine.interpreter import run_program
 from repro.sdt.config import SDTConfig
 from repro.workloads import get_workload, workload_names
@@ -54,9 +55,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sieve_buckets=args.sieve_buckets,
         returns=args.returns,
         linking=not args.no_linking,
+        engine=resolve_engine(args.engine),
     )
     workload = get_workload(args.workload, args.scale)
-    baseline = run_native(workload, profile, scale=args.scale)
+    baseline = run_native(workload, profile, scale=args.scale,
+                          engine=config.engine)
     result = measure(workload, config, scale=args.scale)
     if args.json:
         import json
@@ -112,6 +115,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     """Parallel + disk-cached regeneration of the experiment grid."""
+    import os
+
     from repro.eval.diskcache import DiskCache
     from repro.eval.experiments import EXPERIMENT_SPECS
     from repro.eval.parallel import run_experiments
@@ -134,10 +139,22 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(f"[{event.index:3d}/{event.total}] {event.label:<55s} {source}",
               file=sys.stderr)
 
-    _tables, report = run_experiments(
-        names, scale=args.scale, jobs=args.jobs, cache=cache,
-        progress=None if args.quiet else progress,
-    )
+    # Experiment specs build their own SDTConfigs; the engine default
+    # comes from REPRO_ENGINE, so exporting it here reaches every cell —
+    # including ones simulated in worker processes.  Engine choice never
+    # changes results or cache keys, only simulation speed.
+    saved_engine = os.environ.get("REPRO_ENGINE")
+    os.environ["REPRO_ENGINE"] = resolve_engine(args.engine)
+    try:
+        _tables, report = run_experiments(
+            names, scale=args.scale, jobs=args.jobs, cache=cache,
+            progress=None if args.quiet else progress,
+        )
+    finally:
+        if saved_engine is None:
+            del os.environ["REPRO_ENGINE"]
+        else:
+            os.environ["REPRO_ENGINE"] = saved_engine
     print(
         f"\ncells: {report.requested} requested, {report.unique} unique "
         f"after dedup, {report.cache_hits} from cache, "
@@ -292,6 +309,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--returns", default="same",
                      choices=("same", "fast", "shadow", "retcache"))
     run.add_argument("--no-linking", action="store_true")
+    run.add_argument(
+        "--engine", default=None, choices=ENGINES,
+        help="simulation engine (default: threaded, or $REPRO_ENGINE); "
+        "results are identical, only simulator speed differs",
+    )
     run.add_argument("--json", action="store_true",
                      help="machine-readable output")
 
@@ -323,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--quiet", action="store_true",
         help="suppress per-cell progress output",
+    )
+    experiments.add_argument(
+        "--engine", default=None, choices=ENGINES,
+        help="simulation engine for every cell (default: threaded, or "
+        "$REPRO_ENGINE); does not affect results or cache keys",
     )
 
     fragments = sub.add_parser(

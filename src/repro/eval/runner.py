@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.host.costs import Category, HostModel, NativeCostObserver
 from repro.host.profile import ArchProfile
+from repro.isa.opcodes import InstrClass
 from repro.machine.interpreter import Interpreter
 from repro.sdt.config import SDTConfig
 from repro.sdt.vm import SDTRunResult, SDTVM
@@ -107,8 +108,14 @@ def run_native(
     profile: ArchProfile,
     scale: str = "small",
     fuel: int = DEFAULT_FUEL,
+    engine: str | None = None,
 ) -> NativeBaseline:
-    """Interpreter run of a workload with native cost accounting (cached)."""
+    """Interpreter run of a workload with native cost accounting (cached).
+
+    ``engine`` selects the simulation engine (oracle/threaded; see
+    :mod:`repro.machine.engine`); it is deliberately *not* part of the
+    memo key because both engines produce identical baselines.
+    """
     if isinstance(workload, str):
         workload = get_workload(workload, scale)
     key = (workload.name, scale, fuel, profile.fingerprint())
@@ -116,10 +123,10 @@ def run_native(
     if cached is not None:
         return cached
 
-    from repro.isa.opcodes import InstrClass
-
     model = HostModel(profile)
-    interp = Interpreter(workload.compile(), observer=NativeCostObserver(model))
+    interp = Interpreter(
+        workload.compile(), observer=NativeCostObserver(model), engine=engine
+    )
     result = interp.run(fuel)
     baseline = NativeBaseline(
         workload=workload.name,
@@ -170,7 +177,8 @@ def measure(
     if cached is not None:
         return cached
 
-    baseline = run_native(workload, config.profile, scale=scale, fuel=fuel)
+    baseline = run_native(workload, config.profile, scale=scale, fuel=fuel,
+                          engine=config.engine)
     vm = SDTVM(workload.compile(), config=config)
     result = vm.run(fuel)
     _verify(baseline, result, config.label)

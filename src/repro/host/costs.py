@@ -68,6 +68,20 @@ class HostModel:
         """Base cost of one retired application instruction."""
         self.cycles[Category.APP] += self._class_cycles[iclass]
 
+    def charge_block(self, cycles: int) -> None:
+        """Bulk APP charge for a whole block of retired instructions.
+
+        ``cycles`` must be the precomputed per-class sum for the block
+        (see :class:`repro.machine.engine.Superblock`), so charging a
+        block once is cycle-identical to charging each instruction.
+        """
+        self.cycles[Category.APP] += cycles
+
+    def block_cycles(self, counts: dict[InstrClass, int]) -> int:
+        """Total APP cycles for an instruction-class count vector."""
+        class_cycles = self._class_cycles
+        return sum(class_cycles[ic] * n for ic, n in counts.items())
+
     # -- host-level branch events -------------------------------------------
     #
     # ``site`` is the address of the *host* branch instruction: the guest PC

@@ -12,7 +12,7 @@ are the experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.isa.opcodes import InstrClass
 
@@ -98,8 +98,6 @@ class ArchProfile:
         when :meth:`derive` reuses a preset name — cache keys must use
         this, never just ``name``.
         """
-        from dataclasses import fields
-
         items: list[tuple[str, object]] = []
         for spec in fields(self):
             value = getattr(self, spec.name)

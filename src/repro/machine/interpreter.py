@@ -8,6 +8,18 @@ text section, with no translation.  It serves two roles:
 2. **Native-performance baseline** — attach a host cost model as the
    ``observer`` and the interpreter charges exactly the cycles the program
    would cost when running natively (no SDT dispatch code).
+
+Two execution engines are available (see docs/performance.md):
+
+``oracle``
+    one :func:`repro.machine.executor.execute` call per instruction — the
+    semantics reference.
+``threaded``
+    closure-specialised superblocks from :mod:`repro.machine.engine`,
+    cached by entry PC and invalidated together with ``_decoded``.
+    Observable results (output, exit code, retired count, iclass counts,
+    charged cycles, fault timing, fuel semantics) are identical; only
+    wall-clock speed differs.
 """
 
 from __future__ import annotations
@@ -16,9 +28,17 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
-from repro.isa.encoding import decode
+from repro.host.costs import NativeCostObserver
+from repro.isa.encoding import DecodeError, decode
 from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CONTROL_CLASSES, InstrClass
 from repro.isa.program import Program
+from repro.machine.engine import (
+    MAX_SUPERBLOCK_INSTRS,
+    Superblock,
+    native_exit_event,
+    resolve_engine,
+)
 from repro.machine.errors import FuelExhausted, MemoryFault
 from repro.machine.executor import execute
 from repro.machine.loader import load_program
@@ -45,8 +65,6 @@ class RunResult:
     @property
     def indirect_branches(self) -> int:
         """Total dynamic indirect control transfers."""
-        from repro.isa.opcodes import InstrClass
-
         return (
             self.iclass_counts[InstrClass.IJUMP]
             + self.iclass_counts[InstrClass.ICALL]
@@ -63,14 +81,17 @@ class Interpreter:
         inputs: list[int] | None = None,
         observer: Callable[[int, Instruction, int], None] | None = None,
         count_classes: bool = True,
+        engine: str | None = None,
     ):
         self.program = program
         self.cpu, self.mem, self.syscalls = load_program(program, inputs)
         self.observer = observer
         self.count_classes = count_classes
+        self.engine = resolve_engine(engine)
         self.retired = 0
         self.iclass_counts: Counter = Counter()
         self._decoded: dict[int, Instruction] = {}
+        self._blocks: dict[int, Superblock] = {}
         self._text_lo = program.text.base
         self._text_hi = program.text.end
 
@@ -99,6 +120,25 @@ class Interpreter:
 
     def run(self, fuel: int = DEFAULT_FUEL) -> RunResult:
         """Run until the program exits or ``fuel`` instructions retire."""
+        # The threaded engine only models the cost events the native
+        # observer generates; arbitrary observers (profilers etc.) need
+        # the per-instruction callback, so they get the oracle loop.
+        if self.engine == "threaded" and (
+            self.observer is None
+            or isinstance(self.observer, NativeCostObserver)
+        ):
+            self._run_threaded(fuel)
+        else:
+            self._run_oracle(fuel)
+        syscalls = self.syscalls
+        return RunResult(
+            output=syscalls.output,
+            exit_code=syscalls.exit_code or 0,
+            retired=self.retired,
+            iclass_counts=self.iclass_counts,
+        )
+
+    def _run_oracle(self, fuel: int) -> None:
         syscalls = self.syscalls
         step = self.step
         remaining = fuel
@@ -107,12 +147,124 @@ class Interpreter:
                 raise FuelExhausted(fuel)
             step()
             remaining -= 1
-        return RunResult(
-            output=syscalls.output,
-            exit_code=syscalls.exit_code or 0,
-            retired=self.retired,
-            iclass_counts=self.iclass_counts,
+
+    # -- threaded engine -----------------------------------------------------
+
+    def _block_at(self, pc: int) -> Superblock:
+        """Build (and cache) the superblock starting at ``pc``.
+
+        Blocks end at the first control-transfer *or* ``SYSCALL``
+        instruction, so exits and predictor events only ever occur at
+        block terminators.  A fetch/decode failure beyond the first
+        instruction truncates the block instead of faulting: the fault
+        must fire when execution actually reaches that PC, exactly as in
+        the oracle loop.
+        """
+        observer = self.observer
+        class_cycles = (
+            observer.model.profile.class_cycles
+            if isinstance(observer, NativeCostObserver) else None
         )
+        pairs = [(pc, self.fetch(pc))]
+        probe = pc
+        while (
+            pairs[-1][1].iclass not in CONTROL_CLASSES
+            and pairs[-1][1].iclass is not InstrClass.SYSCALL
+            and len(pairs) < MAX_SUPERBLOCK_INSTRS
+        ):
+            probe += 4
+            try:
+                pairs.append((probe, self.fetch(probe)))
+            except (MemoryFault, DecodeError):
+                break
+        block = Superblock(
+            pairs, self.cpu, self.mem, self.syscalls,
+            class_cycles=class_cycles,
+        )
+        self._blocks[pc] = block
+        return block
+
+    def _run_threaded(self, fuel: int) -> None:
+        cpu = self.cpu
+        syscalls = self.syscalls
+        counts = self.iclass_counts
+        count_classes = self.count_classes
+        observer = self.observer
+        model = observer.model if observer is not None else None
+        blocks = self._blocks
+        block_at = self._block_at
+        remaining = fuel
+
+        while not syscalls.exited:
+            if remaining <= 0:
+                raise FuelExhausted(fuel)
+            pc = cpu.pc
+            block = blocks.get(pc)
+            if block is None:
+                block = block_at(pc)
+            n = block.n
+            if n <= remaining:
+                fns = block.fns
+                k = 0
+                next_pc = pc
+                try:
+                    for fn in fns:
+                        next_pc = fn()
+                        k += 1
+                except BaseException:
+                    self._flush_partial(block, k, model)
+                    raise
+                self.retired += n
+                remaining -= n
+                if count_classes:
+                    for iclass, count in block.class_counts.items():
+                        counts[iclass] += count
+                if model is not None:
+                    model.charge_block(block.app_cycles)
+                    if block.term_iclass in CONTROL_CLASSES:
+                        native_exit_event(model, block, next_pc)
+                cpu.pc = next_pc
+            else:
+                # fuel runs out inside this block: retire exactly
+                # ``remaining`` instructions one at a time (the prefix
+                # never reaches the terminator, so no predictor events)
+                self._run_prefix(block, remaining, model)
+                remaining = 0
+
+    def _run_prefix(self, block: Superblock, limit: int, model) -> None:
+        """Execute the first ``limit`` instructions of a block."""
+        cpu = self.cpu
+        counts = self.iclass_counts
+        count_classes = self.count_classes
+        iclasses = block.iclasses
+        k = 0
+        try:
+            for fn in block.fns[:limit]:
+                fn()
+                k += 1
+                if count_classes:
+                    counts[iclasses[k - 1]] += 1
+                if model is not None:
+                    model.charge_instr(iclasses[k - 1])
+        except BaseException:
+            cpu.pc = block.pcs[min(k, block.n - 1)]
+            raise
+        finally:
+            self.retired += k
+        cpu.pc = block.pcs[limit] if limit < block.n else block.pcs[-1]
+
+    def _flush_partial(self, block: Superblock, k: int, model) -> None:
+        """Account a block's first ``k`` instructions after a fault."""
+        self.retired += k
+        if self.count_classes:
+            counts = self.iclass_counts
+            for iclass in block.iclasses[:k]:
+                counts[iclass] += 1
+        if model is not None:
+            for iclass in block.iclasses[:k]:
+                model.charge_instr(iclass)
+        # leave cpu.pc on the faulting instruction, like the oracle loop
+        self.cpu.pc = block.pcs[min(k, block.n - 1)]
 
 
 def run_program(
@@ -120,6 +272,9 @@ def run_program(
     inputs: list[int] | None = None,
     fuel: int = DEFAULT_FUEL,
     observer: Callable[[int, Instruction, int], None] | None = None,
+    engine: str | None = None,
 ) -> RunResult:
     """Convenience wrapper: load and run a program to completion."""
-    return Interpreter(program, inputs=inputs, observer=observer).run(fuel)
+    return Interpreter(
+        program, inputs=inputs, observer=observer, engine=engine
+    ).run(fuel)

@@ -5,11 +5,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 
 from repro.host.profile import ArchProfile, SIMPLE
+from repro.machine.engine import ENGINES, default_engine
 from repro.sdt.cache import DEFAULT_CAPACITY
 from repro.sdt.translator import DEFAULT_MAX_FRAGMENT_INSTRS
 
 GENERIC_MECHANISMS = ("reentry", "ibtc", "sieve")
 RETURN_SCHEMES = ("same", "fast", "shadow", "retcache")
+
+#: Fields excluded from :meth:`SDTConfig.fingerprint`.  Only fields that
+#: provably cannot change any observable result may appear here: ``engine``
+#: selects *how* the simulation executes (oracle dispatch vs threaded
+#: superblocks), never *what* it computes, so a cache entry produced by one
+#: engine must be served to the other (tests/test_engine_differential.py
+#: proves the byte-identity; tests/test_sdt_config.py pins the exemption).
+FINGERPRINT_EXEMPT = frozenset({"engine"})
 
 
 @dataclass(frozen=True)
@@ -34,6 +43,12 @@ class SDTConfig:
         fragment_cache_bytes: fragment-cache capacity (whole-cache flush
             when exceeded).
         max_fragment_instrs: fragment length limit.
+        engine: simulation execution engine — ``"threaded"`` (closure
+            superblocks, the default) or ``"oracle"`` (per-instruction
+            reference dispatch).  Results are identical; only simulator
+            wall-clock speed differs, so this field is exempt from
+            :meth:`fingerprint` and from :attr:`label`.  The default can
+            be overridden with the ``REPRO_ENGINE`` environment variable.
     """
 
     profile: ArchProfile = field(default_factory=lambda: SIMPLE)
@@ -52,8 +67,14 @@ class SDTConfig:
     trace_jumps: bool = False
     fragment_cache_bytes: int = DEFAULT_CAPACITY
     max_fragment_instrs: int = DEFAULT_MAX_FRAGMENT_INSTRS
+    engine: str = field(default_factory=default_engine)
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {ENGINES}"
+            )
         if self.ib not in GENERIC_MECHANISMS:
             raise ValueError(
                 f"unknown ib mechanism {self.ib!r}; "
@@ -101,9 +122,14 @@ class SDTConfig:
         introspecting the dataclass fields, so a newly added field can
         never be silently omitted (the failure mode of a hand-enumerated
         key, which aliases configs that differ only in the new field).
+        The sole exception is :data:`FINGERPRINT_EXEMPT` — fields that
+        cannot change any result, which therefore must *not* split the
+        caches (a warm ``oracle`` cache serves ``threaded`` runs).
         """
         items: list[tuple[str, object]] = []
         for spec in fields(self):
+            if spec.name in FINGERPRINT_EXEMPT:
+                continue
             items.append((spec.name, _canonical(getattr(self, spec.name))))
         return tuple(items)
 

@@ -58,6 +58,9 @@ class Fragment:
         links: direct-exit link slots (``"T"``/``"F"``/``"J"``) patched to
             successor fragments once those are translated.
         valid: cleared when the fragment cache is flushed.
+        plan: compiled :class:`repro.machine.engine.Superblock` (closure
+            list + block cost vector), built once at translation when the
+            threaded engine is active; ``None`` under the oracle engine.
     """
 
     guest_pc: int
@@ -67,6 +70,7 @@ class Fragment:
     links: dict[str, "Fragment"] = field(default_factory=dict)
     valid: bool = True
     executions: int = 0
+    plan: object | None = None
 
     @property
     def size_bytes(self) -> int:

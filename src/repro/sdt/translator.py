@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.host.costs import Category, HostModel
 from repro.isa.encoding import decode
 from repro.isa.instruction import Instruction
@@ -11,6 +13,9 @@ from repro.sdt.cache import FragmentCache
 from repro.sdt.fragment import ExitKind, Fragment, exit_kind_for
 
 DEFAULT_MAX_FRAGMENT_INSTRS = 128
+
+#: Compiles a fragment body into an execution plan (threaded engine).
+PlanFactory = Callable[[list[tuple[int, Instruction]]], object]
 
 
 class Translator:
@@ -29,12 +34,18 @@ class Translator:
         model: HostModel,
         max_fragment_instrs: int = DEFAULT_MAX_FRAGMENT_INSTRS,
         trace_jumps: bool = False,
+        plan_factory: PlanFactory | None = None,
     ):
         if max_fragment_instrs < 1:
             raise ValueError("max_fragment_instrs must be >= 1")
         self.program = program
         self.cache = cache
         self.model = model
+        #: When set (threaded engine), every translated fragment gets a
+        #: compiled execution plan attached at translation time.  Plan
+        #: compilation is the simulator's own speed trick, not modelled
+        #: SDT work, so it is *not* charged to the host model.
+        self.plan_factory = plan_factory
         self.max_fragment_instrs = max_fragment_instrs
         #: NET-style trace formation: keep translating through
         #: unconditional direct jumps (``j``), building superblocks.
@@ -105,6 +116,8 @@ class Translator:
             instrs=instrs,
             exit_kind=exit_kind,
         )
+        if self.plan_factory is not None:
+            fragment.plan = self.plan_factory(instrs)
         fragment.fc_addr = self.cache.reserve(fragment.size_bytes)
         self.cache.insert(fragment)
 

@@ -14,9 +14,11 @@ from collections import Counter
 from dataclasses import dataclass
 
 from repro.host.costs import Category, HostModel
+from repro.isa.instruction import Instruction
 from repro.isa.opcodes import InstrClass
 from repro.isa.program import Program
 from repro.isa.registers import REG_RA
+from repro.machine.engine import Superblock
 from repro.machine.errors import FuelExhausted
 from repro.machine.executor import execute
 from repro.machine.interpreter import DEFAULT_FUEL
@@ -74,18 +76,28 @@ class SDTVM:
             capacity=self.config.fragment_cache_bytes, stats=self.stats
         )
         self.cpu, self.mem, self.syscalls = load_program(program, inputs)
+        self._threaded = self.config.engine == "threaded"
         self.translator = Translator(
             program,
             self.cache,
             self.model,
             max_fragment_instrs=self.config.max_fragment_instrs,
             trace_jumps=self.config.trace_jumps,
+            plan_factory=self._compile_plan if self._threaded else None,
         )
         self.generic_ib, self.return_mech = build_mechanisms(self.config)
         self.generic_ib.bind(self)
         self.return_mech.bind(self)
         self.retired = 0
         self.iclass_counts: Counter = Counter()
+        self._fuel = DEFAULT_FUEL
+
+    def _compile_plan(self, instrs: list[tuple[int, Instruction]]) -> Superblock:
+        """Compile a fragment body into a threaded execution plan."""
+        return Superblock(
+            instrs, self.cpu, self.mem, self.syscalls,
+            class_cycles=self.config.profile.class_cycles,
+        )
 
     # -- translator interactions --------------------------------------------
 
@@ -130,64 +142,166 @@ class SDTVM:
     # -- execution -----------------------------------------------------------
 
     def execute_fragment(self, fragment: Fragment) -> Fragment | None:
-        """Execute one fragment; returns the successor or ``None`` on exit."""
+        """Execute one fragment; returns the successor or ``None`` on exit.
+
+        Fuel semantics match the interpreter instruction-for-instruction:
+        when the budget would be exceeded *inside* this fragment,
+        :class:`FuelExhausted` is raised after retiring exactly the
+        budgeted prefix, so ``self.retired == fuel`` at the raise.
+        """
+        fragment.executions += 1
+        if self._threaded:
+            plan = fragment.plan
+            if plan is None:
+                # fragment built without a plan factory (defensive)
+                plan = fragment.plan = self._compile_plan(fragment.instrs)
+            budget = self._fuel - self.retired
+            if not plan.has_syscall and plan.n <= budget:
+                return self._run_fast(fragment, plan)
+            return self._run_slow(fragment, plan, budget)
+        return self._run_oracle(fragment)
+
+    def _run_oracle(self, fragment: Fragment) -> Fragment | None:
+        """Reference per-instruction fragment body (the semantics oracle)."""
         cpu = self.cpu
         mem = self.mem
         syscalls = self.syscalls
         model = self.model
         counts = self.iclass_counts
-        fragment.executions += 1
+        budget = self._fuel - self.retired
 
         guest_pc = fragment.guest_pc
         next_pc = guest_pc
         instr = None
         executed = 0
-        for guest_pc, instr in fragment.instrs:
-            cpu.pc = guest_pc
-            next_pc = execute(instr, cpu, mem, syscalls)
-            executed += 1
-            iclass = instr.iclass
+        try:
+            for guest_pc, instr in fragment.instrs:
+                if executed >= budget:
+                    raise FuelExhausted(self._fuel)
+                cpu.pc = guest_pc
+                next_pc = execute(instr, cpu, mem, syscalls)
+                executed += 1
+                iclass = instr.iclass
+                counts[iclass] += 1
+                model.charge_instr(iclass)
+                if iclass is InstrClass.SYSCALL and syscalls.exited:
+                    return None
+        finally:
+            self.retired += executed
+        assert instr is not None
+        return self._dispatch_exit(fragment, next_pc, guest_pc, instr.rd)
+
+    def _run_fast(
+        self, fragment: Fragment, plan: Superblock
+    ) -> Fragment | None:
+        """Threaded block body: flat closure list, block-level accounting.
+
+        Only entered for syscall-free plans that fit the remaining fuel,
+        so no per-instruction exit or fuel checks are needed.
+        """
+        k = 0
+        next_pc = plan.entry_pc
+        try:
+            for fn in plan.fns:
+                next_pc = fn()
+                k += 1
+        except BaseException:
+            self._flush_partial(plan, k)
+            raise
+        self.retired += plan.n
+        counts = self.iclass_counts
+        for iclass, count in plan.class_counts.items():
+            counts[iclass] += count
+        self.model.charge_block(plan.app_cycles)
+        return self._dispatch_exit(
+            fragment, next_pc, plan.term_pc, plan.term_rd
+        )
+
+    def _run_slow(
+        self, fragment: Fragment, plan: Superblock, budget: int
+    ) -> Fragment | None:
+        """Threaded per-instruction body: syscall exits and fuel strides.
+
+        Used when the plan contains a ``SYSCALL`` (the program may exit
+        mid-fragment) or when fuel runs out inside the block.
+        """
+        syscalls = self.syscalls
+        counts = self.iclass_counts
+        model = self.model
+        iclasses = plan.iclasses
+        k = 0
+        next_pc = plan.entry_pc
+        try:
+            for fn in plan.fns:
+                if k >= budget:
+                    raise FuelExhausted(self._fuel)
+                next_pc = fn()
+                iclass = iclasses[k]
+                k += 1
+                counts[iclass] += 1
+                model.charge_instr(iclass)
+                if iclass is InstrClass.SYSCALL and syscalls.exited:
+                    return None
+        except FuelExhausted:
+            if k:  # cpu.pc parity with the oracle body: last executed pc
+                self.cpu.pc = plan.pcs[k - 1]
+            raise
+        except BaseException:
+            self.cpu.pc = plan.pcs[min(k, plan.n - 1)]
+            raise
+        finally:
+            self.retired += k
+        return self._dispatch_exit(
+            fragment, next_pc, plan.term_pc, plan.term_rd
+        )
+
+    def _flush_partial(self, plan: Superblock, k: int) -> None:
+        """Account a fast-path block's first ``k`` instructions on a fault."""
+        counts = self.iclass_counts
+        model = self.model
+        for iclass in plan.iclasses[:k]:
             counts[iclass] += 1
             model.charge_instr(iclass)
-            if iclass is InstrClass.SYSCALL and syscalls.exited:
-                self.retired += executed
-                return None
-        self.retired += executed
+        self.retired += k
+        # leave cpu.pc on the faulting instruction, like the oracle body
+        self.cpu.pc = plan.pcs[min(k, plan.n - 1)]
 
+    def _dispatch_exit(
+        self, fragment: Fragment, next_pc: int, last_pc: int, term_rd: int
+    ) -> Fragment | None:
+        """Shared fragment-exit handling: predictor events + successor."""
         exit_kind = fragment.exit_kind
         if exit_kind is ExitKind.HALT:
             return None
         if exit_kind is ExitKind.FALL:
             return self._direct_successor(fragment, "J", next_pc)
         if exit_kind is ExitKind.COND:
-            taken = next_pc != guest_pc + 4
-            model.cond_branch(fragment.exit_site, taken)
+            taken = next_pc != last_pc + 4
+            self.model.cond_branch(fragment.exit_site, taken)
             key = "T" if taken else "F"
             return self._direct_successor(fragment, key, next_pc)
         if exit_kind is ExitKind.JUMP:
             return self._direct_successor(fragment, "J", next_pc)
         if exit_kind is ExitKind.CALL:
-            self.return_mech.on_call(cpu, REG_RA, guest_pc + 4)
+            self.return_mech.on_call(self.cpu, REG_RA, last_pc + 4)
             return self._direct_successor(fragment, "J", next_pc)
         if exit_kind is ExitKind.ICALL:
-            assert instr is not None
             self.stats.ib_dispatches["icall"] += 1
-            self.return_mech.on_call(cpu, instr.rd, guest_pc + 4)
-            return self.generic_ib.dispatch(fragment, guest_pc, next_pc)
+            self.return_mech.on_call(self.cpu, term_rd, last_pc + 4)
+            return self.generic_ib.dispatch(fragment, last_pc, next_pc)
         if exit_kind is ExitKind.IJUMP:
             self.stats.ib_dispatches["ijump"] += 1
-            return self.generic_ib.dispatch(fragment, guest_pc, next_pc)
+            return self.generic_ib.dispatch(fragment, last_pc, next_pc)
         if exit_kind is ExitKind.RET:
             self.stats.ib_dispatches["ret"] += 1
-            return self.return_mech.dispatch_ret(fragment, guest_pc, next_pc)
+            return self.return_mech.dispatch_ret(fragment, last_pc, next_pc)
         raise AssertionError(f"unhandled exit kind {exit_kind}")
 
     def run(self, fuel: int = DEFAULT_FUEL) -> SDTRunResult:
-        """Run to completion (or until ``fuel`` retired instructions)."""
+        """Run to completion (or until exactly ``fuel`` retired instrs)."""
+        self._fuel = fuel
         fragment: Fragment | None = self.reenter_translator(self.cpu.pc)
         while fragment is not None:
-            if self.retired >= fuel:
-                raise FuelExhausted(fuel)
             fragment = self.execute_fragment(fragment)
         return SDTRunResult(
             output=self.syscalls.output,

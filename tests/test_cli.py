@@ -20,6 +20,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "x", "--ib", "oracle"])
 
+    def test_engine_flag(self):
+        for command in (["run", "x"], ["experiments"]):
+            args = build_parser().parse_args(command)
+            assert args.engine is None  # resolved via REPRO_ENGINE later
+            for engine in ("oracle", "threaded"):
+                args = build_parser().parse_args(
+                    command + ["--engine", engine]
+                )
+                assert args.engine == engine
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "x", "--engine", "jit"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "--engine", "jit"])
+
+    def test_engine_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--help"])
+        assert "--engine" in capsys.readouterr().out
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -37,6 +58,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "overhead" in out
         assert "sieve(512)" in out
+
+    def test_run_with_oracle_engine_matches_threaded(self, capsys):
+        import json
+
+        payloads = {}
+        for engine in ("oracle", "threaded"):
+            assert main(
+                ["run", "mcf_like", "--scale", "tiny", "--json",
+                 "--engine", engine]
+            ) == 0
+            payloads[engine] = json.loads(capsys.readouterr().out)
+        assert payloads["oracle"] == payloads["threaded"]
 
     def test_experiment_unknown(self, capsys):
         assert main(["experiment", "e99"]) == 2

@@ -5,12 +5,15 @@ import dataclasses
 import pytest
 
 from repro.host.profile import SIMPLE, SPARC_US3, X86_K8, X86_P4
-from repro.sdt.config import SDTConfig
+from repro.sdt.config import FINGERPRINT_EXEMPT, SDTConfig
 
 #: A valid alternate value per field, used to prove each field reaches the
 #: fingerprint.  A new SDTConfig field must be added here (the coverage
 #: test fails loudly otherwise) — which is exactly the point: it can no
-#: longer be silently omitted from cache keys.
+#: longer be silently omitted from cache keys.  Fields in
+#: FINGERPRINT_EXEMPT are covered the other way round: their alternate
+#: must NOT change the fingerprint (engines produce identical results, so
+#: engine choice must not split caches).
 FIELD_ALTERNATES = {
     "profile": X86_K8,
     "ib": "sieve",
@@ -28,12 +31,13 @@ FIELD_ALTERNATES = {
     "trace_jumps": True,
     "fragment_cache_bytes": 12345,
     "max_fragment_instrs": 7,
+    "engine": "oracle",
 }
 
 
 class TestConfigFingerprint:
     def test_every_declared_field_affects_the_fingerprint(self):
-        base = SDTConfig(profile=SIMPLE)
+        base = SDTConfig(profile=SIMPLE, engine="threaded")
         for spec in dataclasses.fields(SDTConfig):
             assert spec.name in FIELD_ALTERNATES, (
                 f"new config field {spec.name!r}: add an alternate value to "
@@ -42,13 +46,33 @@ class TestConfigFingerprint:
             alternate = FIELD_ALTERNATES[spec.name]
             assert alternate != getattr(base, spec.name), spec.name
             variant = dataclasses.replace(base, **{spec.name: alternate})
-            assert variant.fingerprint() != base.fingerprint(), (
-                f"field {spec.name!r} does not affect SDTConfig.fingerprint()"
-            )
+            if spec.name in FINGERPRINT_EXEMPT:
+                assert variant.fingerprint() == base.fingerprint(), (
+                    f"exempt field {spec.name!r} must not affect "
+                    f"SDTConfig.fingerprint() (it cannot change results)"
+                )
+            else:
+                assert variant.fingerprint() != base.fingerprint(), (
+                    f"field {spec.name!r} does not affect "
+                    f"SDTConfig.fingerprint()"
+                )
 
     def test_no_stale_alternates(self):
         declared = {spec.name for spec in dataclasses.fields(SDTConfig)}
         assert set(FIELD_ALTERNATES) == declared
+
+    def test_exempt_fields_are_declared(self):
+        declared = {spec.name for spec in dataclasses.fields(SDTConfig)}
+        assert FINGERPRINT_EXEMPT <= declared
+
+    def test_engine_does_not_reach_label(self):
+        a = SDTConfig(profile=SIMPLE, engine="oracle")
+        b = SDTConfig(profile=SIMPLE, engine="threaded")
+        assert a.label == b.label
+
+    def test_engine_validated(self):
+        with pytest.raises(ValueError):
+            SDTConfig(profile=SIMPLE, engine="warp")
 
     def test_equal_configs_equal_fingerprints(self):
         a = SDTConfig(profile=X86_P4, ib="ibtc", ibtc_entries=64)
