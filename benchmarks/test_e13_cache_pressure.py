@@ -1,0 +1,33 @@
+"""E13: overhead & flush volume vs fragment-cache capacity, clean + chaos.
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation under cache pressure *and* the pinned chaos fault plan, so
+pytest-benchmark tracks the cost of the recovery paths too.
+
+Run: ``pytest benchmarks/test_e13_cache_pressure.py --benchmark-only -s``
+"""
+
+from conftest import run_experiment_table, run_once
+from repro.host.profile import X86_P4
+from repro.sdt.config import SDTConfig
+from repro.sdt.vm import SDTVM
+from repro.workloads import get_workload
+
+
+def test_e13_cache_pressure(benchmark):
+    headers, rows = run_experiment_table("e13")
+    assert rows, "experiment produced no rows"
+    # chaos columns must show the forced-flush surplus over clean ones
+    fl = headers.index("fl")
+    fl_chaos = headers.index("fl*")
+    assert all(row[fl_chaos] >= row[fl] for row in rows)
+
+    def representative():
+        workload = get_workload("gzip_like", "small")
+        config = SDTConfig(profile=X86_P4, ib="ibtc",
+                           fragment_cache_bytes=1024, faults="chaos:1234")
+        return SDTVM(workload.compile(), config=config).run()
+
+    result = run_once(benchmark, representative)
+    assert result.exit_code == 0

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""CI guard for the fault-injection and resilience layer.
+
+Re-asserts the robustness acceptance bar end-to-end (docs/robustness.md):
+
+1. **Architectural identity** — every workload × {reentry, ibtc, sieve}
+   at tiny scale produces byte-identical output / exit code / retired
+   count under the pinned ``chaos:1234`` plan vs fault-free (only cycle
+   counts may move).
+2. **Coherence under pressure** — flush-heavy ``storm`` runs at 1 KiB
+   fragment-cache capacity accumulate >= 100 forced flushes with the
+   post-flush invariant checker reporting **zero** stale-pointer
+   violations.
+3. **E13 smoke** — the cache-pressure experiment regenerates at tiny
+   scale and every chaos column shows at least the clean flush volume.
+
+Writes every invariant-checker report to ``CHAOS_report.json`` (uploaded
+as a CI artifact) and exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+CHAOS = "chaos:1234"
+STORM = "storm:1234"
+SCALE = "tiny"
+MECHANISMS = ("reentry", "ibtc", "sieve")
+MIN_FLUSHES = 100
+REPORT_PATH = Path("CHAOS_report.json")
+
+
+def run(name: str, mechanism: str, **kwargs):
+    from repro.host.profile import SIMPLE
+    from repro.sdt.config import SDTConfig
+    from repro.sdt.vm import SDTVM
+    from repro.workloads import get_workload
+
+    config = SDTConfig(profile=SIMPLE, ib=mechanism, **kwargs)
+    vm = SDTVM(get_workload(name, SCALE).compile(), config=config)
+    return vm, vm.run()
+
+
+def check_identity(failures: list[str], report: dict) -> None:
+    from repro.workloads import workload_names
+
+    cells = 0
+    for mechanism in MECHANISMS:
+        for name in workload_names():
+            _, clean = run(name, mechanism, faults=None)
+            vm, chaos = run(name, mechanism, faults=CHAOS)
+            cells += 1
+            for field in ("output", "exit_code", "retired"):
+                if getattr(chaos, field) != getattr(clean, field):
+                    failures.append(
+                        f"{name}/{mechanism}: {field} diverged under "
+                        f"{CHAOS}"
+                    )
+            checker = vm.invariant_checker
+            record = checker.report() if checker else {}
+            record.update(workload=name, mechanism=mechanism, plan=CHAOS)
+            report["identity"].append(record)
+            if record.get("violations"):
+                failures.append(
+                    f"{name}/{mechanism}: {len(record['violations'])} "
+                    f"coherence violation(s) under {CHAOS}"
+                )
+    print(f"identity:  {cells} chaos cells architecturally identical "
+          f"to clean" if not failures else
+          f"identity:  {len(failures)} failure(s) so far", flush=True)
+
+
+def check_storm(failures: list[str], report: dict) -> None:
+    flushes = 0
+    for mechanism in MECHANISMS:
+        for name in ("gzip_like", "bzip2_like", "vortex_like", "perl_like"):
+            _, clean = run(name, mechanism, faults=None,
+                           fragment_cache_bytes=1024)
+            vm, stormy = run(name, mechanism, faults=STORM,
+                             fragment_cache_bytes=1024)
+            if stormy.output != clean.output or \
+                    stormy.retired != clean.retired:
+                failures.append(
+                    f"{name}/{mechanism}: results diverged under {STORM}"
+                )
+            checker = vm.invariant_checker
+            record = checker.report()
+            record.update(workload=name, mechanism=mechanism, plan=STORM)
+            report["storm"].append(record)
+            flushes += record["flushes_checked"]
+            if record["violations"]:
+                failures.append(
+                    f"{name}/{mechanism}: {len(record['violations'])} "
+                    f"coherence violation(s) under {STORM}"
+                )
+    report["storm_flushes_checked"] = flushes
+    if flushes < MIN_FLUSHES:
+        failures.append(
+            f"storm runs forced only {flushes} checked flushes "
+            f"(need >= {MIN_FLUSHES})"
+        )
+    print(f"storm:     {flushes} flushes checked, "
+          f"0 violations required", flush=True)
+
+
+def check_e13(failures: list[str], report: dict) -> None:
+    import tempfile
+
+    from repro.eval.parallel import run_experiments
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-e13-"))
+    tables, exec_report = run_experiments(["e13"], scale=SCALE,
+                                          results_dir=workdir)
+    if not exec_report.ok:
+        failures.append(
+            f"e13 executor quarantined {len(exec_report.failures)} cell(s)"
+        )
+        return
+    headers, rows = tables["e13"]
+    clean_fl = headers.index("fl")
+    chaos_fl = headers.index("fl*")
+    for row in rows:
+        if row[chaos_fl] < row[clean_fl]:
+            failures.append(f"e13 row {row[0]}: chaos flush volume "
+                            f"below clean")
+    report["e13_rows"] = len(rows)
+    print(f"e13 smoke: {len(rows)} rows regenerated at {SCALE} scale",
+          flush=True)
+
+
+def main() -> int:
+    failures: list[str] = []
+    report: dict = {"identity": [], "storm": []}
+
+    check_identity(failures, report)
+    check_storm(failures, report)
+    check_e13(failures, report)
+
+    report["failures"] = failures
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report:    {REPORT_PATH} "
+          f"({len(report['identity']) + len(report['storm'])} run records)",
+          flush=True)
+
+    if failures:
+        print("\nCHAOS CHECK FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("chaos check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,9 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     profile = get_profile(args.profile)
+    config_kwargs = {}
+    if args.faults is not None:
+        config_kwargs["faults"] = args.faults  # spec string; config parses
     config = SDTConfig(
         profile=profile,
         ib=args.ib,
@@ -56,6 +59,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         returns=args.returns,
         linking=not args.no_linking,
         engine=resolve_engine(args.engine),
+        **config_kwargs,
     )
     workload = get_workload(args.workload, args.scale)
     baseline = run_native(workload, profile, scale=args.scale,
@@ -100,6 +104,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.hit_rates:
         for mechanism, rate in sorted(result.hit_rates.items()):
             print(f"hit rate : {mechanism} = {rate:.4f}")
+    faults = result.stats.get("faults") or {}
+    if faults:
+        print("faults   : " + ", ".join(
+            f"{site}={count}" for site, count in sorted(faults.items())
+        ))
+        print(f"demoted  : {result.stats.get('fragments_demoted', 0)} "
+              f"fragment(s) pinned to the oracle engine")
     return 0
 
 
@@ -140,21 +151,33 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
               file=sys.stderr)
 
     # Experiment specs build their own SDTConfigs; the engine default
-    # comes from REPRO_ENGINE, so exporting it here reaches every cell —
-    # including ones simulated in worker processes.  Engine choice never
-    # changes results or cache keys, only simulation speed.
-    saved_engine = os.environ.get("REPRO_ENGINE")
+    # comes from REPRO_ENGINE and the fault plan from REPRO_FAULTS, so
+    # exporting them here reaches every cell — including ones simulated
+    # in worker processes.  Engine choice never changes results or cache
+    # keys, only simulation speed; a fault plan never changes
+    # architectural results but makes cells uncacheable.
+    saved: dict[str, str | None] = {
+        "REPRO_ENGINE": os.environ.get("REPRO_ENGINE"),
+        "REPRO_FAULTS": os.environ.get("REPRO_FAULTS"),
+    }
     os.environ["REPRO_ENGINE"] = resolve_engine(args.engine)
+    if args.faults is not None:
+        from repro.faults import parse_fault_plan
+
+        plan = parse_fault_plan(args.faults)  # validate before exporting
+        os.environ["REPRO_FAULTS"] = plan.describe() if plan else "off"
     try:
         _tables, report = run_experiments(
             names, scale=args.scale, jobs=args.jobs, cache=cache,
             progress=None if args.quiet else progress,
+            timeout=args.timeout, retries=args.retries,
         )
     finally:
-        if saved_engine is None:
-            del os.environ["REPRO_ENGINE"]
-        else:
-            os.environ["REPRO_ENGINE"] = saved_engine
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
     print(
         f"\ncells: {report.requested} requested, {report.unique} unique "
         f"after dedup, {report.cache_hits} from cache, "
@@ -162,6 +185,17 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         f"({report.hit_rate:.0%} cache hits) in {report.elapsed:.1f}s "
         f"with {args.jobs} job(s)"
     )
+    if report.failures:
+        print(f"\nFAILED: {len(report.failures)} cell(s) quarantined "
+              f"after {report.retries} retry(ies):", file=sys.stderr)
+        for failure in report.failures.values():
+            print(f"  [{failure.kind:7s}] {failure.label}  "
+                  f"(attempts={failure.attempts}) {failure.error}",
+                  file=sys.stderr)
+        for name, labels in report.degraded.items():
+            print(f"  degraded experiment {name}: {len(labels)} cell(s) "
+                  f"missing; results file left untouched", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -314,6 +348,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine (default: threaded, or $REPRO_ENGINE); "
         "results are identical, only simulator speed differs",
     )
+    run.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="fault-injection plan (light/chaos/storm, profile:seed or "
+        "k=v list; default: $REPRO_FAULTS)",
+    )
     run.add_argument("--json", action="store_true",
                      help="machine-readable output")
 
@@ -350,6 +389,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default=None, choices=ENGINES,
         help="simulation engine for every cell (default: threaded, or "
         "$REPRO_ENGINE); does not affect results or cache keys",
+    )
+    experiments.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell watchdog: kill and quarantine cells that run "
+        "longer (forces pool execution even with --jobs 1)",
+    )
+    experiments.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-executions granted to a failing cell before quarantine "
+        "(default: 2)",
+    )
+    experiments.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="fault-injection plan for every cell: a profile "
+        "(light/chaos/storm), profile:seed, k=v list, or 'off' "
+        "(default: $REPRO_FAULTS); never changes architectural results, "
+        "but faulted cells bypass all result caches",
     )
 
     fragments = sub.add_parser(

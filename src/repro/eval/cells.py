@@ -76,6 +76,23 @@ class Cell:
         return self.workload
 
     @property
+    def cacheable(self) -> bool:
+        """Whether this cell's result may be served from / stored in caches.
+
+        Fault-injected measurements are deliberately uncacheable: the
+        ``faults`` field is exempt from :meth:`SDTConfig.fingerprint` (it
+        cannot change architectural results), so a cached faulted
+        measurement would alias the fault-free one — its cycle counts
+        would poison every clean run that shares the config.  Rather than
+        splitting the cache key, chaos runs simply recompute.
+        """
+        return (
+            self.config is None
+            or self.config.faults is None
+            or not self.config.faults.active
+        )
+
+    @property
     def label(self) -> str:
         """Human-readable identity for progress output."""
         base = f"{self.workload_name}[{self.scale}]"
@@ -108,6 +125,12 @@ class Cell:
         ]
         if self.config is not None:
             parts.append(("config", self.config.fingerprint()))
+            if self.config.faults is not None and self.config.faults.active:
+                # Faulted cells never reach the persistent caches (see
+                # ``cacheable``), but the in-batch dedup map still keys
+                # on this fingerprint — distinct fault plans must remain
+                # distinct cells there.
+                parts.append(("faults", self.config.faults.fingerprint()))
         if self.profile is not None:
             parts.append(("profile", self.profile.fingerprint()))
         return tuple(parts)

@@ -30,6 +30,7 @@ from typing import Callable
 from repro.eval.cells import Cell, fanout_cell, measure_cell, native_cell
 from repro.eval.report import geomean
 from repro.host.profile import ArchProfile, SPARC_US3, X86_K8, X86_P4
+from repro.sdt.cache import DEFAULT_CAPACITY
 from repro.sdt.config import SDTConfig
 from repro.workloads import workload_names
 
@@ -598,6 +599,91 @@ def e12_fanout_sweep(scale: str | None = None):
     return _run("e12", scale)
 
 
+# -- E13: fragment-cache pressure & fault resilience --------------------------
+
+#: Swept fragment-cache capacities (label, bytes).  The floor must stay
+#: above the largest single fragment the suite produces (~260 bytes at
+#: ``max_fragment_instrs=128``), else ``FragmentTooLarge``; 8M is the
+#: effectively-unbounded default.
+E13_CAPACITIES: tuple[tuple[str, int], ...] = (
+    ("1K", 1024),
+    ("2K", 2048),
+    ("4K", 4096),
+    ("8M", DEFAULT_CAPACITY),
+)
+
+#: Pinned fault plan for the starred (chaos) columns.  A fixed seed makes
+#: the injected fault sequence — and therefore every chaos cycle count —
+#: fully reproducible; the runner still verifies each chaos run against
+#: the native baseline, so regenerating E13 re-proves that injected
+#: faults never change architectural results.
+E13_CHAOS = "chaos:1234"
+
+
+def _e13_mechs() -> dict[str, dict]:
+    return {
+        "reentry": dict(ib="reentry"),
+        "ibtc": dict(ib="ibtc", ibtc_entries=BEST_IBTC),
+        "sieve": dict(ib="sieve", sieve_buckets=BEST_SIEVE),
+    }
+
+
+def _e13_config(
+    mech_kwargs: dict, capacity: int, faults: str | None
+) -> SDTConfig:
+    # faults is passed explicitly (None pins the clean columns clean even
+    # under a REPRO_FAULTS environment), so E13 output is env-independent.
+    return SDTConfig(
+        profile=DEFAULT_PROFILE, fragment_cache_bytes=capacity,
+        faults=faults, **mech_kwargs,
+    )
+
+
+def _cells_e13(scale: str) -> list[Cell]:
+    return [
+        measure_cell(name, scale, _e13_config(kwargs, capacity, faults))
+        for name in _suite_names()
+        for kwargs in _e13_mechs().values()
+        for _label, capacity in E13_CAPACITIES
+        for faults in (None, E13_CHAOS)
+    ]
+
+
+def _build_e13(lookup: CellLookup, scale: str):
+    """Overhead and flush volume vs fragment-cache capacity, clean + chaos.
+
+    Per mechanism: geomean overhead over the suite and summed whole-cache
+    flush count, fault-free and (starred) under the pinned chaos plan.
+    Capacity pressure dominates at the small end; the chaos flush surplus
+    (storms, drops, failed translations, demotions) stays visible even
+    when the cache is effectively unbounded.
+    """
+    mechs = _e13_mechs()
+    headers = ["capacity"]
+    for mech in mechs:
+        headers += [mech, "fl", f"{mech}*", "fl*"]
+    rows: list[list[object]] = []
+    for label, capacity in E13_CAPACITIES:
+        row: list[object] = [label]
+        for kwargs in mechs.values():
+            for faults in (None, E13_CHAOS):
+                cells = [
+                    lookup(measure_cell(
+                        name, scale, _e13_config(kwargs, capacity, faults)
+                    ))
+                    for name in _suite_names()
+                ]
+                row.append(geomean([m.overhead for m in cells]))
+                row.append(sum(m.stats["cache_flushes"] for m in cells))
+        rows.append(row)
+    return headers, rows
+
+
+def e13_cache_pressure(scale: str | None = None):
+    """Cache-pressure sweep: overhead/flushes vs capacity, with chaos."""
+    return _run("e13", scale)
+
+
 # -- registry -----------------------------------------------------------------
 
 EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
@@ -718,6 +804,16 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
             cells=_cells_e12,
             build=_build_e12,
         ),
+        ExperimentSpec(
+            name="e13",
+            slug="e13_cache_pressure",
+            title=lambda scale: (
+                f"E13 (resilience): overhead & flushes vs fragment-cache "
+                f"capacity (*: faults={E13_CHAOS}) [scale={scale}]"
+            ),
+            cells=_cells_e13,
+            build=_build_e13,
+        ),
     )
 }
 
@@ -735,4 +831,5 @@ ALL_EXPERIMENTS = {
     "e10": e10_ablations,
     "e11": e11_site_fanout,
     "e12": e12_fanout_sweep,
+    "e13": e13_cache_pressure,
 }

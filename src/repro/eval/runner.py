@@ -172,10 +172,17 @@ def measure(
     """Run a workload under an SDT config; verify and normalise (cached)."""
     if isinstance(workload, str):
         workload = get_workload(workload, scale)
+    # Fault-injected runs bypass the memo entirely: ``faults`` is exempt
+    # from the config fingerprint (it cannot change architectural
+    # results), so caching a faulted measurement under that key would
+    # serve its perturbed cycle counts to fault-free callers — and vice
+    # versa.  Chaos runs always recompute.
+    faulted = config.faults is not None and config.faults.active
     key = (workload.name, scale, fuel, config.fingerprint())
-    cached = _MEASURE_CACHE.get(key)
-    if cached is not None:
-        return cached
+    if not faulted:
+        cached = _MEASURE_CACHE.get(key)
+        if cached is not None:
+            return cached
 
     baseline = run_native(workload, config.profile, scale=scale, fuel=fuel,
                           engine=config.engine)
@@ -200,5 +207,6 @@ def measure(
         stats=result.stats.as_dict(),
         hit_rates=hit_rates,
     )
-    _MEASURE_CACHE[key] = measurement
+    if not faulted:
+        _MEASURE_CACHE[key] = measurement
     return measurement

@@ -1,0 +1,49 @@
+"""Deterministic fault injection and IB-state coherence checking.
+
+See docs/robustness.md for the fault model, the recovery paths, and the
+invariants this package enforces.
+"""
+
+from repro.faults.inject import (
+    FaultInjector,
+    InjectedTranslationFault,
+    MAX_TRANSLATE_ATTEMPTS,
+    PLAN_PERTURBATIONS,
+    apply_plan_perturbation,
+    tombstone,
+)
+from repro.faults.invariants import (
+    CoherenceError,
+    CoherenceViolation,
+    InvariantChecker,
+    assert_coherent,
+    collect_violations,
+)
+from repro.faults.plan import (
+    ENV_VAR,
+    FaultPlan,
+    PROFILES,
+    RATE_FIELDS,
+    default_fault_plan,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "CoherenceError",
+    "CoherenceViolation",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedTranslationFault",
+    "InvariantChecker",
+    "MAX_TRANSLATE_ATTEMPTS",
+    "PLAN_PERTURBATIONS",
+    "PROFILES",
+    "RATE_FIELDS",
+    "apply_plan_perturbation",
+    "assert_coherent",
+    "collect_violations",
+    "default_fault_plan",
+    "parse_fault_plan",
+    "tombstone",
+]

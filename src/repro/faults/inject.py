@@ -1,0 +1,147 @@
+"""Deterministic fault event streams and corruption helpers.
+
+One :class:`FaultInjector` is bound per SDT VM.  Each fault site draws
+from its *own* :class:`random.Random` stream, seeded from the plan seed
+and a CRC-32 of the site name — never :func:`hash`, whose per-process
+salting would destroy cross-process determinism.  Because every draw
+happens at a point both execution engines reach identically (dispatches,
+translations, reservations are all architectural events), the injected
+fault sequence is engine-invariant, which is what lets the engine
+differential tests keep holding under chaos.
+
+Corrupted table entries are *tombstones*: a copy of the real fragment
+with ``valid`` cleared, exactly what a stale pointer left behind by a
+missed flush invalidation looks like.  The recovery paths in the IB
+mechanisms treat an invalid cached fragment as a miss, so architecture
+is preserved and only cycle counts move.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import replace
+from random import Random
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sdt.stats import SDTStats
+
+#: Superblock-plan corruption kinds (all detectable by the coherence
+#: check in :meth:`repro.machine.engine.Superblock.coherent_with`).
+PLAN_PERTURBATIONS = ("entry", "length", "term", "classes")
+
+#: Bound on consecutive injected translation failures before the
+#: translator retries with injection suppressed (forward progress).
+MAX_TRANSLATE_ATTEMPTS = 4
+
+
+class InjectedTranslationFault(RuntimeError):
+    """An injected mid-fragment translation abort (always recoverable)."""
+
+
+class FaultInjector:
+    """Per-VM deterministic fault event source."""
+
+    def __init__(self, plan: FaultPlan, stats: "SDTStats | None" = None):
+        self.plan = plan
+        self.stats = stats
+        self._streams: dict[str, Random] = {}
+
+    def stream(self, site: str) -> Random:
+        """The dedicated RNG stream for one fault site (lazily created)."""
+        rng = self._streams.get(site)
+        if rng is None:
+            salt = zlib.crc32(site.encode("ascii"))
+            rng = Random((self.plan.seed * 0x9E3779B1) ^ salt)
+            self._streams[site] = rng
+        return rng
+
+    def _fire(self, site: str) -> None:
+        if self.stats is not None:
+            self.stats.faults[site] += 1
+
+    # -- event draws ---------------------------------------------------------
+
+    def should_force_flush(self) -> bool:
+        """One draw per cache reservation: force a whole-cache flush?"""
+        rate = self.plan.flush_storm
+        if rate and self.stream("flush_storm").random() < rate:
+            self._fire("flush_storm")
+            return True
+        return False
+
+    def table_event(self, site: str) -> str | None:
+        """One draw per IBTC/sieve dispatch: ``"drop"``, ``"corrupt"`` or
+        ``None``.  ``site`` keys the stream (``"ibtc"``/``"sieve"``) so
+        mechanisms never perturb each other's sequences."""
+        drop = self.plan.table_drop
+        corrupt = self.plan.table_corrupt
+        if not (drop or corrupt):
+            return None
+        draw = self.stream(f"table.{site}").random()
+        if draw < drop:
+            self._fire(f"{site}.drop")
+            return "drop"
+        if draw < drop + corrupt:
+            self._fire(f"{site}.corrupt")
+            return "corrupt"
+        return None
+
+    def should_fail_translation(self) -> bool:
+        """One draw per translation attempt: abort mid-fragment?"""
+        rate = self.plan.translate_fail
+        if rate and self.stream("translate_fail").random() < rate:
+            self._fire("translate_fail")
+            return True
+        return False
+
+    def plan_perturbation(self) -> str | None:
+        """Exactly two draws per translation: gate plus perturbation kind.
+
+        Both draws are consumed even when the gate does not fire (and even
+        under the oracle engine, where there is no plan to corrupt), so
+        the stream position — and therefore every later fault — is
+        identical whatever the engine or the plan's presence.
+        """
+        rate = self.plan.plan_perturb
+        if not rate:
+            return None
+        rng = self.stream("plan_perturb")
+        gate = rng.random() < rate
+        kind = PLAN_PERTURBATIONS[rng.randrange(len(PLAN_PERTURBATIONS))]
+        if not gate:
+            return None
+        self._fire(f"plan_perturb.{kind}")
+        return kind
+
+
+def tombstone(fragment):
+    """A stale copy of ``fragment``: same identity, ``valid`` cleared.
+
+    This is what an IB-table entry looks like after a flush whose
+    invalidation the table missed — the exact hazard the recovery paths
+    and the invariant checker exist for.
+    """
+    return replace(fragment, valid=False)
+
+
+def apply_plan_perturbation(plan_obj, kind: str) -> None:
+    """Corrupt one piece of a superblock plan's metadata in place.
+
+    Every kind breaks an invariant that
+    :meth:`repro.machine.engine.Superblock.coherent_with` checks, so a
+    perturbed plan is always caught before it executes.
+    """
+    if kind == "entry":
+        plan_obj.entry_pc += 4
+    elif kind == "length":
+        plan_obj.n += 1
+    elif kind == "term":
+        plan_obj.term_pc += 4
+    elif kind == "classes":
+        first = next(iter(plan_obj.class_counts))
+        plan_obj.class_counts[first] += 1
+    else:  # pragma: no cover - guarded by PLAN_PERTURBATIONS
+        raise ValueError(f"unknown plan perturbation {kind!r}")

@@ -506,6 +506,28 @@ class Superblock:
         self.term_rd = term_instr.rd
         self.hits = 0
 
+    def coherent_with(self, entry_pc: int, pairs) -> bool:
+        """Does this plan still describe the block it was compiled from?
+
+        ``pairs`` is the fragment's ``(guest_pc, instruction)`` list.  The
+        SDT's graceful-degradation path calls this before executing a
+        plan under fault injection: any metadata corruption (entry,
+        length, terminator, class-count vector) is caught here and the
+        fragment is demoted to the oracle engine instead of executing a
+        lying plan (see repro.faults and docs/robustness.md).
+        """
+        n = len(pairs)
+        if self.entry_pc != entry_pc or self.n != n:
+            return False
+        if self.term_pc != pairs[-1][0]:
+            return False
+        if sum(self.class_counts.values()) != n:
+            return False
+        pcs = self.pcs
+        return len(pcs) == n and all(
+            pcs[i] == pairs[i][0] for i in range(n)
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Superblock(entry={self.entry_pc:#x}, n={self.n}, "

@@ -9,12 +9,51 @@ it is also what the paper's systems actually did.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.sdt.fragment import FRAGMENT_CACHE_BASE, Fragment
 from repro.sdt.stats import SDTStats
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.inject import FaultInjector
+
 DEFAULT_CAPACITY = 8 * 1024 * 1024  # bytes; effectively unbounded for tests
+
+
+class FragmentTooLarge(ValueError):
+    """A single fragment cannot fit in the cache even when it is empty.
+
+    Raised instead of flushing: flushing cannot help, and retrying the
+    reservation after a flush would loop forever.  The fix is a larger
+    ``fragment_cache_bytes`` or a smaller ``max_fragment_instrs``
+    (:class:`repro.sdt.config.SDTConfig` validates the pair up front).
+    """
+
+    def __init__(self, size_bytes: int, capacity: int):
+        self.size_bytes = size_bytes
+        self.capacity = capacity
+        super().__init__(
+            f"fragment of {size_bytes} bytes can never fit in a "
+            f"{capacity}-byte fragment cache (even empty); raise "
+            f"fragment_cache_bytes or lower max_fragment_instrs"
+        )
+
+
+class FlushHookError(RuntimeError):
+    """One or more flush hooks raised.
+
+    Every registered hook still runs (a failing IB-mechanism hook must
+    not leave *other* mechanisms holding stale fragment pointers); the
+    individual exceptions are collected in :attr:`errors`.
+    """
+
+    def __init__(self, errors: list[BaseException]):
+        self.errors = errors
+        summary = "; ".join(f"{type(e).__name__}: {e}" for e in errors)
+        super().__init__(
+            f"{len(errors)} flush hook(s) raised after running all "
+            f"hooks: {summary}"
+        )
 
 
 class FragmentCache:
@@ -28,6 +67,9 @@ class FragmentCache:
         self._fragments: dict[int, Fragment] = {}
         self._alloc = 0
         self._flush_hooks: list[Callable[[], None]] = []
+        #: when set, :meth:`reserve` consults the injector for forced
+        #: flush storms (see repro.faults)
+        self.fault_injector: "FaultInjector | None" = None
 
     def __len__(self) -> int:
         return len(self._fragments)
@@ -43,7 +85,9 @@ class FragmentCache:
         """Register a callback run whenever the cache is flushed.
 
         IB mechanisms register here because their tables cache fragment
-        pointers that a flush invalidates.
+        pointers that a flush invalidates.  Hooks run in registration
+        order; the invariant checker (when active) registers last so it
+        observes every mechanism's post-flush state.
         """
         self._flush_hooks.append(hook)
 
@@ -57,13 +101,15 @@ class FragmentCache:
     def reserve(self, size_bytes: int) -> int:
         """Allocate space for a fragment, flushing if necessary.
 
-        Returns the fragment-cache address of the allocation.
+        Returns the fragment-cache address of the allocation.  Raises
+        :class:`FragmentTooLarge` when the fragment could not fit even in
+        an empty cache (flushing would loop forever).
         """
         if size_bytes > self.capacity:
-            raise ValueError(
-                f"fragment of {size_bytes} bytes exceeds cache capacity "
-                f"{self.capacity}"
-            )
+            raise FragmentTooLarge(size_bytes, self.capacity)
+        injector = self.fault_injector
+        if injector is not None and injector.should_force_flush():
+            self.flush()
         if self._alloc + size_bytes > self.capacity:
             self.flush()
         addr = FRAGMENT_CACHE_BASE + self._alloc
@@ -74,12 +120,23 @@ class FragmentCache:
         self._fragments[fragment.guest_pc] = fragment
 
     def flush(self) -> None:
-        """Drop every fragment and notify mechanisms."""
+        """Drop every fragment and notify mechanisms.
+
+        All hooks run even if some raise; their exceptions are aggregated
+        into one :class:`FlushHookError` raised afterwards, so a broken
+        hook can neither mask later hooks nor be silently swallowed.
+        """
         for fragment in self._fragments.values():
             fragment.valid = False
             fragment.links.clear()
         self._fragments.clear()
         self._alloc = 0
         self.stats.cache_flushes += 1
+        errors: list[BaseException] = []
         for hook in self._flush_hooks:
-            hook()
+            try:
+                hook()
+            except Exception as exc:  # noqa: BLE001 - aggregated below
+                errors.append(exc)
+        if errors:
+            raise FlushHookError(errors)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
 
+from repro.faults.plan import FaultPlan, default_fault_plan, parse_fault_plan
 from repro.host.profile import ArchProfile, SIMPLE
 from repro.machine.engine import ENGINES, default_engine
 from repro.sdt.cache import DEFAULT_CAPACITY
@@ -13,12 +14,17 @@ GENERIC_MECHANISMS = ("reentry", "ibtc", "sieve")
 RETURN_SCHEMES = ("same", "fast", "shadow", "retcache")
 
 #: Fields excluded from :meth:`SDTConfig.fingerprint`.  Only fields that
-#: provably cannot change any observable result may appear here: ``engine``
-#: selects *how* the simulation executes (oracle dispatch vs threaded
-#: superblocks), never *what* it computes, so a cache entry produced by one
-#: engine must be served to the other (tests/test_engine_differential.py
-#: proves the byte-identity; tests/test_sdt_config.py pins the exemption).
-FINGERPRINT_EXEMPT = frozenset({"engine"})
+#: provably cannot change any *architectural* result may appear here:
+#: ``engine`` selects *how* the simulation executes (oracle dispatch vs
+#: threaded superblocks), never *what* it computes, so a cache entry
+#: produced by one engine must be served to the other
+#: (tests/test_engine_differential.py proves the byte-identity;
+#: tests/test_sdt_config.py pins the exemption).  ``faults`` likewise
+#: never changes registers/memory/output — but it *does* change cycle
+#: counts, so the evaluation layer refuses to cache faulted measurements
+#: at all rather than key them here (see
+#: :meth:`repro.eval.cells.Cell.cacheable`).
+FINGERPRINT_EXEMPT = frozenset({"engine", "faults"})
 
 
 @dataclass(frozen=True)
@@ -49,6 +55,13 @@ class SDTConfig:
             wall-clock speed differs, so this field is exempt from
             :meth:`fingerprint` and from :attr:`label`.  The default can
             be overridden with the ``REPRO_ENGINE`` environment variable.
+        faults: optional deterministic fault-injection plan
+            (:class:`repro.faults.plan.FaultPlan`, a spec string, or
+            ``None``).  Injected faults never change architectural
+            results — only cycle counts — so the field is
+            fingerprint-exempt like ``engine``; faulted measurements are
+            additionally excluded from result caching entirely.  The
+            default comes from the ``REPRO_FAULTS`` environment variable.
     """
 
     profile: ArchProfile = field(default_factory=lambda: SIMPLE)
@@ -68,6 +81,7 @@ class SDTConfig:
     fragment_cache_bytes: int = DEFAULT_CAPACITY
     max_fragment_instrs: int = DEFAULT_MAX_FRAGMENT_INSTRS
     engine: str = field(default_factory=default_engine)
+    faults: FaultPlan | None = field(default_factory=default_fault_plan)
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -75,6 +89,15 @@ class SDTConfig:
                 f"unknown engine {self.engine!r}; "
                 f"expected one of {ENGINES}"
             )
+        if isinstance(self.faults, str):
+            object.__setattr__(self, "faults", parse_fault_plan(self.faults))
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ValueError(
+                f"faults must be a FaultPlan, spec string or None, "
+                f"got {self.faults!r}"
+            )
+        if self.fragment_cache_bytes <= 0:
+            raise ValueError("fragment_cache_bytes must be positive")
         if self.ib not in GENERIC_MECHANISMS:
             raise ValueError(
                 f"unknown ib mechanism {self.ib!r}; "

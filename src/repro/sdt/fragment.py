@@ -61,6 +61,9 @@ class Fragment:
         plan: compiled :class:`repro.machine.engine.Superblock` (closure
             list + block cost vector), built once at translation when the
             threaded engine is active; ``None`` under the oracle engine.
+        demoted: permanently pinned to the oracle execution engine after
+            a plan-coherence failure (the graceful-degradation path; see
+            docs/robustness.md).  Never set without fault injection.
     """
 
     guest_pc: int
@@ -71,6 +74,7 @@ class Fragment:
     valid: bool = True
     executions: int = 0
     plan: object | None = None
+    demoted: bool = False
 
     @property
     def size_bytes(self) -> int:

@@ -51,6 +51,16 @@ class IBMechanism(ABC):
     def on_flush(self) -> None:
         """Drop any cached fragment pointers (cache was flushed)."""
 
+    def live_fragment_refs(self) -> list[Fragment]:
+        """Every fragment reference this mechanism currently holds.
+
+        The coherence checker (:mod:`repro.faults.invariants`) walks
+        these after each flush: none may point at an invalidated
+        fragment.  Mechanisms that cache no fragment pointers inherit
+        this empty default.
+        """
+        return []
+
     # -- shared helpers ----------------------------------------------------
 
     def _hit(self) -> None:
@@ -96,6 +106,10 @@ class ReturnMechanism(ABC):
 
     def on_flush(self) -> None:
         """Drop any cached fragment pointers."""
+
+    def live_fragment_refs(self) -> list[Fragment]:
+        """Fragment references held by this scheme (coherence checking)."""
+        return []
 
     def _hit(self) -> None:
         assert self.vm is not None

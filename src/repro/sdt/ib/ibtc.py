@@ -130,19 +130,44 @@ class IBTC(IBMechanism):
 
         table = self._table_for(ib_pc)
         index = ibtc_index(guest_target, table.mask, self.hash_kind)
+        injector = getattr(vm, "fault_injector", None)
+        if injector is not None:
+            event = injector.table_event("ibtc")
+            if event == "drop":
+                table.tags[index] = -1
+                table.frags[index] = None
+            elif event == "corrupt" and table.frags[index] is not None:
+                from repro.faults.inject import tombstone
+
+                table.frags[index] = tombstone(table.frags[index])
         cached = table.frags[index]
-        if table.tags[index] == guest_target and cached is not None:
+        if (
+            table.tags[index] == guest_target
+            and cached is not None
+            and cached.valid
+        ):
             self._hit()
             # the probe ends in a host indirect jump through the cached
             # fragment address
             vm.model.indirect_jump(jump_site, cached.fc_addr)
             return cached
 
+        # a tag match on an invalidated fragment is a stale entry (missed
+        # flush invalidation, or injected corruption): treated exactly
+        # like a miss, so the refill below repairs the table
         self._miss()
         target_fragment = vm.reenter_translator(guest_target)
         table.tags[index] = guest_target
         table.frags[index] = target_fragment
         return target_fragment
+
+    def live_fragment_refs(self):
+        refs = []
+        if self._shared_table is not None:
+            refs.extend(self._shared_table.frags)
+        for table in self._site_tables.values():
+            refs.extend(table.frags)
+        return refs
 
     def on_flush(self) -> None:
         if self._shared_table is not None:

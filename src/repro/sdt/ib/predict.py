@@ -76,3 +76,8 @@ class InlinePrediction(IBMechanism):
     def on_flush(self) -> None:
         self._predictions.clear()
         # inner is registered with the cache separately via bind()
+
+    def live_fragment_refs(self):
+        refs = [p.fragment for p in self._predictions.values()]
+        refs.extend(self.inner.live_fragment_refs())
+        return refs

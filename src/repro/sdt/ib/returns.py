@@ -121,6 +121,9 @@ class FastReturns(ReturnMechanism):
         # fragment bindings do not
         self._pad_fragment.clear()
 
+    def live_fragment_refs(self):
+        return list(self._pad_fragment.values())
+
 
 class ShadowReturnStack(ReturnMechanism):
     """SDT-maintained return-address stack with generic fallback."""
@@ -214,3 +217,6 @@ class ReturnCache(ReturnMechanism):
     def on_flush(self) -> None:
         for index in range(len(self._table)):
             self._table[index] = None
+
+    def live_fragment_refs(self):
+        return list(self._table)

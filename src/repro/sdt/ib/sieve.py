@@ -73,6 +73,16 @@ class Sieve(IBMechanism):
 
         # walk the stub chain
         chain = self._chains[index]
+        injector = getattr(vm, "fault_injector", None)
+        if injector is not None and chain:
+            event = injector.table_event("sieve")
+            if event == "drop":
+                del chain[0]
+            elif event == "corrupt":
+                from repro.faults.inject import tombstone
+
+                known, frag = chain[0]
+                chain[0] = (known, tombstone(frag))
         for position, (known_target, target_fragment) in enumerate(chain):
             vm.model.charge(Category.SIEVE, profile.sieve_stage)
             self.stage_executions += 1
@@ -80,12 +90,20 @@ class Sieve(IBMechanism):
             matched = known_target == guest_target
             vm.model.cond_branch(stub_addr, matched, category=Category.SIEVE)
             if matched:
-                self._hit()
-                return target_fragment
+                if target_fragment.valid:
+                    self._hit()
+                    return target_fragment
+                # stale stub (missed invalidation / injected corruption):
+                # unlink it and fall back to the translator, which links
+                # a fresh stub below
+                del chain[position]
+                break
 
         # chain exhausted: translator builds a new stub
         self._miss()
         target_fragment = vm.reenter_translator(guest_target)
+        # re-fetch: the reentry may have flushed (and so emptied) the chain
+        chain = self._chains[index]
         entry = (guest_target, target_fragment)
         if self.policy == "prepend":
             chain.insert(0, entry)
@@ -96,6 +114,13 @@ class Sieve(IBMechanism):
     def on_flush(self) -> None:
         for chain in self._chains:
             chain.clear()
+
+    def live_fragment_refs(self):
+        return [
+            fragment
+            for chain in self._chains
+            for _target, fragment in chain
+        ]
 
     @property
     def mean_chain_length(self) -> float:

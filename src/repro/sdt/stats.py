@@ -15,10 +15,16 @@ class SDTStats:
     cache_flushes: int = 0
     links_patched: int = 0
     translator_reentries: int = 0
+    #: fragments permanently demoted to the oracle engine after a plan
+    #: coherence failure (graceful degradation; see docs/robustness.md)
+    fragments_demoted: int = 0
     #: dynamic indirect dispatches by class name ("ijump"/"icall"/"ret")
     ib_dispatches: Counter = field(default_factory=Counter)
     #: mechanism hit/miss counters, keyed "<mechanism>.<event>"
     mechanism: Counter = field(default_factory=Counter)
+    #: injected-fault and invariant-checker events, keyed by site
+    #: (empty unless a fault plan is active)
+    faults: Counter = field(default_factory=Counter)
 
     def hit_rate(self, mechanism: str) -> float:
         """Hit rate for a mechanism (0.0 if it never dispatched)."""
@@ -34,6 +40,8 @@ class SDTStats:
             "cache_flushes": self.cache_flushes,
             "links_patched": self.links_patched,
             "translator_reentries": self.translator_reentries,
+            "fragments_demoted": self.fragments_demoted,
             "ib_dispatches": dict(self.ib_dispatches),
             "mechanism": dict(self.mechanism),
+            "faults": dict(self.faults),
         }

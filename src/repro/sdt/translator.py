@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.host.costs import Category, HostModel
 from repro.isa.encoding import decode
@@ -11,6 +11,9 @@ from repro.isa.program import Program
 from repro.machine.errors import MemoryFault
 from repro.sdt.cache import FragmentCache
 from repro.sdt.fragment import ExitKind, Fragment, exit_kind_for
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.inject import FaultInjector
 
 DEFAULT_MAX_FRAGMENT_INSTRS = 128
 
@@ -52,6 +55,9 @@ class Translator:
         #: The elided jump still executes (so retired counts match the
         #: interpreter) but its successor is inlined instead of linked.
         self.trace_jumps = trace_jumps
+        #: when set, translations consult the injector for mid-fragment
+        #: failures and plan perturbations (see repro.faults)
+        self.fault_injector: "FaultInjector | None" = None
         self._text = program.text.data
         self._text_base = program.text.base
         self._decoded: dict[int, Instruction] = {}
@@ -72,13 +78,33 @@ class Translator:
         return instr
 
     def get_or_translate(self, guest_pc: int) -> Fragment:
-        """Return the fragment for ``guest_pc``, translating on a miss."""
-        fragment = self.cache.lookup(guest_pc)
-        if fragment is None:
-            fragment = self.translate(guest_pc)
-        return fragment
+        """Return the fragment for ``guest_pc``, translating on a miss.
 
-    def translate(self, guest_pc: int) -> Fragment:
+        Injected translation failures are retried with bounded attempts
+        (each aborted attempt's decode work is still charged); after
+        :data:`repro.faults.inject.MAX_TRANSLATE_ATTEMPTS` consecutive
+        failures the final attempt runs with injection suppressed, so
+        forward progress is guaranteed at any fault rate.
+        """
+        fragment = self.cache.lookup(guest_pc)
+        if fragment is not None:
+            return fragment
+        if self.fault_injector is None:
+            return self.translate(guest_pc)
+
+        from repro.faults.inject import (
+            InjectedTranslationFault,
+            MAX_TRANSLATE_ATTEMPTS,
+        )
+
+        for _attempt in range(MAX_TRANSLATE_ATTEMPTS - 1):
+            try:
+                return self.translate(guest_pc)
+            except InjectedTranslationFault:
+                self.cache.stats.faults["translate_retry"] += 1
+        return self.translate(guest_pc, inject=False)
+
+    def translate(self, guest_pc: int, inject: bool = True) -> Fragment:
         """Translate one basic block starting at ``guest_pc``."""
         instrs: list[tuple[int, Instruction]] = []
         pc = guest_pc
@@ -110,6 +136,24 @@ class Translator:
                 break
             pc += 4
 
+        injector = self.fault_injector if inject else None
+        profile = self.model.profile
+        if injector is not None and injector.should_fail_translation():
+            # mid-fragment abort: the decode work above is real and gets
+            # charged, but nothing was reserved or inserted, so the
+            # retrying caller sees a clean cache
+            from repro.faults.inject import InjectedTranslationFault
+
+            self.model.charge(
+                Category.TRANSLATE,
+                profile.translate_fragment
+                + profile.translate_per_instr * len(instrs),
+            )
+            raise InjectedTranslationFault(
+                f"injected translation failure at {guest_pc:#x} "
+                f"after {len(instrs)} instrs"
+            )
+
         fragment = Fragment(
             guest_pc=guest_pc,
             fc_addr=0,
@@ -118,10 +162,17 @@ class Translator:
         )
         if self.plan_factory is not None:
             fragment.plan = self.plan_factory(instrs)
+        if injector is not None:
+            # always consumes the same number of draws whether or not a
+            # plan exists, keeping fault streams engine-invariant
+            kind = injector.plan_perturbation()
+            if kind is not None and fragment.plan is not None:
+                from repro.faults.inject import apply_plan_perturbation
+
+                apply_plan_perturbation(fragment.plan, kind)
         fragment.fc_addr = self.cache.reserve(fragment.size_bytes)
         self.cache.insert(fragment)
 
-        profile = self.model.profile
         self.model.charge(
             Category.TRANSLATE,
             profile.translate_fragment

@@ -88,6 +88,21 @@ class SDTVM:
         self.generic_ib, self.return_mech = build_mechanisms(self.config)
         self.generic_ib.bind(self)
         self.return_mech.bind(self)
+        # fault injection + coherence watchdog (see repro.faults).  The
+        # checker's flush hook registers *after* the mechanisms' so it
+        # observes their post-invalidation state.
+        self.fault_injector = None
+        self.invariant_checker = None
+        if self.config.faults is not None and self.config.faults.active:
+            from repro.faults.inject import FaultInjector
+            from repro.faults.invariants import InvariantChecker
+
+            self.fault_injector = FaultInjector(self.config.faults, self.stats)
+            self.cache.fault_injector = self.fault_injector
+            self.translator.fault_injector = self.fault_injector
+            self.invariant_checker = InvariantChecker(self)
+            self.invariant_checker.install()
+        self._chaos = self.fault_injector is not None
         self.retired = 0
         self.iclass_counts: Counter = Counter()
         self._fuel = DEFAULT_FUEL
@@ -150,16 +165,33 @@ class SDTVM:
         budgeted prefix, so ``self.retired == fuel`` at the raise.
         """
         fragment.executions += 1
-        if self._threaded:
+        if self._threaded and not fragment.demoted:
             plan = fragment.plan
             if plan is None:
                 # fragment built without a plan factory (defensive)
                 plan = fragment.plan = self._compile_plan(fragment.instrs)
+            elif self._chaos and not plan.coherent_with(
+                fragment.guest_pc, fragment.instrs
+            ):
+                # graceful degradation: a plan that no longer describes
+                # its fragment is never executed — the fragment is
+                # permanently demoted to the oracle engine instead.
+                # Oracle and threaded bodies charge identical cycles, so
+                # demotion is invisible to every measurement.
+                self._demote(fragment)
+                return self._run_oracle(fragment)
             budget = self._fuel - self.retired
             if not plan.has_syscall and plan.n <= budget:
                 return self._run_fast(fragment, plan)
             return self._run_slow(fragment, plan, budget)
         return self._run_oracle(fragment)
+
+    def _demote(self, fragment: Fragment) -> None:
+        """Pin a fragment to the oracle engine after plan incoherence."""
+        fragment.plan = None
+        fragment.demoted = True
+        self.stats.fragments_demoted += 1
+        self.stats.faults["demotion"] += 1
 
     def _run_oracle(self, fragment: Fragment) -> Fragment | None:
         """Reference per-instruction fragment body (the semantics oracle)."""

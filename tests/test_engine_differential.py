@@ -255,6 +255,7 @@ class TestFuelParity:
 
 # -- caching ------------------------------------------------------------------
 
+@pytest.mark.usefixtures("no_faults")
 class TestEngineNeutralCaching:
     """Engine choice must not split caches: identical fingerprints, and a
     cache warmed by an oracle run serves threaded runs (and vice versa)."""

@@ -80,6 +80,31 @@ class TestCorruptionTolerance:
         cache.put(cell, cell.execute())
         assert cache.get(cell) is not None
 
+    def test_zero_byte_entry_is_a_miss_and_deleted(self, cache):
+        """A crash between create and write leaves an empty file."""
+        cell = _measure_cell()
+        cache.put(cell, cell.execute())
+        path = cache.path_for(cell)
+        path.write_bytes(b"")
+        assert cache.get(cell) is None
+        assert not path.exists()
+        assert cache.misses == 1
+
+    def test_binary_garbage_is_a_miss_and_deleted(self, cache):
+        cell = _measure_cell()
+        cache.put(cell, cell.execute())
+        path = cache.path_for(cell)
+        path.write_bytes(b"\xff\xfe\x00garbage\x80")   # not even UTF-8
+        assert cache.get(cell) is None
+        assert not path.exists()
+
+    def test_stale_tmp_leftovers_do_not_break_lookups(self, cache):
+        cell = _measure_cell()
+        cache.put(cell, cell.execute())
+        path = cache.path_for(cell)
+        (path.parent / ".tmp-leftover.json").write_text("partial")
+        assert cache.get(cell) is not None      # real entry still served
+
     def test_garbage_json_is_discarded(self, cache):
         cell = _measure_cell()
         cache.put(cell, cell.execute())

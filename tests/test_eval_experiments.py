@@ -21,6 +21,14 @@ SCALE = "tiny"
 
 
 @pytest.fixture(scope="module", autouse=True)
+def _module_no_faults():
+    """Paper-shape assertions (orderings, hit rates) are clean-spec."""
+    with pytest.MonkeyPatch.context() as mp:
+        mp.delenv("REPRO_FAULTS", raising=False)
+        yield
+
+
+@pytest.fixture(scope="module", autouse=True)
 def _isolated_results(tmp_path_factory):
     """Keep test artefacts out of the benchmark-owned results/ dir."""
     import repro.eval.report as report
@@ -166,4 +174,4 @@ class TestE9:
 
 
 def test_registry_complete():
-    assert set(ALL_EXPERIMENTS) == {f"e{i}" for i in range(1, 13)}
+    assert set(ALL_EXPERIMENTS) == {f"e{i}" for i in range(1, 14)}

@@ -15,6 +15,9 @@ from repro.eval.runner import clear_caches
 from repro.host.profile import SIMPLE
 from repro.sdt.config import SDTConfig
 
+#: disk/memo-cache assertions need clean-spec (uncacheable-free) cells
+pytestmark = pytest.mark.usefixtures("no_faults")
+
 #: three-workload suite: enough to exercise the E6 grid, cheap enough for CI
 SUBSET = ["eon_like", "gzip_like", "mcf_like"]
 

@@ -13,6 +13,9 @@ from repro.host.profile import SIMPLE, X86_P4
 from repro.sdt.config import SDTConfig
 from repro.workloads import get_workload
 
+#: memoisation assertions require fault-free (cacheable) measurements
+pytestmark = pytest.mark.usefixtures("no_faults")
+
 
 @pytest.fixture(autouse=True)
 def _fresh_caches():

@@ -1,0 +1,223 @@
+"""Fault injection: determinism, architectural identity, recovery paths.
+
+The load-bearing property everywhere: a fault plan may change *cycle
+counts* but never *architectural results* (output, exit code, retired
+instructions) — and with a fixed seed even the cycle counts are exactly
+reproducible, across runs and across execution engines.
+"""
+
+import pytest
+
+from repro.faults.inject import (
+    MAX_TRANSLATE_ATTEMPTS,
+    PLAN_PERTURBATIONS,
+    FaultInjector,
+    tombstone,
+)
+from repro.faults.plan import FaultPlan
+from repro.host.profile import SIMPLE
+from repro.sdt.config import SDTConfig
+from repro.sdt.stats import SDTStats
+from repro.sdt.vm import SDTVM
+from repro.workloads import get_workload, workload_names
+
+MECHANISMS = ("reentry", "ibtc", "sieve")
+CHAOS = "chaos:1234"
+
+
+def run_workload(name: str, **config_kwargs):
+    config = SDTConfig(profile=SIMPLE, **config_kwargs)
+    vm = SDTVM(get_workload(name, "tiny").compile(), config=config)
+    return vm, vm.run()
+
+
+class TestStreams:
+    def test_per_site_streams_reproducible(self):
+        plan = FaultPlan(seed=42, flush_storm=0.5)
+        a = FaultInjector(plan, SDTStats())
+        b = FaultInjector(plan, SDTStats())
+        assert [a.stream("x").random() for _ in range(5)] == \
+            [b.stream("x").random() for _ in range(5)]
+
+    def test_distinct_sites_distinct_streams(self):
+        plan = FaultPlan(seed=42, flush_storm=0.5)
+        inj = FaultInjector(plan, SDTStats())
+        assert inj.stream("ibtc").random() != inj.stream("sieve").random()
+
+    def test_distinct_seeds_distinct_streams(self):
+        a = FaultInjector(FaultPlan(seed=1, flush_storm=0.5), SDTStats())
+        b = FaultInjector(FaultPlan(seed=2, flush_storm=0.5), SDTStats())
+        assert a.stream("x").random() != b.stream("x").random()
+
+    def test_fault_events_are_counted(self):
+        stats = SDTStats()
+        inj = FaultInjector(FaultPlan(seed=1, flush_storm=1.0), stats)
+        assert inj.should_force_flush()
+        assert stats.faults["flush_storm"] == 1
+
+    def test_table_event_rates(self):
+        stats = SDTStats()
+        inj = FaultInjector(FaultPlan(seed=1, table_drop=1.0), stats)
+        assert inj.table_event("ibtc") == "drop"
+        inj = FaultInjector(FaultPlan(seed=1, table_corrupt=1.0), SDTStats())
+        assert inj.table_event("ibtc") == "corrupt"
+        inj = FaultInjector(FaultPlan(seed=1, flush_storm=1.0), SDTStats())
+        assert inj.table_event("ibtc") is None
+
+    def test_plan_perturbation_always_draws(self):
+        """Gate and kind draws are consumed even when the gate misses —
+        keeping downstream draws aligned whether or not faults fire."""
+        rare = FaultInjector(
+            FaultPlan(seed=9, plan_perturb=1e-12), SDTStats()
+        )
+        always = FaultInjector(
+            FaultPlan(seed=9, plan_perturb=1.0), SDTStats()
+        )
+        assert rare.plan_perturbation() is None
+        assert always.plan_perturbation() in PLAN_PERTURBATIONS
+        # both consumed exactly two draws from the site stream
+        assert rare.stream("plan_perturb").random() == \
+            always.stream("plan_perturb").random()
+
+    def test_inactive_plan_perturbation_is_noop(self):
+        inj = FaultInjector(FaultPlan(seed=9), SDTStats())
+        assert inj.plan_perturbation() is None
+
+    def test_tombstone_preserves_identity_but_not_validity(self):
+        from repro.sdt.fragment import ExitKind, Fragment
+
+        frag = Fragment(guest_pc=0x1000, fc_addr=0, instrs=[],
+                        exit_kind=ExitKind.JUMP)
+        stale = tombstone(frag)
+        assert not stale.valid
+        assert frag.valid                      # original untouched
+        assert stale.guest_pc == frag.guest_pc
+
+
+class TestArchitecturalIdentity:
+    """Acceptance: the full suite × every mechanism, chaos vs clean."""
+
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_suite_results_identical_under_chaos(self, mechanism):
+        for name in workload_names():
+            _, clean = run_workload(name, ib=mechanism, faults=None)
+            _, chaos = run_workload(name, ib=mechanism, faults=CHAOS)
+            assert chaos.output == clean.output, (name, mechanism)
+            assert chaos.exit_code == clean.exit_code, (name, mechanism)
+            assert chaos.retired == clean.retired, (name, mechanism)
+
+    def test_chaos_perturbs_cycles_deterministically(self):
+        _, clean = run_workload("gzip_like", ib="ibtc", faults=None)
+        _, first = run_workload("gzip_like", ib="ibtc", faults=CHAOS)
+        _, again = run_workload("gzip_like", ib="ibtc", faults=CHAOS)
+        assert first.total_cycles != clean.total_cycles
+        assert first.total_cycles == again.total_cycles
+        assert dict(first.stats.faults) == dict(again.stats.faults)
+
+    def test_seed_changes_the_fault_sequence(self):
+        _, a = run_workload("gzip_like", ib="ibtc", faults="chaos:1")
+        _, b = run_workload("gzip_like", ib="ibtc", faults="chaos:2")
+        assert a.output == b.output            # architecture still equal
+        assert dict(a.stats.faults) != dict(b.stats.faults)
+
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_engines_agree_under_chaos(self, mechanism):
+        """Fault draws sit at architectural events, so oracle and
+        threaded runs inject the *same* sequence and charge the same
+        cycles."""
+        for name in ("gzip_like", "perl_like", "vortex_like"):
+            _, oracle = run_workload(
+                name, ib=mechanism, faults=CHAOS, engine="oracle"
+            )
+            _, threaded = run_workload(
+                name, ib=mechanism, faults=CHAOS, engine="threaded"
+            )
+            assert oracle.total_cycles == threaded.total_cycles, name
+            assert oracle.output == threaded.output
+            assert dict(oracle.cycles) == dict(threaded.cycles)
+
+
+class TestFlushStorms:
+    """Acceptance: >= 100 forced flushes, zero stale-pointer violations."""
+
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_storm_pressure_stays_coherent(self, mechanism):
+        flushes = 0
+        checked = 0
+        for name in ("gzip_like", "bzip2_like", "vortex_like", "perl_like"):
+            vm, result = run_workload(
+                name, ib=mechanism, fragment_cache_bytes=1024,
+                faults="storm:1234",
+            )
+            _, clean = run_workload(
+                name, ib=mechanism, fragment_cache_bytes=1024, faults=None,
+            )
+            assert result.output == clean.output, name
+            assert result.retired == clean.retired, name
+            flushes += result.stats.cache_flushes
+            checked += vm.invariant_checker.flushes_checked
+            assert vm.invariant_checker.violations == [], name
+            assert result.stats.faults.get("invariant.violations", 0) == 0
+        assert flushes >= 100
+        assert checked == flushes    # every flush was checked
+
+
+class TestTranslationFaults:
+    def test_retry_is_bounded_and_always_makes_progress(self):
+        vm, result = run_workload(
+            "gzip_like", ib="ibtc",
+            faults="seed=1,translate_fail=1.0",
+        )
+        _, clean = run_workload("gzip_like", ib="ibtc", faults=None)
+        assert result.output == clean.output
+        stats = result.stats
+        # rate 1.0: every injected attempt fails, so each fragment burns
+        # the full retry budget before the uninjected final attempt
+        per_fragment = MAX_TRANSLATE_ATTEMPTS - 1
+        assert stats.faults["translate_fail"] == \
+            per_fragment * stats.fragments_translated
+        assert stats.faults["translate_retry"] == \
+            stats.faults["translate_fail"]
+
+    def test_aborted_attempts_still_cost_cycles(self):
+        _, faulted = run_workload(
+            "gzip_like", ib="ibtc", faults="seed=1,translate_fail=1.0",
+        )
+        _, clean = run_workload("gzip_like", ib="ibtc", faults=None)
+        from repro.host.costs import Category
+
+        assert faulted.cycles[Category.TRANSLATE.value] > \
+            clean.cycles[Category.TRANSLATE.value]
+
+
+class TestDemotion:
+    def test_perturbed_plans_demote_to_oracle(self):
+        vm, result = run_workload(
+            "gzip_like", ib="ibtc", engine="threaded",
+            faults="seed=1,plan_perturb=1.0",
+        )
+        _, clean = run_workload(
+            "gzip_like", ib="ibtc", engine="threaded", faults=None,
+        )
+        assert result.stats.fragments_demoted > 0
+        assert result.stats.faults["demotion"] == \
+            result.stats.fragments_demoted
+        # demotion is an execution-engine decision: results unchanged
+        assert result.output == clean.output
+        assert result.total_cycles == clean.total_cycles
+
+    def test_demoted_fragments_stay_demoted(self):
+        vm, _ = run_workload(
+            "gzip_like", ib="ibtc", engine="threaded",
+            faults="seed=1,plan_perturb=1.0",
+        )
+        demoted = [f for f in vm.cache.fragments() if f.demoted]
+        assert demoted
+        assert all(f.plan is None for f in demoted)
+
+    def test_oracle_engine_never_demotes(self):
+        _, result = run_workload(
+            "gzip_like", ib="ibtc", engine="oracle",
+            faults="seed=1,plan_perturb=1.0",
+        )
+        assert result.stats.fragments_demoted == 0

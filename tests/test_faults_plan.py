@@ -1,0 +1,135 @@
+"""Fault plans: validation, parsing, profiles, canonical round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults.plan import (
+    DEFAULT_SEED,
+    ENV_VAR,
+    PROFILES,
+    RATE_FIELDS,
+    FaultPlan,
+    default_fault_plan,
+    parse_fault_plan,
+)
+
+
+class TestValidation:
+    def test_default_plan_is_inactive(self):
+        plan = FaultPlan()
+        assert not plan.active
+
+    def test_any_positive_rate_activates(self):
+        for name in RATE_FIELDS:
+            assert FaultPlan(**{name: 0.5}).active, name
+
+    @pytest.mark.parametrize("name", RATE_FIELDS)
+    def test_rates_bounded(self, name):
+        with pytest.raises(ValueError):
+            FaultPlan(**{name: 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(**{name: -0.1})
+
+    def test_table_rates_share_one_draw(self):
+        with pytest.raises(ValueError):
+            FaultPlan(table_drop=0.7, table_corrupt=0.7)
+        FaultPlan(table_drop=0.5, table_corrupt=0.5)  # boundary is fine
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FaultPlan().seed = 7
+
+
+class TestFingerprint:
+    def test_covers_every_declared_field(self):
+        names = [name for name, _ in FaultPlan().fingerprint()]
+        assert names == [f.name for f in dataclasses.fields(FaultPlan)]
+
+    def test_distinct_plans_distinct(self):
+        a = FaultPlan(seed=1, flush_storm=0.1)
+        b = FaultPlan(seed=2, flush_storm=0.1)
+        c = FaultPlan(seed=1, flush_storm=0.2)
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+
+class TestParse:
+    @pytest.mark.parametrize("spec", ["", "off", "none", "0", "  OFF  "])
+    def test_off_words(self, spec):
+        assert parse_fault_plan(spec) is None
+
+    def test_none_and_plan_pass_through(self):
+        assert parse_fault_plan(None) is None
+        plan = FaultPlan(flush_storm=0.5)
+        assert parse_fault_plan(plan) is plan
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_profiles(self, name):
+        plan = parse_fault_plan(name)
+        assert plan == FaultPlan(seed=DEFAULT_SEED, **PROFILES[name])
+        assert plan.active
+
+    def test_profile_with_seed(self):
+        plan = parse_fault_plan("chaos:99")
+        assert plan.seed == 99
+        assert plan.flush_storm == PROFILES["chaos"]["flush_storm"]
+
+    def test_kv_list(self):
+        plan = parse_fault_plan("seed=7, flush_storm=0.5, table_drop=0.25")
+        assert plan == FaultPlan(seed=7, flush_storm=0.5, table_drop=0.25)
+
+    def test_inactive_kv_list_is_none(self):
+        assert parse_fault_plan("seed=7") is None
+
+    @pytest.mark.parametrize("spec", [
+        "warp", "chaos:xyz", "flush_storm", "flush_storm=lots", "bogus=1",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_fault_plan(spec)
+
+
+class TestDescribe:
+    def test_profile_round_trip(self):
+        for name in PROFILES:
+            plan = parse_fault_plan(f"{name}:77")
+            assert plan.describe() == f"{name}:77"
+            assert parse_fault_plan(plan.describe()) == plan
+
+    def test_custom_round_trip(self):
+        plan = FaultPlan(seed=5, translate_fail=0.125)
+        assert parse_fault_plan(plan.describe()) == plan
+
+
+class TestEnvDefault:
+    def test_unset_means_no_injection(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert default_fault_plan() is None
+
+    def test_env_reaches_config_default(self, monkeypatch):
+        from repro.host.profile import SIMPLE
+        from repro.sdt.config import SDTConfig
+
+        monkeypatch.setenv(ENV_VAR, "storm:42")
+        config = SDTConfig(profile=SIMPLE)
+        assert config.faults == FaultPlan(seed=42, **PROFILES["storm"])
+
+    def test_config_parses_spec_strings(self, monkeypatch):
+        from repro.host.profile import SIMPLE
+        from repro.sdt.config import SDTConfig
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        config = SDTConfig(profile=SIMPLE, faults="light")
+        assert config.faults == FaultPlan(seed=DEFAULT_SEED,
+                                          **PROFILES["light"])
+        assert SDTConfig(profile=SIMPLE, faults="off").faults is None
+
+    def test_config_rejects_junk(self, monkeypatch):
+        from repro.host.profile import SIMPLE
+        from repro.sdt.config import SDTConfig
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with pytest.raises(ValueError):
+            SDTConfig(profile=SIMPLE, faults="not-a-plan")
+        with pytest.raises(ValueError):
+            SDTConfig(profile=SIMPLE, faults=3.14)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op
-from repro.sdt.cache import FragmentCache
+from repro.sdt.cache import FlushHookError, FragmentCache, FragmentTooLarge
 from repro.sdt.fragment import (
     ExitKind,
     FRAGMENT_CACHE_BASE,
@@ -62,6 +62,26 @@ class TestCacheAllocation:
         with pytest.raises(ValueError):
             cache.reserve(64)
 
+    def test_oversized_fragment_error_is_actionable(self):
+        """The error must say what happened and how to fix it — a flush
+        cannot help, so the caller needs the numbers, not a retry."""
+        cache = FragmentCache(capacity=32)
+        with pytest.raises(FragmentTooLarge) as excinfo:
+            cache.reserve(64)
+        err = excinfo.value
+        assert (err.size_bytes, err.capacity) == (64, 32)
+        assert "64 bytes" in str(err) and "32-byte" in str(err)
+        assert "fragment_cache_bytes" in str(err)
+        assert isinstance(err, ValueError)      # old catch sites still work
+
+    def test_oversized_check_does_not_flush(self):
+        cache = FragmentCache(capacity=32)
+        cache.reserve(24)
+        with pytest.raises(FragmentTooLarge):
+            cache.reserve(64)
+        assert cache.stats.cache_flushes == 0   # rejected before flushing
+        assert cache.bytes_used == 24           # prior allocation intact
+
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             FragmentCache(capacity=0)
@@ -97,6 +117,40 @@ class TestFlush:
         cache.on_flush(lambda: calls.append(2))
         cache.flush()
         assert calls == [1, 2]
+
+    def test_raising_hook_does_not_mask_later_hooks(self):
+        cache = FragmentCache()
+        calls = []
+        cache.on_flush(lambda: calls.append("first"))
+        cache.on_flush(lambda: (_ for _ in ()).throw(RuntimeError("h2")))
+        cache.on_flush(lambda: calls.append("third"))
+        with pytest.raises(FlushHookError):
+            cache.flush()
+        assert calls == ["first", "third"]      # every hook still ran
+        assert len(cache) == 0                  # and the flush completed
+
+    def test_all_hook_exceptions_aggregated(self):
+        cache = FragmentCache()
+
+        def boom(msg):
+            raise RuntimeError(msg)
+
+        cache.on_flush(lambda: boom("first failure"))
+        cache.on_flush(lambda: boom("second failure"))
+        with pytest.raises(FlushHookError) as excinfo:
+            cache.flush()
+        err = excinfo.value
+        assert [str(e) for e in err.errors] == \
+            ["first failure", "second failure"]
+        assert "2 flush hook(s) raised" in str(err)
+        assert "first failure" in str(err) and "second failure" in str(err)
+
+    def test_hook_failure_still_counts_the_flush(self):
+        cache = FragmentCache()
+        cache.on_flush(lambda: (_ for _ in ()).throw(ValueError("x")))
+        with pytest.raises(FlushHookError):
+            cache.flush()
+        assert cache.stats.cache_flushes == 1
 
     def test_allocation_restarts_after_flush(self):
         cache = FragmentCache(capacity=1024)

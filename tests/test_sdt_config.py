@@ -4,6 +4,7 @@ import dataclasses
 
 import pytest
 
+from repro.faults import FaultPlan
 from repro.host.profile import SIMPLE, SPARC_US3, X86_K8, X86_P4
 from repro.sdt.config import FINGERPRINT_EXEMPT, SDTConfig
 
@@ -32,6 +33,7 @@ FIELD_ALTERNATES = {
     "fragment_cache_bytes": 12345,
     "max_fragment_instrs": 7,
     "engine": "oracle",
+    "faults": FaultPlan(seed=31337, flush_storm=0.5),
 }
 
 

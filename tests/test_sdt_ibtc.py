@@ -7,6 +7,9 @@ from repro.sdt.ib.ibtc import IBTC, ibtc_index
 
 import pytest
 
+#: exact hit/miss dynamics are clean-spec behaviour
+pytestmark = pytest.mark.usefixtures("no_faults")
+
 
 #: One hot indirect-call site cycling over N targets.
 def dispatch_source(n_targets: int, iterations: int = 200) -> str:

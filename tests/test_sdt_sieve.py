@@ -10,6 +10,9 @@ from repro.sdt.ib.sieve import Sieve, sieve_index
 
 from test_sdt_ibtc import dispatch_source
 
+#: exact chain-growth dynamics are clean-spec behaviour
+pytestmark = pytest.mark.usefixtures("no_faults")
+
 
 def run_sieve(source: str, buckets: int = 64, policy: str = "prepend"):
     config = SDTConfig(profile=SIMPLE, ib="sieve", sieve_buckets=buckets,

@@ -36,8 +36,10 @@ class TestAsDict:
             "cache_flushes",
             "links_patched",
             "translator_reentries",
+            "fragments_demoted",
             "ib_dispatches",
             "mechanism",
+            "faults",
         }
 
     def test_snapshot_is_detached(self):
