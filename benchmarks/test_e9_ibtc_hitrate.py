@@ -8,7 +8,7 @@ Run: ``pytest benchmarks/test_e9_ibtc_hitrate.py --benchmark-only -s``
 """
 
 from conftest import fresh_simulation, run_experiment_table, run_once
-from repro.host.profile import SPARC_US3, X86_P4
+from repro.host.profile import X86_P4
 from repro.sdt.config import SDTConfig
 
 

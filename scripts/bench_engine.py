@@ -4,8 +4,10 @@
 For every workload in the suite, times a native-baseline run and an SDT
 run under both engines, verifies the results are identical (output, exit
 code, retired count, iclass counts, cycle totals), and reports simulated
-guest instructions per second.  Writes ``BENCH_engine.json`` so the
-performance trajectory of the simulator itself is tracked over time.
+guest instructions per second.  Writes ``results/ci/BENCH_engine.json``
+so the performance trajectory of the simulator itself is tracked over
+time; ``scripts/perf_gate.py`` compares that report against the committed
+baseline in ``benchmarks/baselines/``.
 
 Usage::
 
@@ -167,7 +169,8 @@ def main(argv: list[str] | None = None) -> int:
         "--check", action="store_true",
         help="exit non-zero unless the threaded engine beats oracle",
     )
-    parser.add_argument("-o", "--output", default="BENCH_engine.json",
+    parser.add_argument("-o", "--output",
+                        default="results/ci/BENCH_engine.json",
                         metavar="FILE", help="JSON report path")
     args = parser.parse_args(argv)
 
@@ -190,7 +193,9 @@ def main(argv: list[str] | None = None) -> int:
         f"-> {report['speedup']:.2f}x "
         f"({len(report['workloads'])} workloads, scale={scale})"
     )
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    out_path = Path(args.output)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
 
     if args.check and (report["speedup"] is None or report["speedup"] <= 1.0):

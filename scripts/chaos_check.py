@@ -14,8 +14,8 @@ Re-asserts the robustness acceptance bar end-to-end (docs/robustness.md):
 3. **E13 smoke** — the cache-pressure experiment regenerates at tiny
    scale and every chaos column shows at least the clean flush volume.
 
-Writes every invariant-checker report to ``CHAOS_report.json`` (uploaded
-as a CI artifact) and exits non-zero on any failure.
+Writes every invariant-checker report to ``results/ci/CHAOS_report.json``
+(uploaded as a CI artifact) and exits non-zero on any failure.
 """
 
 from __future__ import annotations
@@ -29,7 +29,7 @@ STORM = "storm:1234"
 SCALE = "tiny"
 MECHANISMS = ("reentry", "ibtc", "sieve")
 MIN_FLUSHES = 100
-REPORT_PATH = Path("CHAOS_report.json")
+REPORT_PATH = Path("results/ci/CHAOS_report.json")
 
 
 def run(name: str, mechanism: str, **kwargs):
@@ -139,6 +139,7 @@ def main() -> int:
     check_e13(failures, report)
 
     report["failures"] = failures
+    REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(f"report:    {REPORT_PATH} "
           f"({len(report['identity']) + len(report['storm'])} run records)",

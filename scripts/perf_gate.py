@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""CI performance-regression gate for the simulation engines.
+
+Compares a fresh ``scripts/bench_engine.py`` report against the committed
+baseline (``benchmarks/baselines/BENCH_engine.baseline.json``) and fails
+when the threaded engine's advantage over the oracle engine regresses by
+more than the threshold.
+
+The gated metric is the **aggregate threaded/oracle speedup ratio** —
+dimensionless, so it transfers between machines of different absolute
+speed: a CI runner half as fast as the baseline machine still shows the
+same *ratio* unless the threaded engine itself got slower relative to
+the oracle.  Absolute instrs/sec are reported for context but never
+gated.  Engine *divergence* (differing results between engines) is
+detected upstream: ``bench_engine.py`` exits non-zero before writing a
+report, so a missing report also fails the gate.
+
+Usage::
+
+    python scripts/bench_engine.py --quick          # writes the report
+    python scripts/perf_gate.py                     # gate vs baseline
+    python scripts/perf_gate.py --threshold 0.10
+    python scripts/perf_gate.py --update-baseline   # bless current report
+
+``--update-baseline`` rewrites the baseline from the current report with
+the wall-clock timestamp stripped, so the committed file stays
+deterministic modulo machine speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPORT = Path("results/ci/BENCH_engine.json")
+BASELINE = Path("benchmarks/baselines/BENCH_engine.baseline.json")
+DEFAULT_THRESHOLD = 0.15
+
+
+def _load(path: Path, kind: str) -> dict:
+    if not path.exists():
+        raise SystemExit(
+            f"perf gate: {kind} {path} is missing"
+            + (
+                " (run scripts/bench_engine.py --quick first)"
+                if kind == "report" else
+                " (run scripts/perf_gate.py --update-baseline to create it)"
+            )
+        )
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"perf gate: {kind} {path} is not valid JSON: {exc}")
+    if data.get("bench") != "engine" or "speedup" not in data:
+        raise SystemExit(
+            f"perf gate: {kind} {path} is not a bench_engine report"
+        )
+    return data
+
+
+def _workload_speedups(report: dict) -> dict[str, dict[str, float]]:
+    """Per-workload threaded/oracle speedup ratios, per mode."""
+    table: dict[str, dict[str, float]] = {}
+    for row in report.get("workloads", []):
+        ratios = {}
+        for mode in ("native", "sdt"):
+            engines = row.get(mode, {})
+            oracle = (engines.get("oracle") or {}).get("instrs_per_sec") or 0
+            threaded = (
+                (engines.get("threaded") or {}).get("instrs_per_sec") or 0
+            )
+            ratios[mode] = threaded / oracle if oracle else 0.0
+        table[row["workload"]] = ratios
+    return table
+
+
+def _delta_table(report: dict, baseline: dict) -> list[str]:
+    current = _workload_speedups(report)
+    blessed = _workload_speedups(baseline)
+    lines = [
+        f"{'workload':16s} {'mode':7s} {'baseline':>9s} {'current':>9s} "
+        f"{'delta':>8s}"
+    ]
+    for workload in sorted(set(current) | set(blessed)):
+        for mode in ("native", "sdt"):
+            old = blessed.get(workload, {}).get(mode, 0.0)
+            new = current.get(workload, {}).get(mode, 0.0)
+            delta = (new - old) / old if old else 0.0
+            marker = "" if workload in blessed and workload in current else \
+                "  (not in both)"
+            lines.append(
+                f"{workload:16s} {mode:7s} {old:8.2f}x {new:8.2f}x "
+                f"{delta:+7.1%}{marker}"
+            )
+    return lines
+
+
+def update_baseline(report: dict, baseline_path: Path) -> int:
+    blessed = dict(report)
+    blessed.pop("timestamp", None)  # wall clock: not part of the baseline
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    baseline_path.write_text(
+        json.dumps(blessed, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"perf gate: baseline updated from report -> {baseline_path}")
+    print(f"perf gate: blessed aggregate speedup {blessed['speedup']:.3f}x")
+    return 0
+
+
+def gate(report: dict, baseline: dict, threshold: float) -> int:
+    current = report.get("speedup")
+    blessed = baseline.get("speedup")
+    if not current or not blessed:
+        raise SystemExit(
+            "perf gate: missing aggregate speedup "
+            f"(report={current!r}, baseline={blessed!r})"
+        )
+    floor = blessed * (1.0 - threshold)
+    regression = (blessed - current) / blessed
+
+    print(f"baseline aggregate speedup : {blessed:.3f}x "
+          f"(scale={baseline.get('scale')}, "
+          f"{len(baseline.get('workloads', []))} workloads)")
+    print(f"current  aggregate speedup : {current:.3f}x "
+          f"(scale={report.get('scale')}, "
+          f"{len(report.get('workloads', []))} workloads)")
+    print(f"gate                       : >= {floor:.3f}x "
+          f"(baseline - {threshold:.0%})")
+    print()
+    print("\n".join(_delta_table(report, baseline)))
+    print()
+
+    if report.get("scale") != baseline.get("scale"):
+        print(
+            f"perf gate: WARNING comparing scale={report.get('scale')} "
+            f"report against scale={baseline.get('scale')} baseline",
+            file=sys.stderr,
+        )
+    if current < floor:
+        print(
+            f"perf gate: FAIL - aggregate speedup regressed "
+            f"{regression:.1%} (> {threshold:.0%} allowed): "
+            f"{blessed:.3f}x -> {current:.3f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf gate: OK ({regression:+.1%} vs baseline, "
+          f"{threshold:.0%} allowed)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", type=Path, default=REPORT,
+                        metavar="FILE",
+                        help=f"bench_engine report (default: {REPORT})")
+    parser.add_argument("--baseline", type=Path, default=BASELINE,
+                        metavar="FILE",
+                        help=f"committed baseline (default: {BASELINE})")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        metavar="FRACTION",
+                        help="allowed aggregate-speedup regression "
+                        f"(default: {DEFAULT_THRESHOLD})")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="bless the current report as the new baseline")
+    args = parser.parse_args(argv)
+
+    if not 0 < args.threshold < 1:
+        raise SystemExit("perf gate: --threshold must be in (0, 1)")
+
+    report = _load(args.report, "report")
+    if args.update_baseline:
+        return update_baseline(report, args.baseline)
+    baseline = _load(args.baseline, "baseline")
+    return gate(report, baseline, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

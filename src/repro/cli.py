@@ -3,10 +3,12 @@
 ::
 
     repro-sdt run <workload> [--scale S] [--ib M] [--returns R]
-                             [--profile P] [--engine E] [--json]
+                             [--profile P] [--engine E] [--trace] [--json]
+    repro-sdt trace <workload> [--mechanism M] [--returns R] [--out D]
     repro-sdt experiment <e1..e12|all> [--scale S]
     repro-sdt experiments [--only e3,e6] [--jobs N] [--no-cache]
                           [--cache-dir D] [--scale S] [--engine E]
+                          [--trace SPEC]
     repro-sdt fragments <workload> [--disassemble]  # fragment-cache dump
     repro-sdt fanout <workload>                     # per-site IB targets
     repro-sdt analyze <prog> [--json]               # static CFG/IB analysis
@@ -50,6 +52,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config_kwargs = {}
     if args.faults is not None:
         config_kwargs["faults"] = args.faults  # spec string; config parses
+    if args.trace is not None:
+        config_kwargs["trace"] = args.trace  # spec string; config parses
     config = SDTConfig(
         profile=profile,
         ib=args.ib,
@@ -64,6 +68,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     workload = get_workload(args.workload, args.scale)
     baseline = run_native(workload, profile, scale=args.scale,
                           engine=config.engine)
+    trace_paths = None
+    if config.trace is not None:
+        # a traced run exports through measure()'s directory sink; default
+        # the sink so a bare --trace always produces files
+        import dataclasses
+
+        from repro.trace.export import slug
+
+        if not config.trace.dir:
+            config = dataclasses.replace(
+                config,
+                trace=dataclasses.replace(config.trace, dir="results/trace"),
+            )
+        stem = slug(f"{workload.name}-{args.scale}-{profile.name}-"
+                    f"{config.label}")
+        trace_paths = tuple(
+            f"{config.trace.dir}/{stem}{suffix}"
+            for suffix in (".trace.json", ".metrics.json")
+        )
     result = measure(workload, config, scale=args.scale)
     if args.json:
         import json
@@ -81,6 +104,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "overhead": result.overhead,
             "breakdown": result.breakdown,
             "hit_rates": result.hit_rates,
+            **({"trace_files": list(trace_paths)} if trace_paths else {}),
         }, indent=2))
         return 0
     print(f"workload : {workload.name} [{args.scale}] ({workload.spec_analog})")
@@ -111,6 +135,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ))
         print(f"demoted  : {result.stats.get('fragments_demoted', 0)} "
               f"fragment(s) pinned to the oracle engine")
+    if trace_paths:
+        for path in trace_paths:
+            print(f"trace    : {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Traced run: terminal attribution summary plus JSON exports."""
+    from repro.trace.export import export_files, summary
+    from repro.trace.runtrace import trace_run
+    from repro.trace.spec import TraceSpec
+
+    profile = get_profile(args.profile)
+    config = SDTConfig(
+        profile=profile,
+        ib=args.mechanism,
+        ibtc_entries=args.ibtc_entries,
+        sieve_buckets=args.sieve_buckets,
+        returns=args.returns,
+        engine=resolve_engine(args.engine),
+        trace=TraceSpec(ring=args.ring),
+    )
+    traced = trace_run(args.workload, config, scale=args.scale)
+    trace_path, metrics_path = export_files(
+        traced.session, args.out, traced.stem,
+        result=traced.result, context=traced.context,
+    )
+    if args.json:
+        import json
+
+        from repro.trace.export import metrics_dict
+
+        print(json.dumps(
+            metrics_dict(traced.session, traced.result, traced.context),
+            indent=2, sort_keys=True,
+        ))
+    else:
+        workload = traced.workload
+        print(f"workload : {workload} [{args.scale}]")
+        print(f"config   : {config.label} on {profile.name} "
+              f"({config.engine} engine)")
+        overhead = traced.result.total_cycles / traced.baseline.cycles
+        print(f"overhead : {overhead:.3f}x "
+              f"({traced.result.total_cycles} / {traced.baseline.cycles} "
+              f"native)")
+        print(summary(traced.session, traced.result))
+    print(f"exported : {trace_path}", file=sys.stderr)
+    print(f"exported : {metrics_path}", file=sys.stderr)
     return 0
 
 
@@ -159,6 +231,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     saved: dict[str, str | None] = {
         "REPRO_ENGINE": os.environ.get("REPRO_ENGINE"),
         "REPRO_FAULTS": os.environ.get("REPRO_FAULTS"),
+        "REPRO_TRACE": os.environ.get("REPRO_TRACE"),
     }
     os.environ["REPRO_ENGINE"] = resolve_engine(args.engine)
     if args.faults is not None:
@@ -166,6 +239,11 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
         plan = parse_fault_plan(args.faults)  # validate before exporting
         os.environ["REPRO_FAULTS"] = plan.describe() if plan else "off"
+    if args.trace is not None:
+        from repro.trace.spec import parse_trace_spec
+
+        spec = parse_trace_spec(args.trace)  # validate before exporting
+        os.environ["REPRO_TRACE"] = spec.describe() if spec else "off"
     try:
         _tables, report = run_experiments(
             names, scale=args.scale, jobs=args.jobs, cache=cache,
@@ -353,8 +431,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection plan (light/chaos/storm, profile:seed or "
         "k=v list; default: $REPRO_FAULTS)",
     )
+    run.add_argument(
+        "--trace", nargs="?", const="on", default=None, metavar="SPEC",
+        help="structured event tracing: bare flag or 'ring=N,dir=PATH' "
+        "(default: $REPRO_TRACE); exports Chrome-trace + metrics JSON "
+        "under results/trace/ and never changes results",
+    )
     run.add_argument("--json", action="store_true",
                      help="machine-readable output")
+
+    trace = sub.add_parser(
+        "trace",
+        help="traced run: per-phase cycle attribution, event counters, "
+        "Chrome trace_event + metrics JSON exports",
+    )
+    trace.add_argument("workload")
+    trace.add_argument("--scale", default="small",
+                       choices=("tiny", "small", "large"))
+    trace.add_argument("--profile", default="x86_p4")
+    trace.add_argument("--mechanism", "--ib", dest="mechanism",
+                       default="ibtc", choices=("reentry", "ibtc", "sieve"))
+    trace.add_argument("--ibtc-entries", type=int, default=4096)
+    trace.add_argument("--sieve-buckets", type=int, default=512)
+    trace.add_argument("--returns", default="same",
+                       choices=("same", "fast", "shadow", "retcache"))
+    trace.add_argument(
+        "--engine", default=None, choices=ENGINES,
+        help="simulation engine (default: threaded, or $REPRO_ENGINE)",
+    )
+    trace.add_argument("--ring", type=int, default=65536,
+                       help="event ring-buffer capacity (default: 65536)")
+    trace.add_argument("--out", default="results/trace", metavar="DIR",
+                       help="export directory (default: results/trace)")
+    trace.add_argument("--json", action="store_true",
+                       help="print the metrics JSON instead of the summary")
 
     experiment = sub.add_parser("experiment", help="run an E1..E12 driver")
     experiment.add_argument("name")
@@ -406,6 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(light/chaos/storm), profile:seed, k=v list, or 'off' "
         "(default: $REPRO_FAULTS); never changes architectural results, "
         "but faulted cells bypass all result caches",
+    )
+    experiments.add_argument(
+        "--trace", default=None, metavar="SPEC",
+        help="structured tracing for every cell ('on', 'off', or "
+        "'ring=N,dir=PATH'; default: $REPRO_TRACE); cells that actually "
+        "simulate export trace/metrics JSON when dir= is set — "
+        "cache-served cells have no event stream to export",
     )
 
     fragments = sub.add_parser(
@@ -477,6 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
 _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "experiment": _cmd_experiment,
     "experiments": _cmd_experiments,
     "fragments": _cmd_fragments,

@@ -178,8 +178,13 @@ def measure(
     # serve its perturbed cycle counts to fault-free callers — and vice
     # versa.  Chaos runs always recompute.
     faulted = config.faults is not None and config.faults.active
+    # A dir-sink traced call must actually simulate to produce its
+    # export, so it skips the memo read; tracing is pure observation,
+    # so the recomputed measurement is identical and may still be
+    # stored for later callers.
+    traced_sink = config.trace is not None and bool(config.trace.dir)
     key = (workload.name, scale, fuel, config.fingerprint())
-    if not faulted:
+    if not faulted and not traced_sink:
         cached = _MEASURE_CACHE.get(key)
         if cached is not None:
             return cached
@@ -189,6 +194,24 @@ def measure(
     vm = SDTVM(workload.compile(), config=config)
     result = vm.run(fuel)
     _verify(baseline, result, config.label)
+
+    # Directory-sink tracing (REPRO_TRACE="dir=..."): cells that actually
+    # simulate drop their trace + metrics exports next to the results.
+    # Cache-served cells carry no event stream, so they (correctly) skip
+    # this — tracing observes simulations, it does not replay them.
+    if vm.trace is not None and config.trace is not None and config.trace.dir:
+        from repro.trace.export import export_files
+
+        export_files(
+            vm.trace, config.trace.dir,
+            f"{workload.name}-{scale}-{config.profile.name}-{config.label}",
+            result=result,
+            context={
+                "workload": workload.name, "scale": scale,
+                "config": config.label, "profile": config.profile.name,
+                "engine": config.engine, "native_cycles": baseline.cycles,
+            },
+        )
 
     hit_rates = {}
     for counter_key in result.stats.mechanism:

@@ -48,6 +48,9 @@ class FaultInjector:
         self.plan = plan
         self.stats = stats
         self._streams: dict[str, Random] = {}
+        #: optional observability sink (repro.trace.session.TraceSession);
+        #: the owning VM wires it after construction
+        self.trace = None
 
     def stream(self, site: str) -> Random:
         """The dedicated RNG stream for one fault site (lazily created)."""
@@ -61,6 +64,8 @@ class FaultInjector:
     def _fire(self, site: str) -> None:
         if self.stats is not None:
             self.stats.faults[site] += 1
+        if self.trace is not None:
+            self.trace.emit("fault", site=site)
 
     # -- event draws ---------------------------------------------------------
 

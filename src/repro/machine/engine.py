@@ -479,6 +479,7 @@ class Superblock:
         mem: Memory,
         syscalls: SyscallHandler,
         class_cycles: dict[InstrClass, int] | None = None,
+        trace=None,
     ):
         if not pairs:
             raise ValueError("cannot compile an empty block")
@@ -505,6 +506,9 @@ class Superblock:
         self.term_iclass = iclasses[-1]
         self.term_rd = term_instr.rd
         self.hits = 0
+        if trace is not None:
+            trace.emit("plan.build", entry=self.entry_pc, instrs=self.n,
+                       syscall=self.has_syscall)
 
     def coherent_with(self, entry_pc: int, pairs) -> bool:
         """Does this plan still describe the block it was compiled from?

@@ -70,6 +70,9 @@ class FragmentCache:
         #: when set, :meth:`reserve` consults the injector for forced
         #: flush storms (see repro.faults)
         self.fault_injector: "FaultInjector | None" = None
+        #: optional observability sink (repro.trace.session.TraceSession);
+        #: the owning VM wires it after construction
+        self.trace = None
 
     def __len__(self) -> int:
         return len(self._fragments)
@@ -126,6 +129,9 @@ class FragmentCache:
         into one :class:`FlushHookError` raised afterwards, so a broken
         hook can neither mask later hooks nor be silently swallowed.
         """
+        if self.trace is not None:
+            self.trace.emit("cache.flush", fragments=len(self._fragments),
+                            bytes=self._alloc)
         for fragment in self._fragments.values():
             fragment.valid = False
             fragment.links.clear()

@@ -9,6 +9,7 @@ from repro.host.profile import ArchProfile, SIMPLE
 from repro.machine.engine import ENGINES, default_engine
 from repro.sdt.cache import DEFAULT_CAPACITY
 from repro.sdt.translator import DEFAULT_MAX_FRAGMENT_INSTRS
+from repro.trace.spec import TraceSpec, default_trace_spec, parse_trace_spec
 
 GENERIC_MECHANISMS = ("reentry", "ibtc", "sieve")
 RETURN_SCHEMES = ("same", "fast", "shadow", "retcache")
@@ -23,8 +24,11 @@ RETURN_SCHEMES = ("same", "fast", "shadow", "retcache")
 #: never changes registers/memory/output — but it *does* change cycle
 #: counts, so the evaluation layer refuses to cache faulted measurements
 #: at all rather than key them here (see
-#: :meth:`repro.eval.cells.Cell.cacheable`).
-FINGERPRINT_EXEMPT = frozenset({"engine", "faults"})
+#: :meth:`repro.eval.cells.Cell.cacheable`).  ``trace`` is pure
+#: observation — it changes neither architectural results *nor* cycle
+#: counts (tests/test_trace_invariants.py pins the byte-identity), so a
+#: traced run may be served from, and stored into, every cache.
+FINGERPRINT_EXEMPT = frozenset({"engine", "faults", "trace"})
 
 
 @dataclass(frozen=True)
@@ -62,6 +66,13 @@ class SDTConfig:
             fingerprint-exempt like ``engine``; faulted measurements are
             additionally excluded from result caching entirely.  The
             default comes from the ``REPRO_FAULTS`` environment variable.
+        trace: optional structured-event tracing spec
+            (:class:`repro.trace.spec.TraceSpec`, a spec string, or
+            ``None`` = tracing off).  Tracing is pure observation — it
+            changes neither results nor cycle counts — so the field is
+            fingerprint-exempt like ``engine`` and absent from
+            :attr:`label`.  The default comes from the ``REPRO_TRACE``
+            environment variable.  See docs/observability.md.
     """
 
     profile: ArchProfile = field(default_factory=lambda: SIMPLE)
@@ -82,6 +93,7 @@ class SDTConfig:
     max_fragment_instrs: int = DEFAULT_MAX_FRAGMENT_INSTRS
     engine: str = field(default_factory=default_engine)
     faults: FaultPlan | None = field(default_factory=default_fault_plan)
+    trace: TraceSpec | None = field(default_factory=default_trace_spec)
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -95,6 +107,13 @@ class SDTConfig:
             raise ValueError(
                 f"faults must be a FaultPlan, spec string or None, "
                 f"got {self.faults!r}"
+            )
+        if isinstance(self.trace, str):
+            object.__setattr__(self, "trace", parse_trace_spec(self.trace))
+        if self.trace is not None and not isinstance(self.trace, TraceSpec):
+            raise ValueError(
+                f"trace must be a TraceSpec, spec string or None, "
+                f"got {self.trace!r}"
             )
         if self.fragment_cache_bytes <= 0:
             raise ValueError("fragment_cache_bytes must be positive")

@@ -141,12 +141,16 @@ class IBTC(IBMechanism):
 
                 table.frags[index] = tombstone(table.frags[index])
         cached = table.frags[index]
+        trace = vm.trace
         if (
             table.tags[index] == guest_target
             and cached is not None
             and cached.valid
         ):
             self._hit()
+            if trace is not None:
+                trace.emit("ibtc.hit", site=ib_pc, target=guest_target,
+                           probes=1)
             # the probe ends in a host indirect jump through the cached
             # fragment address
             vm.model.indirect_jump(jump_site, cached.fc_addr)
@@ -156,9 +160,15 @@ class IBTC(IBMechanism):
         # flush invalidation, or injected corruption): treated exactly
         # like a miss, so the refill below repairs the table
         self._miss()
+        if trace is not None:
+            trace.emit("ibtc.miss", site=ib_pc, target=guest_target,
+                       probes=1)
         target_fragment = vm.reenter_translator(guest_target)
         table.tags[index] = guest_target
         table.frags[index] = target_fragment
+        if trace is not None:
+            trace.emit("ibtc.insert", site=ib_pc, target=guest_target,
+                       index=index)
         return target_fragment
 
     def live_fragment_refs(self):

@@ -59,11 +59,16 @@ class InlinePrediction(IBMechanism):
             and prediction.fragment.valid
         )
         vm.model.cond_branch(fragment.exit_site, hit, category=Category.IBTC)
+        trace = vm.trace
         if hit:
             self._hit()
+            if trace is not None:
+                trace.emit("predict.hit", site=ib_pc, target=guest_target)
             return prediction.fragment
 
         self._miss()
+        if trace is not None:
+            trace.emit("predict.miss", site=ib_pc, target=guest_target)
         target_fragment = self.inner.dispatch(fragment, ib_pc, guest_target)
         if self.repatch or prediction is None:
             # patching translated code costs a (small) fragment write

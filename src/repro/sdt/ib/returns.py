@@ -94,12 +94,16 @@ class FastReturns(ReturnMechanism):
     ) -> Fragment:
         assert self.vm is not None
         vm = self.vm
+        trace = vm.trace
         guest_pc = self._guest_for_pad.get(target_value)
         if guest_pc is None:
             # the return register held a raw guest address (no paired call
             # was translated, e.g. a hand-rolled tail trampoline): fall
             # back to the generic mechanism, fully transparently.
             self._miss()
+            if trace is not None:
+                trace.emit("fastret.fallback", site=ib_pc,
+                           target=target_value)
             return self.fallback.dispatch(fragment, ib_pc, target_value)
 
         # a genuine fast return: host `ret`, predicted by the hardware RAS
@@ -107,10 +111,14 @@ class FastReturns(ReturnMechanism):
         target_fragment = self._pad_fragment.get(target_value)
         if target_fragment is not None and target_fragment.valid:
             self._hit()
+            if trace is not None:
+                trace.emit("fastret.hit", site=ib_pc, target=guest_pc)
             return target_fragment
         # cold pad: first return through it patches the pad to jump
         # straight to the translated continuation
         self._miss()
+        if trace is not None:
+            trace.emit("fastret.cold", site=ib_pc, target=guest_pc)
         target_fragment = vm.reenter_translator(guest_pc)
         self._pad_fragment[target_value] = target_fragment
         vm.model.charge(Category.LINK, vm.model.profile.link_patch)
@@ -154,11 +162,16 @@ class ShadowReturnStack(ReturnMechanism):
         assert self.vm is not None
         vm = self.vm
         vm.model.charge(Category.SHADOW_STACK, vm.model.profile.shadow_pop)
+        trace = vm.trace
         if self._stack and self._stack[-1] == target_value:
             self._stack.pop()
             target_fragment = vm.cache.lookup(target_value)
             if target_fragment is not None:
                 self._hit()
+                if trace is not None:
+                    trace.emit("shadow.hit", site=ib_pc,
+                               target=target_value,
+                               depth=len(self._stack) + 1)
                 # hit path ends in an indirect jump through the stored
                 # fragment address — BTB-predicted, unlike a host ret
                 vm.model.indirect_jump(
@@ -168,11 +181,15 @@ class ShadowReturnStack(ReturnMechanism):
             # matched, but the continuation was never translated (or was
             # flushed): translator fills it in
             vm.stats.mechanism[f"{self.name}.cold"] += 1
+            if trace is not None:
+                trace.emit("shadow.cold", site=ib_pc, target=target_value)
             return vm.reenter_translator(target_value)
         # mismatch (longjmp-style or stack overflow trim): generic path
         if self._stack:
             self._stack.pop()
         self._miss()
+        if trace is not None:
+            trace.emit("shadow.miss", site=ib_pc, target=target_value)
         return self.fallback.dispatch(fragment, ib_pc, target_value)
 
 
@@ -202,14 +219,21 @@ class ReturnCache(ReturnMechanism):
         landing = cached.fc_addr if cached is not None else 0
         vm.model.indirect_jump(fragment.exit_site, landing)
         vm.model.charge(Category.RETCACHE, profile.retcache_check)
+        trace = vm.trace
         if (
             cached is not None
             and cached.valid
             and cached.guest_pc == target_value
         ):
             self._hit()
+            if trace is not None:
+                trace.emit("retcache.hit", site=ib_pc, target=target_value,
+                           index=index)
             return cached
         self._miss()
+        if trace is not None:
+            trace.emit("retcache.miss", site=ib_pc, target=target_value,
+                       index=index)
         target_fragment = vm.reenter_translator(target_value)
         self._table[index] = target_fragment
         return target_fragment

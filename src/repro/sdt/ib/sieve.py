@@ -83,6 +83,7 @@ class Sieve(IBMechanism):
 
                 known, frag = chain[0]
                 chain[0] = (known, tombstone(frag))
+        trace = vm.trace
         for position, (known_target, target_fragment) in enumerate(chain):
             vm.model.charge(Category.SIEVE, profile.sieve_stage)
             self.stage_executions += 1
@@ -92,6 +93,10 @@ class Sieve(IBMechanism):
             if matched:
                 if target_fragment.valid:
                     self._hit()
+                    if trace is not None:
+                        trace.emit("sieve.walk", site=ib_pc,
+                                   target=guest_target, depth=position + 1,
+                                   hit=True)
                     return target_fragment
                 # stale stub (missed invalidation / injected corruption):
                 # unlink it and fall back to the translator, which links
@@ -101,6 +106,9 @@ class Sieve(IBMechanism):
 
         # chain exhausted: translator builds a new stub
         self._miss()
+        if trace is not None:
+            trace.emit("sieve.walk", site=ib_pc, target=guest_target,
+                       depth=len(chain), hit=False)
         target_fragment = vm.reenter_translator(guest_target)
         # re-fetch: the reentry may have flushed (and so emptied) the chain
         chain = self._chains[index]
@@ -109,6 +117,9 @@ class Sieve(IBMechanism):
             chain.insert(0, entry)
         else:
             chain.append(entry)
+        if trace is not None:
+            trace.emit("sieve.insert", bucket=index, target=guest_target,
+                       depth=len(chain))
         return target_fragment
 
     def on_flush(self) -> None:

@@ -58,6 +58,9 @@ class Translator:
         #: when set, translations consult the injector for mid-fragment
         #: failures and plan perturbations (see repro.faults)
         self.fault_injector: "FaultInjector | None" = None
+        #: optional observability sink (repro.trace.session.TraceSession);
+        #: the owning VM wires it after construction
+        self.trace = None
         self._text = program.text.data
         self._text_base = program.text.base
         self._decoded: dict[int, Instruction] = {}
@@ -106,6 +109,9 @@ class Translator:
 
     def translate(self, guest_pc: int, inject: bool = True) -> Fragment:
         """Translate one basic block starting at ``guest_pc``."""
+        trace = self.trace
+        if trace is not None:
+            trace.emit("translate.start", pc=guest_pc)
         instrs: list[tuple[int, Instruction]] = []
         pc = guest_pc
         exit_kind = ExitKind.FALL
@@ -149,6 +155,9 @@ class Translator:
                 profile.translate_fragment
                 + profile.translate_per_instr * len(instrs),
             )
+            if trace is not None:
+                trace.emit("translate.abort", pc=guest_pc,
+                           instrs=len(instrs))
             raise InjectedTranslationFault(
                 f"injected translation failure at {guest_pc:#x} "
                 f"after {len(instrs)} instrs"
@@ -181,4 +190,8 @@ class Translator:
         stats = self.cache.stats
         stats.fragments_translated += 1
         stats.instrs_translated += len(instrs)
+        if trace is not None:
+            trace.emit("translate.end", pc=guest_pc, instrs=len(instrs),
+                       fc_addr=fragment.fc_addr,
+                       exit=fragment.exit_kind.name.lower())
         return fragment

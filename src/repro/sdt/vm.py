@@ -72,9 +72,18 @@ class SDTVM:
         self.program = program
         self.model = HostModel(self.config.profile)
         self.stats = SDTStats()
+        # observability (repro.trace): one session per VM, or None when
+        # tracing is off — every emit site guards on that None, so the
+        # disabled cost is a single attribute test on already-cold paths.
+        self.trace = None
+        if self.config.trace is not None:
+            from repro.trace.session import TraceSession
+
+            self.trace = TraceSession(self.model, self.config.trace)
         self.cache = FragmentCache(
             capacity=self.config.fragment_cache_bytes, stats=self.stats
         )
+        self.cache.trace = self.trace
         self.cpu, self.mem, self.syscalls = load_program(program, inputs)
         self._threaded = self.config.engine == "threaded"
         self.translator = Translator(
@@ -85,6 +94,7 @@ class SDTVM:
             trace_jumps=self.config.trace_jumps,
             plan_factory=self._compile_plan if self._threaded else None,
         )
+        self.translator.trace = self.trace
         self.generic_ib, self.return_mech = build_mechanisms(self.config)
         self.generic_ib.bind(self)
         self.return_mech.bind(self)
@@ -98,6 +108,7 @@ class SDTVM:
             from repro.faults.invariants import InvariantChecker
 
             self.fault_injector = FaultInjector(self.config.faults, self.stats)
+            self.fault_injector.trace = self.trace
             self.cache.fault_injector = self.fault_injector
             self.translator.fault_injector = self.fault_injector
             self.invariant_checker = InvariantChecker(self)
@@ -112,6 +123,7 @@ class SDTVM:
         return Superblock(
             instrs, self.cpu, self.mem, self.syscalls,
             class_cycles=self.config.profile.class_cycles,
+            trace=self.trace,
         )
 
     # -- translator interactions --------------------------------------------
@@ -125,6 +137,9 @@ class SDTVM:
         """
         model = self.model
         profile = model.profile
+        trace = self.trace
+        if trace is not None:
+            trace.emit("reentry.enter", target=guest_target)
         self.stats.translator_reentries += 1
         model.charge(Category.CONTEXT_SWITCH, 2 * profile.context_half_switch)
         model.charge(Category.MAP_LOOKUP, profile.map_lookup)
@@ -138,6 +153,9 @@ class SDTVM:
             fragment.fc_addr,
             category=Category.CONTEXT_SWITCH,
         )
+        if trace is not None:
+            trace.emit("reentry.exit", target=guest_target,
+                       fc_addr=fragment.fc_addr)
         return fragment
 
     def _direct_successor(
@@ -152,6 +170,9 @@ class SDTVM:
             fragment.links[key] = successor
             self.model.charge(Category.LINK, self.model.profile.link_patch)
             self.stats.links_patched += 1
+            if self.trace is not None:
+                self.trace.emit("fragment.link", from_pc=fragment.guest_pc,
+                                key=key, to_pc=guest_target)
         return successor
 
     # -- execution -----------------------------------------------------------
@@ -192,6 +213,8 @@ class SDTVM:
         fragment.demoted = True
         self.stats.fragments_demoted += 1
         self.stats.faults["demotion"] += 1
+        if self.trace is not None:
+            self.trace.emit("plan.demote", pc=fragment.guest_pc)
 
     def _run_oracle(self, fragment: Fragment) -> Fragment | None:
         """Reference per-instruction fragment body (the semantics oracle)."""
@@ -317,24 +340,53 @@ class SDTVM:
         if exit_kind is ExitKind.CALL:
             self.return_mech.on_call(self.cpu, REG_RA, last_pc + 4)
             return self._direct_successor(fragment, "J", next_pc)
+        trace = self.trace
         if exit_kind is ExitKind.ICALL:
             self.stats.ib_dispatches["icall"] += 1
             self.return_mech.on_call(self.cpu, term_rd, last_pc + 4)
-            return self.generic_ib.dispatch(fragment, last_pc, next_pc)
+            if trace is None:
+                return self.generic_ib.dispatch(fragment, last_pc, next_pc)
+            trace.emit("dispatch.start", ib="icall", site=last_pc,
+                       target=next_pc)
+            successor = self.generic_ib.dispatch(fragment, last_pc, next_pc)
+            trace.emit("dispatch.end", ib="icall", site=last_pc)
+            return successor
         if exit_kind is ExitKind.IJUMP:
             self.stats.ib_dispatches["ijump"] += 1
-            return self.generic_ib.dispatch(fragment, last_pc, next_pc)
+            if trace is None:
+                return self.generic_ib.dispatch(fragment, last_pc, next_pc)
+            trace.emit("dispatch.start", ib="ijump", site=last_pc,
+                       target=next_pc)
+            successor = self.generic_ib.dispatch(fragment, last_pc, next_pc)
+            trace.emit("dispatch.end", ib="ijump", site=last_pc)
+            return successor
         if exit_kind is ExitKind.RET:
             self.stats.ib_dispatches["ret"] += 1
-            return self.return_mech.dispatch_ret(fragment, last_pc, next_pc)
+            if trace is None:
+                return self.return_mech.dispatch_ret(
+                    fragment, last_pc, next_pc
+                )
+            trace.emit("dispatch.start", ib="ret", site=last_pc,
+                       target=next_pc)
+            successor = self.return_mech.dispatch_ret(
+                fragment, last_pc, next_pc
+            )
+            trace.emit("dispatch.end", ib="ret", site=last_pc)
+            return successor
         raise AssertionError(f"unhandled exit kind {exit_kind}")
 
     def run(self, fuel: int = DEFAULT_FUEL) -> SDTRunResult:
         """Run to completion (or until exactly ``fuel`` retired instrs)."""
         self._fuel = fuel
-        fragment: Fragment | None = self.reenter_translator(self.cpu.pc)
-        while fragment is not None:
-            fragment = self.execute_fragment(fragment)
+        try:
+            fragment: Fragment | None = self.reenter_translator(self.cpu.pc)
+            while fragment is not None:
+                fragment = self.execute_fragment(fragment)
+        finally:
+            # close the attribution ledger even on faulted runs so partial
+            # traces still sum exactly to the cycles actually spent
+            if self.trace is not None:
+                self.trace.finish()
         return SDTRunResult(
             output=self.syscalls.output,
             exit_code=self.syscalls.exit_code or 0,

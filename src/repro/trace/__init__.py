@@ -1,0 +1,59 @@
+"""``repro.trace`` — the SDT observability layer.
+
+Structured, zero-overhead-when-disabled event tracing threaded through
+the whole pipeline (translator, VM dispatch loop, IB mechanisms, fragment
+cache, superblock compiler, fault injector), a deterministic metrics
+registry (counters + power-of-two histograms), exact per-phase cycle
+attribution, and Chrome ``trace_event`` / metrics JSON exporters.
+
+See docs/observability.md for the event taxonomy and schemas.
+
+This package initialiser deliberately exports only the cheap pieces
+(:mod:`repro.trace.spec`, :mod:`repro.trace.session`,
+:mod:`repro.trace.export`): :class:`repro.sdt.config.SDTConfig` imports
+:func:`default_trace_spec` at module load, so anything importing the
+evaluation layer here would be an import cycle.  The run helper lives in
+:mod:`repro.trace.runtrace` and is imported lazily by the CLI.
+"""
+
+from repro.trace.export import (
+    chrome_trace_json,
+    export_files,
+    metrics_dict,
+    metrics_json,
+    summary,
+)
+from repro.trace.session import (
+    HISTOGRAM_FIELDS,
+    Histogram,
+    MetricsRegistry,
+    POP_KINDS,
+    PUSH_PHASES,
+    TraceSession,
+)
+from repro.trace.spec import (
+    DEFAULT_RING,
+    ENV_VAR,
+    TraceSpec,
+    default_trace_spec,
+    parse_trace_spec,
+)
+
+__all__ = [
+    "DEFAULT_RING",
+    "ENV_VAR",
+    "HISTOGRAM_FIELDS",
+    "Histogram",
+    "MetricsRegistry",
+    "POP_KINDS",
+    "PUSH_PHASES",
+    "TraceSession",
+    "TraceSpec",
+    "chrome_trace_json",
+    "default_trace_spec",
+    "export_files",
+    "metrics_dict",
+    "metrics_json",
+    "parse_trace_spec",
+    "summary",
+]

@@ -1,0 +1,105 @@
+"""Trace configuration.
+
+A :class:`TraceSpec` declares that structured event tracing is on and how
+it is parameterised (ring-buffer capacity, optional metrics sink
+directory).  It rides on :class:`repro.sdt.config.SDTConfig` as the
+``trace`` field and, like ``engine``, is *fingerprint-exempt*: tracing is
+pure observation — it may never change architectural results **or** cycle
+counts — so a spec must not split any cache key (the byte-identity is
+pinned by tests/test_trace_invariants.py).
+
+The ``REPRO_TRACE`` environment variable supplies the default spec:
+
+- ``off`` / ``none`` / ``0`` / empty — tracing disabled (``None``),
+- ``on`` / ``1`` — tracing with defaults,
+- ``k=v,k=v,...`` — explicit fields (``ring=65536,dir=results/trace``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Environment variable holding the default trace spec.
+ENV_VAR = "REPRO_TRACE"
+
+#: Default ring-buffer capacity (events kept; older events are dropped
+#: but still counted and still feed metrics/attribution).
+DEFAULT_RING = 65536
+
+_OFF = ("", "off", "none", "0")
+_ON = ("on", "1", "true")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """How a :class:`repro.trace.session.TraceSession` is parameterised.
+
+    Attributes:
+        ring: ring-buffer capacity in events.  Metrics, counters and
+            per-phase cycle attribution aggregate over *every* emitted
+            event regardless of this bound; only the raw event log is
+            ring-limited.
+        dir: optional metrics sink.  When set, every traced measurement
+            the evaluation runner executes writes its metrics JSON into
+            this directory (see :func:`repro.eval.runner.measure`).
+    """
+
+    ring: int = DEFAULT_RING
+    dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.ring < 1:
+            raise ValueError(f"ring must be >= 1, got {self.ring!r}")
+
+    def describe(self) -> str:
+        """Canonical spec string (parses back to an equal spec)."""
+        parts = []
+        if self.ring != DEFAULT_RING:
+            parts.append(f"ring={self.ring}")
+        if self.dir:
+            parts.append(f"dir={self.dir}")
+        return ",".join(parts) if parts else "on"
+
+
+def parse_trace_spec(spec: str | TraceSpec | None) -> TraceSpec | None:
+    """Parse a ``REPRO_TRACE``-style spec into a :class:`TraceSpec`.
+
+    Accepts an existing spec (pass-through), ``None``/off-words, on-words,
+    or a comma-separated ``k=v`` list over ``ring``/``dir``.
+    """
+    if spec is None or isinstance(spec, TraceSpec):
+        return spec
+    text = spec.strip()
+    if text.lower() in _OFF:
+        return None
+    if text.lower() in _ON:
+        return TraceSpec()
+
+    values: dict[str, object] = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep or key not in ("ring", "dir"):
+            raise ValueError(
+                f"bad trace spec {spec!r}: expected 'on', 'off', or k=v "
+                f"pairs over ring/dir"
+            )
+        if key == "ring":
+            try:
+                values["ring"] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"bad value {value!r} for 'ring' in trace spec {spec!r}"
+                ) from None
+        else:
+            values["dir"] = value.strip()
+    return TraceSpec(**values)
+
+
+def default_trace_spec() -> TraceSpec | None:
+    """Spec selected by ``REPRO_TRACE`` (default: tracing off)."""
+    return parse_trace_spec(os.environ.get(ENV_VAR))

@@ -7,6 +7,7 @@ import pytest
 from repro.faults import FaultPlan
 from repro.host.profile import SIMPLE, SPARC_US3, X86_K8, X86_P4
 from repro.sdt.config import FINGERPRINT_EXEMPT, SDTConfig
+from repro.trace.spec import TraceSpec
 
 #: A valid alternate value per field, used to prove each field reaches the
 #: fingerprint.  A new SDTConfig field must be added here (the coverage
@@ -34,6 +35,7 @@ FIELD_ALTERNATES = {
     "max_fragment_instrs": 7,
     "engine": "oracle",
     "faults": FaultPlan(seed=31337, flush_storm=0.5),
+    "trace": TraceSpec(ring=4096),
 }
 
 
