@@ -1,0 +1,39 @@
+"""E14: devirtualization + preseeding delta (static_targets on/off).
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one representative un-cached
+simulation with the full static pipeline active (analysis + preseeding +
+guarded direct branches), so pytest-benchmark tracks its cost too.
+
+Run: ``pytest benchmarks/test_e14_static_targets.py --benchmark-only -s``
+"""
+
+from conftest import run_experiment_table, run_once
+from repro.host.profile import X86_P4
+from repro.sdt.config import SDTConfig
+from repro.sdt.vm import SDTVM
+from repro.workloads import get_workload
+
+
+def test_e14_static_targets(benchmark):
+    headers, rows = run_experiment_table("e14")
+    assert rows, "experiment produced no rows"
+    # soundness: the dispatch-weighted precision column must be total on
+    # every workload row (an escaped dispatch would drag it below 1.0)
+    precision = headers.index("precision")
+    assert all(row[precision] == 1.0 for row in rows[:-1])
+    # the switch/vtable-heavy workloads must show an IB-cycle saving
+    # under the tuned IBTC once the static pipeline is on
+    ib_delta = headers.index("Δib(ibtc)")
+    by_name = {row[0]: row for row in rows}
+    for name in ("gcc_like", "perl_like", "vpr_like", "crafty_like"):
+        assert by_name[name][ib_delta] > 0, name
+
+    def representative():
+        workload = get_workload("perl_like", "small")
+        config = SDTConfig(profile=X86_P4, ib="ibtc",
+                           static_targets=True)
+        return SDTVM(workload.compile(), config=config).run()
+
+    result = run_once(benchmark, representative)
+    assert result.exit_code == 0

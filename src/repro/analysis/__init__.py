@@ -10,6 +10,14 @@ The subsystem has three layers, each usable on its own:
 - :mod:`repro.analysis.lint` — a pluggable lint engine emitting
   structured :class:`~repro.analysis.lint.Diagnostic` records.
 
+- :mod:`repro.analysis.dataflow` — fixed-point abstract interpretation
+  over the CFG (constant sets / strided ranges per register, plus a
+  bounded word-granular store model);
+- :mod:`repro.analysis.targets` — per-site target-set verdicts
+  (``exact`` / ``bounded`` / ``unknown``), each carrying a
+  machine-checkable soundness certificate, consumed by the SDT's
+  ``static_targets`` devirtualization/preseeding pipeline.
+
 The static bounds are cross-validated against dynamic fan-out profiles by
 :mod:`repro.eval.static_dynamic`.
 """
@@ -22,6 +30,14 @@ from repro.analysis.classify import (
     StaticAnalysis,
     analyze_program,
 )
+from repro.analysis.dataflow import (
+    BOT,
+    TOP,
+    ConstSet,
+    DataflowResult,
+    Strided,
+    analyze_dataflow,
+)
 from repro.analysis.lint import (
     LINT_CHECKS,
     Diagnostic,
@@ -33,6 +49,16 @@ from repro.analysis.report import (
     analysis_summary,
     analysis_to_json,
     format_analysis,
+    format_targets,
+    targets_to_json,
+)
+from repro.analysis.targets import (
+    Certificate,
+    TargetSetReport,
+    TargetVerdict,
+    analyze_targets,
+    build_report,
+    verify_report,
 )
 
 __all__ = [
@@ -44,6 +70,18 @@ __all__ = [
     "JumpTable",
     "StaticAnalysis",
     "analyze_program",
+    "BOT",
+    "TOP",
+    "ConstSet",
+    "DataflowResult",
+    "Strided",
+    "analyze_dataflow",
+    "Certificate",
+    "TargetSetReport",
+    "TargetVerdict",
+    "analyze_targets",
+    "build_report",
+    "verify_report",
     "LINT_CHECKS",
     "Diagnostic",
     "LintReport",
@@ -52,4 +90,6 @@ __all__ = [
     "analysis_summary",
     "analysis_to_json",
     "format_analysis",
+    "format_targets",
+    "targets_to_json",
 ]

@@ -29,7 +29,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.cfg import (
+    CFG,
+    TERM_BRANCH,
+    TERM_FALL,
+    build_cfg,
+)
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import InstrClass, Op
 from repro.isa.program import Program
@@ -145,11 +150,72 @@ def constant_states(
 # -- jump-table recovery ----------------------------------------------------
 
 
+def _block_entries(cfg: CFG) -> dict[int, set[int]]:
+    """Block start -> set of predecessor block starts (direct edges)."""
+    entries: dict[int, set[int]] = {}
+    for block in cfg.blocks.values():
+        for succ in block.successors:
+            start = cfg.block_start_of.get(succ)
+            if start is not None:
+                entries.setdefault(start, set()).add(block.start)
+        if block.call_target is not None:
+            start = cfg.block_start_of.get(block.call_target)
+            if start is not None:
+                entries.setdefault(start, set()).add(block.start)
+    return entries
+
+
+def _scan_floor(
+    cfg: CFG,
+    linear: list[tuple[int, Instruction]],
+    positions: dict[int, int],
+    pc: int,
+) -> int:
+    """Lowest linear index a backward scan from ``pc`` may reach.
+
+    A use-def chain is only valid along instructions that dominate the
+    use, so the scan must stop at the start of the containing basic
+    block — *except* that it may keep walking into the linearly
+    preceding block when the current block's sole entry is falling
+    through from it (the MiniC jump-table idiom splits its bounds check
+    and table load across exactly such a fallthrough-only boundary).
+    """
+    entries = _block_entries(cfg)
+    indirect_entries = set(cfg.const_code_refs)
+    indirect_entries.update(cfg.data_code_words.values())
+    indirect_entries.add(cfg.program.entry)
+    start = cfg.block_start_of.get(pc)
+    floor = positions.get(start, 0) if start is not None else 0
+    while start is not None and start in positions:
+        floor = positions[start]
+        if floor == 0 or start in indirect_entries:
+            break
+        prev_start = cfg.block_start_of.get(linear[floor - 1][0])
+        if prev_start is None:
+            break
+        prev = cfg.blocks[prev_start]
+        if prev.terminator not in (TERM_FALL, TERM_BRANCH):
+            break  # entry crosses a call or is not a plain fallthrough
+        if entries.get(start, set()) != {prev_start}:
+            break  # some other edge (branch target) also enters here
+        start = prev_start
+    return floor
+
+
 def _find_def(
-    instrs: list[tuple[int, Instruction]], index: int, reg: int
+    instrs: list[tuple[int, Instruction]],
+    index: int,
+    reg: int,
+    floor: int = 0,
 ) -> int | None:
-    """Index of the nearest preceding instruction writing ``reg``."""
-    stop = max(0, index - _SCAN_WINDOW)
+    """Index of the nearest preceding instruction writing ``reg``.
+
+    The scan is bounded by the flat window *and* by ``floor`` — the
+    first instruction the containing block region is guaranteed to
+    execute (see :func:`_scan_floor`), so a definition found here
+    dominates the use at ``index``.
+    """
+    stop = max(floor, index - _SCAN_WINDOW)
     for i in range(index - 1, stop - 1, -1):
         if instrs[i][1].writes_reg == reg:
             return i
@@ -157,19 +223,22 @@ def _find_def(
 
 
 def _const_at(
-    instrs: list[tuple[int, Instruction]], index: int, reg: int
+    instrs: list[tuple[int, Instruction]],
+    index: int,
+    reg: int,
+    floor: int = 0,
 ) -> int | None:
     """Constant value of ``reg`` at ``index``, via the la/lui/ori idiom."""
     if reg == REG_ZERO:
         return 0
-    d = _find_def(instrs, index, reg)
+    d = _find_def(instrs, index, reg, floor)
     if d is None:
         return None
     instr = instrs[d][1]
     if instr.op is Op.LUI:
         return (instr.imm & 0xFFFF) << 16
     if instr.op is Op.ORI and instr.rs == reg:
-        hi_idx = _find_def(instrs, d, reg)
+        hi_idx = _find_def(instrs, d, reg, floor)
         if hi_idx is not None and instrs[hi_idx][1].op is Op.LUI:
             hi = (instrs[hi_idx][1].imm & 0xFFFF) << 16
             return (hi | (instr.imm & 0xFFFF)) & 0xFFFFFFFF
@@ -182,6 +251,15 @@ def _read_word(program: Program, addr: int) -> int | None:
             offset = addr - section.base
             return int.from_bytes(section.data[offset : offset + 4], "little")
     return None
+
+
+def _table_in_image(program: Program, base: int, span: int) -> bool:
+    """True if all ``span`` table words fit inside one loaded section."""
+    end = base + 4 * span
+    return any(
+        section.base <= base and end <= section.end
+        for section in (program.data, program.text)
+    )
 
 
 def recover_jump_table(cfg: CFG, jr_pc: int) -> JumpTable | None:
@@ -198,8 +276,11 @@ def recover_jump_table(cfg: CFG, jr_pc: int) -> JumpTable | None:
         lw    x, OFF(a)
         jr    x
 
-    Returns ``None`` when any link of the chain is missing — the caller
-    falls back to the trivial (still sound) bound.
+    Returns ``None`` when any link of the chain is missing, when the
+    table would run past the end of its containing section, or when any
+    table word is not a valid text address — the caller falls back to
+    the trivial (still sound) bound rather than using a silently
+    truncated target set.
     """
     linear = cfg.linear()
     positions = {pc: i for i, (pc, _) in enumerate(linear)}
@@ -207,9 +288,13 @@ def recover_jump_table(cfg: CFG, jr_pc: int) -> JumpTable | None:
         return None
     jr_idx = positions[jr_pc]
     jr = linear[jr_idx][1]
+    # use-def scans must not cross into blocks that do not dominate the
+    # jr (they may stretch one block back across a fallthrough-only
+    # boundary: the idiom's bounds check lives there)
+    floor = _scan_floor(cfg, linear, positions, jr_pc)
 
     # 1. the value being jumped through must come from a table load
-    load_idx = _find_def(linear, jr_idx, jr.rs)
+    load_idx = _find_def(linear, jr_idx, jr.rs, floor)
     if load_idx is None:
         return None
     load = linear[load_idx][1]
@@ -217,7 +302,7 @@ def recover_jump_table(cfg: CFG, jr_pc: int) -> JumpTable | None:
         return None
 
     # 2. the load address is index*4 + table base
-    add_idx = _find_def(linear, load_idx, load.rs)
+    add_idx = _find_def(linear, load_idx, load.rs, floor)
     if add_idx is None:
         return None
     add = linear[add_idx][1]
@@ -228,12 +313,12 @@ def recover_jump_table(cfg: CFG, jr_pc: int) -> JumpTable | None:
     index_reg = None
     sll_idx = None
     for scaled, other in ((add.rs, add.rt), (add.rt, add.rs)):
-        cand = _find_def(linear, add_idx, scaled)
+        cand = _find_def(linear, add_idx, scaled, floor)
         if cand is None:
             continue
         cand_instr = linear[cand][1]
         if cand_instr.op is Op.SLL and cand_instr.shamt == 2:
-            const = _const_at(linear, add_idx, other)
+            const = _const_at(linear, add_idx, other, floor)
             if const is not None:
                 sll_idx = cand
                 index_reg = cand_instr.rt
@@ -244,7 +329,7 @@ def recover_jump_table(cfg: CFG, jr_pc: int) -> JumpTable | None:
 
     # 3. the unscaled index must be bounds-checked by sltiu + beqz
     span = None
-    stop = max(0, sll_idx - _SCAN_WINDOW)
+    stop = max(floor, sll_idx - _SCAN_WINDOW)
     for i in range(sll_idx - 1, stop - 1, -1):
         pc_i, instr_i = linear[i]
         if instr_i.op is Op.SLTIU and instr_i.rs == index_reg:
@@ -260,6 +345,8 @@ def recover_jump_table(cfg: CFG, jr_pc: int) -> JumpTable | None:
         return None
 
     base = (base + load.imm) & 0xFFFFFFFF
+    if not _table_in_image(cfg.program, base, span):
+        return None  # table runs past the end of the loaded image
     targets: set[int] = set()
     word_addrs: set[int] = set()
     for entry in range(span):
@@ -268,8 +355,11 @@ def recover_jump_table(cfg: CFG, jr_pc: int) -> JumpTable | None:
         if value is None:
             return None
         word_addrs.add(addr)
-        if cfg.in_text(value):
-            targets.add(value)
+        if not cfg.in_text(value):
+            # a non-code word means this is not (all of) a jump table;
+            # recovering a partial target set would be unsound
+            return None
+        targets.add(value)
     return JumpTable(
         jr_pc=jr_pc,
         base=base,

@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 
 from repro.analysis.classify import StaticAnalysis
+from repro.analysis.targets import TargetSetReport, VERDICT_UNKNOWN
 
 
 def analysis_summary(analysis: StaticAnalysis) -> dict[str, object]:
@@ -56,7 +57,47 @@ def analysis_to_json(analysis: StaticAnalysis) -> str:
             "sites": sites,
         },
         indent=2,
+        sort_keys=True,
     )
+
+
+def targets_to_json(report: TargetSetReport) -> str:
+    """Deterministic (sorted-key) JSON for a target-set report."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def format_targets(report: TargetSetReport, limit: int = 20) -> str:
+    """Render the ``analyze --targets`` text report."""
+    counts = report.verdict_counts()
+    devirt = report.devirt_candidates()
+    preseed = report.preseed_map()
+    lines = [
+        "verdicts   : " + (
+            ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            or "none"
+        ),
+        f"devirt     : {len(devirt)} singleton site(s)",
+        f"preseed    : {len(preseed)} site(s), "
+        f"{sum(len(h) for h in preseed.values())} hint(s)",
+        f"dataflow   : {report.dataflow.rounds} store round(s), "
+        f"{report.dataflow.iterations} block iterations"
+        + (" (store untracked)" if report.dataflow.store.untracked else ""),
+    ]
+    shown = sorted(
+        report.verdicts.values(),
+        key=lambda v: (v.verdict != VERDICT_UNKNOWN, len(v.targets), v.pc),
+        reverse=True,
+    )
+    for v in shown[:limit]:
+        escape = " may-escape" if v.may_escape else ""
+        mark = " [devirt]" if v.pc in devirt else ""
+        lines.append(
+            f"  {v.role:13s} @ {v.pc:#010x}: {v.verdict}"
+            f"({len(v.targets)}){escape} via {v.certificate.rule}{mark}"
+        )
+    if len(shown) > limit:
+        lines.append(f"  ... {len(shown) - limit} more site(s)")
+    return "\n".join(lines)
 
 
 def format_analysis(analysis: StaticAnalysis, limit: int = 20) -> str:

@@ -1,0 +1,453 @@
+"""Per-site indirect-branch target-set verdicts with soundness certificates.
+
+This module combines the classifier's structural bounds
+(:mod:`repro.analysis.classify`: jump tables, return sites, the
+address-taken set) with the value-set dataflow fixed point
+(:mod:`repro.analysis.dataflow`) into one :class:`TargetSetReport` that
+gives every IB site a verdict:
+
+``exact(targets)``
+    the dynamic target is *always* a member of ``targets`` and the
+    derivation is closed — proven register constants, or a recovered
+    bounds-checked jump table (under assumption A2 below).
+``bounded(targets, may_escape)``
+    the dynamic target is a member of ``targets``, but the bound leans on
+    the whole-program assumption A1; ``may_escape`` is True when the set
+    is the global address-taken fallback rather than a site-local
+    derivation.
+``unknown``
+    no non-trivial bound was recovered (still sound: the set is "all of
+    text").
+
+**Assumptions** (named in every certificate that uses them):
+
+- ``A1`` *no fabricated code pointers*: an indirect transfer only lands
+  on a recognized code address — the address-taken set, recovered table
+  targets, or a return site.  This matches how the toolchain (and every
+  workload generator in this repo) produces code pointers, and the
+  cross-validator in :mod:`repro.eval.static_dynamic` checks it on every
+  run.
+- ``A2`` *jump-table words are immutable*: no store rewrites a recovered
+  table's words at runtime.  Tracked stores that provably hit a table
+  word *demote the site to unknown*; the assumption only covers stores
+  the dataflow could not track.
+
+Every verdict carries a :class:`Certificate` naming the rule, the
+assumptions, and the evidence; :func:`verify_report` re-derives each rule
+from the program image and fails on any mismatch — the machine check the
+CI soundness gate runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.analysis.classify import (
+    StaticAnalysis,
+    analyze_program,
+)
+from repro.analysis.dataflow import (
+    DataflowResult,
+    analyze_dataflow,
+    concrete,
+)
+from repro.isa.program import Program
+
+#: Maximum preseed hints exported per site (IBTC/sieve warm-up budget).
+MAX_PRESEED = 8
+
+#: Verdict names, in decreasing precision order.
+VERDICT_EXACT = "exact"
+VERDICT_BOUNDED = "bounded"
+VERDICT_UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True, slots=True)
+class Certificate:
+    """Machine-checkable evidence for one site verdict."""
+
+    rule: str                      # derivation rule (see _RULES)
+    assumptions: tuple[str, ...]   # subset of {"A1", "A2"}
+    #: rule-specific evidence, JSON-ready (ints/strs/sorted lists only)
+    evidence: dict = field(default_factory=dict)
+
+
+#: Certificate rules and what verify_report re-checks for each.
+_RULES = frozenset({
+    "dataflow-consts",   # register value-set concretised to code addresses
+    "jump-table",        # recovered bounds-checked table (A2)
+    "return-sites",      # call-graph return sites (A1 when address-taken)
+    "address-taken",     # global address-taken fallback (A1)
+    "trivial-top",       # no bound: verdict unknown
+})
+
+
+@dataclass(frozen=True, slots=True)
+class TargetVerdict:
+    """Final verdict for one IB site."""
+
+    pc: int
+    kind: str            # "ijump" | "icall" | "ret"
+    role: str            # classifier role
+    verdict: str         # exact | bounded | unknown
+    targets: frozenset[int]
+    may_escape: bool
+    certificate: Certificate
+    #: preseed order: most useful targets first, capped at MAX_PRESEED
+    hints: tuple[int, ...] = ()
+
+    @property
+    def singleton(self) -> int | None:
+        """The sole target, when this site can be devirtualized."""
+        if len(self.targets) == 1 and self.verdict != VERDICT_UNKNOWN:
+            if not self.may_escape:
+                return next(iter(self.targets))
+        return None
+
+
+@dataclass(slots=True)
+class TargetSetReport:
+    """Whole-program target-set analysis result."""
+
+    program: Program
+    analysis: StaticAnalysis
+    dataflow: DataflowResult
+    verdicts: dict[int, TargetVerdict]
+
+    def verdict_counts(self) -> dict[str, int]:
+        counts = {VERDICT_EXACT: 0, VERDICT_BOUNDED: 0, VERDICT_UNKNOWN: 0}
+        for v in self.verdicts.values():
+            counts[v.verdict] += 1
+        return counts
+
+    def devirt_candidates(self) -> dict[int, int]:
+        """Site pc -> the single proven target (devirtualizable sites)."""
+        out: dict[int, int] = {}
+        for pc, v in sorted(self.verdicts.items()):
+            single = v.singleton
+            if single is not None:
+                out[pc] = single
+        return out
+
+    def preseed_map(self) -> dict[int, tuple[int, ...]]:
+        """Site pc -> preseed hints (sites worth warming, 1..MAX_PRESEED)."""
+        out: dict[int, tuple[int, ...]] = {}
+        for pc, v in sorted(self.verdicts.items()):
+            if v.verdict == VERDICT_UNKNOWN or not v.hints:
+                continue
+            if len(v.hints) <= MAX_PRESEED:
+                out[pc] = v.hints
+        return out
+
+    def static_bound(self, pc: int) -> frozenset[int] | None:
+        """The sound target bound for a site, or ``None`` when unknown."""
+        v = self.verdicts.get(pc)
+        if v is None or v.verdict == VERDICT_UNKNOWN:
+            return None
+        return v.targets
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-ready form (sorted keys throughout)."""
+        sites = {}
+        for pc in sorted(self.verdicts):
+            v = self.verdicts[pc]
+            sites[f"{pc:#x}"] = {
+                "assumptions": list(v.certificate.assumptions),
+                "evidence": {
+                    k: v.certificate.evidence[k]
+                    for k in sorted(v.certificate.evidence)
+                },
+                "hints": [f"{t:#x}" for t in v.hints],
+                "kind": v.kind,
+                "may_escape": v.may_escape,
+                "role": v.role,
+                "rule": v.certificate.rule,
+                "targets": sorted(f"{t:#x}" for t in v.targets),
+                "verdict": v.verdict,
+            }
+        counts = self.verdict_counts()
+        return {
+            "counts": {k: counts[k] for k in sorted(counts)},
+            "devirt_candidates": len(self.devirt_candidates()),
+            "preseed_sites": len(self.preseed_map()),
+            "rounds": self.dataflow.rounds,
+            "sites": sites,
+            "store_untracked": self.dataflow.store.untracked,
+        }
+
+
+def _resolved_values(
+    dataflow: DataflowResult, analysis: StaticAnalysis, pc: int
+) -> frozenset[int] | None:
+    """Concrete text-address value set the dataflow proved for a site."""
+    if not dataflow.reached(pc):
+        return None
+    values = concrete(dataflow.site_values[pc])
+    if values is None:
+        return None
+    cfg = analysis.cfg
+    if not all(cfg.in_text(v) for v in values):
+        return None  # a non-code value in the set: not a proven target set
+    return values
+
+
+def _table_demoted(
+    analysis: StaticAnalysis, dataflow: DataflowResult, site
+) -> bool:
+    """A2 demotion: a tracked store provably hits a table word."""
+    table = site.table
+    if table is None:
+        return False
+    return dataflow.store.stores_to(table.word_addrs)
+
+
+def _hints_for(targets: frozenset[int]) -> tuple[int, ...]:
+    return tuple(sorted(targets)[:MAX_PRESEED])
+
+
+def build_report(
+    program: Program,
+    analysis: StaticAnalysis | None = None,
+    dataflow: DataflowResult | None = None,
+) -> TargetSetReport:
+    """Run classification + dataflow and assign per-site verdicts."""
+    if analysis is None:
+        analysis = analyze_program(program)
+    if dataflow is None:
+        extra = {t for s in analysis.sites.values() for t in s.targets}
+        dataflow = analyze_dataflow(analysis.cfg, extra)
+
+    verdicts: dict[int, TargetVerdict] = {}
+    for pc, site in sorted(analysis.sites.items()):
+        resolved = _resolved_values(dataflow, analysis, pc)
+
+        if site.role == "return":
+            targets = site.targets
+            assumptions = ("A1",) if site.function is not None else ()
+            func = analysis.function_of(pc)
+            escapes = (
+                func is not None and func.entry in analysis.address_taken
+            )
+            verdicts[pc] = TargetVerdict(
+                pc=pc, kind=site.kind, role=site.role,
+                verdict=VERDICT_BOUNDED if targets else VERDICT_UNKNOWN,
+                targets=targets,
+                may_escape=escapes,
+                certificate=Certificate(
+                    rule="return-sites" if targets else "trivial-top",
+                    assumptions=("A1",) if escapes else (),
+                    evidence={
+                        "function": func.name if func else None,
+                        "return_sites": sorted(f"{t:#x}" for t in targets),
+                    },
+                ),
+                hints=_hints_for(targets),
+            )
+            continue
+
+        if site.role == "jump-table" and site.table is not None:
+            if _table_demoted(analysis, dataflow, site):
+                verdicts[pc] = TargetVerdict(
+                    pc=pc, kind=site.kind, role=site.role,
+                    verdict=VERDICT_UNKNOWN, targets=frozenset(),
+                    may_escape=True,
+                    certificate=Certificate(
+                        rule="trivial-top", assumptions=(),
+                        evidence={"demoted": "tracked store hits table"},
+                    ),
+                )
+                continue
+            table = site.table
+            verdicts[pc] = TargetVerdict(
+                pc=pc, kind=site.kind, role=site.role,
+                verdict=VERDICT_EXACT, targets=table.targets,
+                may_escape=False,
+                certificate=Certificate(
+                    rule="jump-table", assumptions=("A2",),
+                    evidence={
+                        "base": f"{table.base:#x}",
+                        "span": table.span,
+                        "words": sorted(
+                            f"{a:#x}" for a in table.word_addrs
+                        ),
+                    },
+                ),
+                hints=_hints_for(table.targets),
+            )
+            continue
+
+        if resolved is not None and resolved:
+            # the dataflow proved the jumped-through register's value set;
+            # intersect with the classifier bound when one exists
+            targets = resolved
+            if site.bounded and site.targets:
+                targets = resolved & site.targets or resolved
+            verdicts[pc] = TargetVerdict(
+                pc=pc, kind=site.kind, role=site.role,
+                verdict=VERDICT_EXACT, targets=frozenset(targets),
+                may_escape=False,
+                certificate=Certificate(
+                    rule="dataflow-consts", assumptions=(),
+                    evidence={
+                        "loads": sorted(
+                            f"{a:#x}"
+                            for a in dataflow.site_loads.get(pc, ())
+                        ),
+                        "values": sorted(f"{t:#x}" for t in targets),
+                    },
+                ),
+                hints=_hints_for(frozenset(targets)),
+            )
+            continue
+
+        if site.role == "indirect-call" and site.targets:
+            verdicts[pc] = TargetVerdict(
+                pc=pc, kind=site.kind, role=site.role,
+                verdict=VERDICT_BOUNDED, targets=site.targets,
+                may_escape=True,
+                certificate=Certificate(
+                    rule="address-taken", assumptions=("A1",),
+                    evidence={"size": len(site.targets)},
+                ),
+                hints=_hints_for(site.targets),
+            )
+            continue
+
+        verdicts[pc] = TargetVerdict(
+            pc=pc, kind=site.kind, role=site.role,
+            verdict=VERDICT_UNKNOWN, targets=frozenset(),
+            may_escape=True,
+            certificate=Certificate(rule="trivial-top", assumptions=()),
+        )
+
+    return TargetSetReport(
+        program=program,
+        analysis=analysis,
+        dataflow=dataflow,
+        verdicts=verdicts,
+    )
+
+
+# -- certificate verification -----------------------------------------------
+
+
+def verify_report(report: TargetSetReport) -> list[str]:
+    """Machine-check every certificate; returns violation strings.
+
+    Each rule is re-derived from the program image and the (re-run,
+    deterministic) analyses — a report that passes with an empty list is
+    internally consistent and its sets are reproducible.
+    """
+    violations: list[str] = []
+    analysis = report.analysis
+    cfg = analysis.cfg
+
+    for pc, v in sorted(report.verdicts.items()):
+        where = f"site {pc:#x} ({v.role})"
+        cert = v.certificate
+        if cert.rule not in _RULES:
+            violations.append(f"{where}: unknown rule {cert.rule!r}")
+            continue
+        if v.verdict != VERDICT_UNKNOWN and not v.targets:
+            violations.append(f"{where}: {v.verdict} with empty target set")
+        if any(not cfg.in_text(t) for t in v.targets):
+            violations.append(f"{where}: target outside text")
+        if v.hints and not set(v.hints) <= set(v.targets):
+            violations.append(f"{where}: hints not a subset of targets")
+
+        site = analysis.sites.get(pc)
+        if site is None:
+            violations.append(f"{where}: not a classified IB site")
+            continue
+
+        if cert.rule == "jump-table":
+            table = site.table
+            if table is None:
+                violations.append(f"{where}: no recovered table")
+                continue
+            if "A2" not in cert.assumptions:
+                violations.append(f"{where}: jump-table without A2")
+            from repro.analysis.classify import (  # local: avoid cycle
+                _read_word,
+                _table_in_image,
+            )
+            if not _table_in_image(report.program, table.base, table.span):
+                violations.append(f"{where}: table runs past the image")
+            rederived: set[int] = set()
+            for addr in sorted(table.word_addrs):
+                word = _read_word(report.program, addr)
+                if word is None or not cfg.in_text(word):
+                    violations.append(
+                        f"{where}: table word {addr:#x} invalid"
+                    )
+                else:
+                    rederived.add(word)
+            if frozenset(rederived) != v.targets:
+                violations.append(f"{where}: table targets drifted")
+            if report.dataflow.store.stores_to(table.word_addrs):
+                violations.append(
+                    f"{where}: tracked store hits table (A2 demotion missed)"
+                )
+        elif cert.rule == "return-sites":
+            if site.role != "return":
+                violations.append(f"{where}: return-sites on non-return")
+            if frozenset(site.targets) != v.targets:
+                violations.append(f"{where}: return sites drifted")
+        elif cert.rule == "address-taken":
+            if v.targets != analysis.address_taken:
+                violations.append(f"{where}: not the address-taken set")
+            if "A1" not in cert.assumptions:
+                violations.append(f"{where}: address-taken without A1")
+        elif cert.rule == "dataflow-consts":
+            resolved = _resolved_values(report.dataflow, analysis, pc)
+            if resolved is None:
+                violations.append(f"{where}: dataflow no longer resolves")
+            elif not v.targets <= resolved:
+                violations.append(f"{where}: verdict outside dataflow set")
+        elif cert.rule == "trivial-top":
+            if v.verdict != VERDICT_UNKNOWN:
+                violations.append(f"{where}: trivial-top must be unknown")
+
+    return violations
+
+
+# -- cached entry point -----------------------------------------------------
+
+_REPORT_CACHE: dict[str, TargetSetReport] = {}
+
+
+def _program_key(program: Program) -> str:
+    h = hashlib.sha256()
+    h.update(program.text.base.to_bytes(4, "little"))
+    h.update(bytes(program.text.data))
+    h.update(program.data.base.to_bytes(4, "little"))
+    h.update(bytes(program.data.data))
+    h.update(program.entry.to_bytes(4, "little"))
+    return h.hexdigest()
+
+
+def analyze_targets(program: Program) -> TargetSetReport:
+    """Cached whole-program target-set analysis (keyed by image bytes)."""
+    key = _program_key(program)
+    report = _REPORT_CACHE.get(key)
+    if report is None:
+        report = build_report(program)
+        if len(_REPORT_CACHE) >= 64:
+            _REPORT_CACHE.clear()
+        _REPORT_CACHE[key] = report
+    return report
+
+
+__all__ = [
+    "MAX_PRESEED",
+    "VERDICT_EXACT",
+    "VERDICT_BOUNDED",
+    "VERDICT_UNKNOWN",
+    "Certificate",
+    "TargetVerdict",
+    "TargetSetReport",
+    "build_report",
+    "verify_report",
+    "analyze_targets",
+]

@@ -62,6 +62,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sieve_buckets=args.sieve_buckets,
         returns=args.returns,
         linking=not args.no_linking,
+        static_targets=args.static_targets,
         engine=resolve_engine(args.engine),
         **config_kwargs,
     )
@@ -128,6 +129,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.hit_rates:
         for mechanism, rate in sorted(result.hit_rates.items()):
             print(f"hit rate : {mechanism} = {rate:.4f}")
+    static = result.stats.get("static") or {}
+    if static:
+        scored = sum(static.get(k, 0)
+                     for k in ("predicted", "unpredicted", "escaped"))
+        precision = static.get("predicted", 0) / scored if scored else 0.0
+        print(f"static   : precision={precision:.4f} " + " ".join(
+            f"{key}={count}" for key, count in sorted(static.items())
+        ))
     faults = result.stats.get("faults") or {}
     if faults:
         print("faults   : " + ", ".join(
@@ -328,16 +337,46 @@ def _load_guest_program(spec: str, scale: str):
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.analysis import analyze_program, analysis_to_json, format_analysis
+    from repro.analysis import (
+        analysis_to_json,
+        analyze_program,
+        format_analysis,
+        format_targets,
+        targets_to_json,
+    )
 
     program = _load_guest_program(args.prog, args.scale)
     analysis = analyze_program(program)
-    if args.json:
-        print(analysis_to_json(analysis))
+    status = 0
+    if args.targets:
+        from repro.analysis import build_report, verify_report
+
+        report = build_report(program, analysis=analysis)
+        problems = verify_report(report)
+        if problems:
+            for problem in problems:
+                print(f"certificate violation: {problem}", file=sys.stderr)
+            return 2
+        if args.strict and report.verdict_counts().get("unknown", 0):
+            status = 1
+        payload = targets_to_json(report)
+        rendered = format_targets(report, limit=args.limit)
+    else:
+        payload = analysis_to_json(analysis)
+        rendered = format_analysis(analysis, limit=args.limit)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    elif args.json:
+        print(payload)
     else:
         print(f"program  : {args.prog}")
-        print(format_analysis(analysis, limit=args.limit))
-    return 0
+        print(rendered)
+    if status:
+        print("strict: unresolved (unknown) IB site(s) present",
+              file=sys.stderr)
+    return status
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -421,6 +460,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--returns", default="same",
                      choices=("same", "fast", "shadow", "retcache"))
     run.add_argument("--no-linking", action="store_true")
+    run.add_argument(
+        "--static-targets", action="store_true",
+        help="enable translator-time devirtualization and IBTC/sieve "
+        "preseeding from the whole-program target-set analysis",
+    )
     run.add_argument(
         "--engine", default=None, choices=ENGINES,
         help="simulation engine (default: threaded, or $REPRO_ENGINE); "
@@ -554,7 +598,22 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("tiny", "small", "large"))
     analyze.add_argument("--limit", type=int, default=20)
     analyze.add_argument("--json", action="store_true",
-                         help="machine-readable output")
+                         help="machine-readable output (deterministic "
+                         "sorted-key JSON)")
+    analyze.add_argument(
+        "--targets", action="store_true",
+        help="run the whole-program target-set analysis (dataflow + "
+        "verdicts + soundness certificates) instead of the site summary",
+    )
+    analyze.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON report to PATH instead of stdout",
+    )
+    analyze.add_argument(
+        "--strict", action="store_true",
+        help="with --targets: exit nonzero when any IB site's verdict "
+        "is 'unknown'",
+    )
 
     lint = sub.add_parser(
         "lint", help="run static lint checks over a guest program"

@@ -684,6 +684,85 @@ def e13_cache_pressure(scale: str | None = None):
     return _run("e13", scale)
 
 
+# -- E14: static target-set analysis — devirtualization & preseeding ----------
+
+
+def _e14_mechs() -> dict[str, dict]:
+    return {
+        "reentry": dict(ib="reentry"),
+        "ibtc": dict(ib="ibtc", ibtc_entries=BEST_IBTC),
+        "sieve": dict(ib="sieve", sieve_buckets=BEST_SIEVE),
+    }
+
+
+def _e14_config(mech_kwargs: dict, static: bool) -> SDTConfig:
+    return SDTConfig(
+        profile=DEFAULT_PROFILE, static_targets=static, **mech_kwargs,
+    )
+
+
+def _cells_e14(scale: str) -> list[Cell]:
+    return [
+        measure_cell(name, scale, _e14_config(kwargs, static))
+        for name in _suite_names()
+        for kwargs in _e14_mechs().values()
+        for static in (False, True)
+    ]
+
+
+def _build_e14(lookup: CellLookup, scale: str):
+    """Effect of translator-time devirtualization + IBTC/sieve preseeding.
+
+    Per mechanism: overhead without and with ``static_targets``, plus the
+    IB-dispatch cycle delta (positive = cycles saved by the static
+    pipeline).  The final column is the dispatch-weighted static
+    precision (share of dynamic IB resolutions whose target the analysis
+    predicted); ``escaped`` dispatches would be soundness violations and
+    the crossval oracle pins them to zero.  Architectural results are
+    verified identical on/off by the runner for every cell.
+    """
+    mechs = _e14_mechs()
+    headers = ["benchmark"]
+    for mech in mechs:
+        headers += [mech, f"{mech}+s", f"Δib({mech})"]
+    headers.append("precision")
+    rows: list[list[object]] = []
+    for name in _suite_names():
+        row: list[object] = [name]
+        precision = 0.0
+        for kwargs in mechs.values():
+            off = lookup(measure_cell(name, scale, _e14_config(kwargs, False)))
+            on = lookup(measure_cell(name, scale, _e14_config(kwargs, True)))
+            row += [
+                off.overhead, on.overhead,
+                off.ib_overhead_cycles - on.ib_overhead_cycles,
+            ]
+            static = on.stats.get("static") or {}
+            scored = sum(static.get(k, 0)
+                         for k in ("predicted", "unpredicted", "escaped"))
+            if scored:
+                precision = static.get("predicted", 0) / scored
+        row.append(round(precision, 4))
+        rows.append(row)
+    foot: list[object] = ["geomean/sum"]
+    for col in range(1, len(headers) - 1):
+        values = [float(row[col]) for row in rows]
+        if headers[col].startswith("Δib"):
+            foot.append(sum(int(v) for v in values))
+        else:
+            foot.append(geomean(values))
+    foot.append(round(
+        sum(float(row[-1]) for row in rows) / max(len(rows), 1), 4
+    ))
+    rows.append(foot)
+    return headers, rows
+
+
+def e14_static_targets(scale: str | None = None):
+    """Devirtualization/preseeding delta table (static targets on/off)."""
+    return _run("e14", scale)
+
+
 # -- registry -----------------------------------------------------------------
 
 EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
@@ -814,6 +893,17 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
             cells=_cells_e13,
             build=_build_e13,
         ),
+        ExperimentSpec(
+            name="e14",
+            slug="e14_static_targets",
+            title=lambda scale: (
+                f"E14 (static targets): devirtualization + preseeding "
+                f"delta (+s: static_targets on; Δib: IB dispatch cycles "
+                f"saved) [scale={scale}]"
+            ),
+            cells=_cells_e14,
+            build=_build_e14,
+        ),
     )
 }
 
@@ -832,4 +922,5 @@ ALL_EXPERIMENTS = {
     "e11": e11_site_fanout,
     "e12": e12_fanout_sweep,
     "e13": e13_cache_pressure,
+    "e14": e14_static_targets,
 }

@@ -89,6 +89,7 @@ class Measurement:
             Category.SHADOW_STACK,
             Category.FAST_RETURN,
             Category.RETCACHE,
+            Category.STATIC,
         )
         return sum(self.breakdown.get(cat.value, 0) for cat in ib_categories)
 

@@ -21,6 +21,11 @@ import json
 from dataclasses import dataclass
 
 from repro.analysis.classify import StaticAnalysis, analyze_program
+from repro.analysis.targets import (
+    TargetSetReport,
+    VERDICT_UNKNOWN,
+    build_report,
+)
 from repro.eval.fanout import FanoutProfile, collect_fanout
 from repro.workloads import Workload, get_workload, workload_names
 
@@ -37,15 +42,32 @@ class SiteValidation:
     dynamic_fanout: int
     dispatches: int
     missing_targets: tuple[int, ...]   # dynamic targets outside the static set
+    #: target-set verdict from repro.analysis.targets
+    verdict: str = VERDICT_UNKNOWN
+    verdict_bound: int = 0
+    #: dynamic targets outside the *verdict's* set (must be empty unless
+    #: the verdict is unknown — the tentpole soundness gate)
+    verdict_missing: tuple[int, ...] = ()
 
     @property
     def sound(self) -> bool:
-        return self.dynamic_fanout <= self.static_bound and not self.missing_targets
+        return (
+            self.dynamic_fanout <= self.static_bound
+            and not self.missing_targets
+            and not self.verdict_missing
+        )
 
     @property
     def slack(self) -> int:
         """Over-approximation: bound minus observed fan-out."""
         return self.static_bound - self.dynamic_fanout
+
+    @property
+    def verdict_slack(self) -> int:
+        """Over-approximation of the verdict set (precision measure)."""
+        if self.verdict == VERDICT_UNKNOWN:
+            return self.slack
+        return self.verdict_bound - self.dynamic_fanout
 
 
 @dataclass(slots=True)
@@ -68,12 +90,30 @@ class CrossValidation:
     def violations(self) -> list[SiteValidation]:
         return [site for site in self.sites if not site.sound]
 
+    @property
+    def predicted_dispatch_share(self) -> float:
+        """Dispatch-weighted fraction of dynamic IB resolutions the
+        target-set analysis predicted (verdict not unknown and no
+        escaping targets) — the static-vs-dynamic precision metric."""
+        total = sum(site.dispatches for site in self.sites)
+        if not total:
+            return 0.0
+        predicted = sum(
+            site.dispatches
+            for site in self.sites
+            if site.verdict != VERDICT_UNKNOWN and not site.verdict_missing
+        )
+        return predicted / total
+
     def to_dict(self) -> dict[str, object]:
         return {
             "workload": self.workload,
             "scale": self.scale,
             "all_sound": self.all_sound,
             "sites": len(self.sites),
+            "predicted_dispatch_share": round(
+                self.predicted_dispatch_share, 6
+            ),
             "unexercised_static_sites": self.unexercised,
             "unknown_dynamic_sites": list(self.unknown_dynamic),
             "violations": [
@@ -84,6 +124,8 @@ class CrossValidation:
                     "static_bound": site.static_bound,
                     "dynamic_fanout": site.dynamic_fanout,
                     "missing_targets": list(site.missing_targets),
+                    "verdict": site.verdict,
+                    "verdict_missing": list(site.verdict_missing),
                 }
                 for site in self.violations
             ],
@@ -98,6 +140,9 @@ class CrossValidation:
                     "dispatches": site.dispatches,
                     "slack": site.slack,
                     "sound": site.sound,
+                    "verdict": site.verdict,
+                    "verdict_bound": site.verdict_bound,
+                    "verdict_slack": site.verdict_slack,
                 }
                 for site in self.sites
             ],
@@ -110,7 +155,8 @@ class CrossValidation:
         verdict = "SOUND" if self.all_sound else "UNSOUND"
         lines = [
             f"{self.workload} [{self.scale}]: {len(self.sites)} exercised "
-            f"IB sites, {self.unexercised} unexercised — {verdict}",
+            f"IB sites, {self.unexercised} unexercised — {verdict} "
+            f"(predicted {self.predicted_dispatch_share:.1%} of dispatches)",
         ]
         if self.unknown_dynamic:
             lines.append(
@@ -129,7 +175,8 @@ class CrossValidation:
             lines.append(
                 f"  {site.role:13s} @ {site.pc:#010x}: "
                 f"fanout {site.dynamic_fanout}/{site.static_bound} "
-                f"(slack {site.slack}), {site.dispatches} dispatches{tag}"
+                f"(slack {site.slack}), {site.dispatches} dispatches, "
+                f"verdict {site.verdict}({site.verdict_bound}){tag}"
             )
         if len(self.sites) > limit:
             lines.append(f"  ... {len(self.sites) - limit} more site(s)")
@@ -141,8 +188,14 @@ def join_static_dynamic(
     profile: FanoutProfile,
     workload: str = "?",
     scale: str = "?",
+    report: TargetSetReport | None = None,
 ) -> CrossValidation:
-    """Join a static analysis against a dynamic fan-out profile."""
+    """Join a static analysis against a dynamic fan-out profile.
+
+    When a :class:`TargetSetReport` is given, every site's verdict set is
+    additionally checked against the observed targets (``verdict_missing``
+    must stay empty — the tentpole soundness gate).
+    """
     sites: list[SiteValidation] = []
     unknown: list[int] = []
     for pc, dyn in sorted(profile.sites.items()):
@@ -153,6 +206,18 @@ def join_static_dynamic(
         missing: tuple[int, ...] = ()
         if static.bounded:
             missing = tuple(sorted(dyn.targets - set(static.targets)))
+        verdict = VERDICT_UNKNOWN
+        verdict_bound = 0
+        verdict_missing: tuple[int, ...] = ()
+        if report is not None:
+            v = report.verdicts.get(pc)
+            if v is not None:
+                verdict = v.verdict
+                verdict_bound = len(v.targets)
+                if v.verdict != VERDICT_UNKNOWN:
+                    verdict_missing = tuple(
+                        sorted(dyn.targets - set(v.targets))
+                    )
         sites.append(
             SiteValidation(
                 pc=pc,
@@ -163,6 +228,9 @@ def join_static_dynamic(
                 dynamic_fanout=dyn.fanout,
                 dispatches=dyn.dispatches,
                 missing_targets=missing,
+                verdict=verdict,
+                verdict_bound=verdict_bound,
+                verdict_missing=verdict_missing,
             )
         )
     unexercised = len(analysis.sites) - len(sites)
@@ -185,9 +253,11 @@ def cross_validate(
         workload = get_workload(workload, scale)
     program = workload.compile()
     analysis = analyze_program(program)
+    report = build_report(program, analysis=analysis)
     profile = collect_fanout(workload, scale=scale, fuel=fuel)
     return join_static_dynamic(
-        analysis, profile, workload=workload.name, scale=scale
+        analysis, profile, workload=workload.name, scale=scale,
+        report=report,
     )
 
 

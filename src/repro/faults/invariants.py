@@ -71,8 +71,9 @@ def collect_violations(vm: "SDTVM") -> list[CoherenceViolation]:
     """Walk every fragment-pointer store in ``vm`` and report stale state.
 
     Checked stores: the generic IB mechanism and the return mechanism
-    (via their ``live_fragment_refs()``), every live fragment's link
-    stubs, and every live fragment's attached superblock plan.
+    (via their ``live_fragment_refs()``), the static-targets runtime's
+    devirtualized edges (when bound), every live fragment's link stubs,
+    and every live fragment's attached superblock plan.
     """
     violations: list[CoherenceViolation] = []
     live = vm.cache.fragments()
@@ -86,6 +87,12 @@ def collect_violations(vm: "SDTVM") -> list[CoherenceViolation]:
         vm.return_mech.name, vm.return_mech.live_fragment_refs(),
         live_ids, violations,
     )
+    static_rt = getattr(vm, "static_rt", None)
+    if static_rt is not None:
+        _check_refs(
+            "static-devirt", static_rt.live_fragment_refs(),
+            live_ids, violations,
+        )
 
     for fragment in live:
         for key, linked in fragment.links.items():

@@ -37,6 +37,7 @@ class Category(enum.Enum):
     FAST_RETURN = "fast_return"      # call-site return-address fixup
     RETCACHE = "retcache"            # return-cache probe + verification
     LINK = "link"                    # fragment link patching
+    STATIC = "static"                # static-targets guards + preseeding
 
 
 #: Categories counted as SDT overhead (everything except app work and the

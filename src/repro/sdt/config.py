@@ -50,6 +50,14 @@ class SDTConfig:
         linking: patch direct-branch fragment exits (Strata's default);
             disabling it is the E2 ablation where *every* fragment exit
             re-enters the translator.
+        static_targets: run the whole-program target-set analysis
+            (:mod:`repro.analysis.targets`) at VM construction and use it
+            at translation time — singleton-target IB sites are
+            devirtualized into guarded direct branches and bounded sites
+            preseed IBTC/sieve entries (see
+            :mod:`repro.sdt.static_targets`).  Changes cycle counts, so
+            it is fingerprint-relevant; architectural results are
+            byte-identical either way (tests pin this).
         fragment_cache_bytes: fragment-cache capacity (whole-cache flush
             when exceeded).
         max_fragment_instrs: fragment length limit.
@@ -88,6 +96,7 @@ class SDTConfig:
     shadow_depth: int = 0
     retcache_entries: int = 64
     linking: bool = True
+    static_targets: bool = False
     trace_jumps: bool = False
     fragment_cache_bytes: int = DEFAULT_CAPACITY
     max_fragment_instrs: int = DEFAULT_MAX_FRAGMENT_INSTRS
@@ -153,6 +162,8 @@ class SDTConfig:
             parts.append(f"ret={self.returns}")
         if not self.linking:
             parts.append("nolink")
+        if self.static_targets:
+            parts.append("static")
         if self.trace_jumps:
             parts.append("trace")
         return "+".join(parts)

@@ -48,6 +48,25 @@ class IBMechanism(ABC):
             The fragment to execute next.
         """
 
+    def preseed(
+        self, ib_pc: int, guest_target: int, fragment: Fragment
+    ) -> bool:
+        """Warm this mechanism's lookup state at translation time.
+
+        Called by the static-targets runtime
+        (:mod:`repro.sdt.static_targets`) with a statically proven
+        ``(site, target)`` pair and the target's already-translated
+        ``fragment``, *before* the site ever dispatches dynamically.  A
+        preseeded entry is always safe: dispatch still compares the
+        dynamic target against the entry, so a wrong hint degrades to a
+        miss, never to a wrong transfer.
+
+        Returns ``True`` if an entry was inserted (the caller charges
+        the insertion cost), ``False`` otherwise.  Mechanisms with no
+        warmable state (translator re-entry) inherit this no-op.
+        """
+        return False
+
     def on_flush(self) -> None:
         """Drop any cached fragment pointers (cache was flushed)."""
 

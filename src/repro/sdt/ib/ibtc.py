@@ -171,6 +171,29 @@ class IBTC(IBMechanism):
                        index=index)
         return target_fragment
 
+    def preseed(
+        self, ib_pc: int, guest_target: int, fragment: Fragment
+    ) -> bool:
+        """Fill the target's slot at translation time if it is free.
+
+        Only empty (or invalidated) slots are filled: evicting a
+        dynamically established entry for a static hint could only ever
+        hurt.  The filled entry is indistinguishable from one installed
+        by a dispatch miss, so the dispatch path needs no changes.
+        """
+        table = self._table_for(ib_pc)
+        index = ibtc_index(guest_target, table.mask, self.hash_kind)
+        occupant = table.frags[index]
+        if (
+            table.tags[index] != -1
+            and occupant is not None
+            and occupant.valid
+        ):
+            return False
+        table.tags[index] = guest_target
+        table.frags[index] = fragment
+        return True
+
     def live_fragment_refs(self):
         refs = []
         if self._shared_table is not None:

@@ -78,6 +78,14 @@ class InlinePrediction(IBMechanism):
             )
         return target_fragment
 
+    def preseed(
+        self, ib_pc: int, guest_target: int, fragment: Fragment
+    ) -> bool:
+        # the one-entry inline guard is left to dynamic warm-up (its
+        # payoff is last-target locality, which statics cannot know);
+        # hints warm the wrapped mechanism instead
+        return self.inner.preseed(ib_pc, guest_target, fragment)
+
     def on_flush(self) -> None:
         self._predictions.clear()
         # inner is registered with the cache separately via bind()

@@ -122,6 +122,26 @@ class Sieve(IBMechanism):
                        depth=len(chain))
         return target_fragment
 
+    def preseed(
+        self, ib_pc: int, guest_target: int, fragment: Fragment
+    ) -> bool:
+        """Link a stub for the target at translation time.
+
+        The stub enters its bucket under the configured insertion policy,
+        exactly as a dispatch-miss stub would, so preseeded and
+        dynamically linked chains are structurally identical.
+        """
+        index = sieve_index(guest_target, self._mask)
+        chain = self._chains[index]
+        if any(known == guest_target for known, _ in chain):
+            return False
+        entry = (guest_target, fragment)
+        if self.policy == "prepend":
+            chain.insert(0, entry)
+        else:
+            chain.append(entry)
+        return True
+
     def on_flush(self) -> None:
         for chain in self._chains:
             chain.clear()

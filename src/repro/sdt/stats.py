@@ -25,6 +25,11 @@ class SDTStats:
     #: injected-fault and invariant-checker events, keyed by site
     #: (empty unless a fault plan is active)
     faults: Counter = field(default_factory=Counter)
+    #: static-targets runtime events (empty unless
+    #: ``SDTConfig.static_targets``): "devirt_hit"/"devirt_fill"/
+    #: "devirt_mismatch", "preseed" per-mechanism insertions, and the
+    #: precision tallies "predicted"/"unpredicted"/"escaped"
+    static: Counter = field(default_factory=Counter)
 
     def hit_rate(self, mechanism: str) -> float:
         """Hit rate for a mechanism (0.0 if it never dispatched)."""
@@ -44,4 +49,13 @@ class SDTStats:
             "ib_dispatches": dict(self.ib_dispatches),
             "mechanism": dict(self.mechanism),
             "faults": dict(self.faults),
+            "static": dict(self.static),
         }
+
+    def static_precision(self) -> float:
+        """Fraction of IB dispatches whose dynamic target the static
+        analysis predicted (0.0 when static targets were off or nothing
+        dispatched)."""
+        predicted = self.static["predicted"]
+        total = predicted + self.static["unpredicted"] + self.static["escaped"]
+        return predicted / total if total else 0.0

@@ -61,6 +61,11 @@ class Translator:
         #: optional observability sink (repro.trace.session.TraceSession);
         #: the owning VM wires it after construction
         self.trace = None
+        #: invoked with each freshly inserted fragment (after the cache
+        #: insert and the TRANSLATE charge); the static-targets runtime
+        #: hooks this to preseed IB lookup state.  The callback must not
+        #: translate (it only links already-cached fragments).
+        self.post_translate: Callable[[Fragment], None] | None = None
         self._text = program.text.data
         self._text_base = program.text.base
         self._decoded: dict[int, Instruction] = {}
@@ -194,4 +199,6 @@ class Translator:
             trace.emit("translate.end", pc=guest_pc, instrs=len(instrs),
                        fc_addr=fragment.fc_addr,
                        exit=fragment.exit_kind.name.lower())
+        if self.post_translate is not None:
+            self.post_translate(fragment)
         return fragment

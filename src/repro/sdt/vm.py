@@ -98,6 +98,16 @@ class SDTVM:
         self.generic_ib, self.return_mech = build_mechanisms(self.config)
         self.generic_ib.bind(self)
         self.return_mech.bind(self)
+        # static target-set analysis (see repro.sdt.static_targets).
+        # Installed after the mechanisms bind (preseeding needs them) and
+        # before the invariant checker (whose post-flush walk must see
+        # this runtime's cleared devirt pins).
+        self.static_rt = None
+        if self.config.static_targets:
+            from repro.sdt.static_targets import StaticTargetsRuntime
+
+            self.static_rt = StaticTargetsRuntime(self)
+            self.static_rt.install()
         # fault injection + coherence watchdog (see repro.faults).  The
         # checker's flush hook registers *after* the mechanisms' so it
         # observes their post-invalidation state.
@@ -340,40 +350,49 @@ class SDTVM:
         if exit_kind is ExitKind.CALL:
             self.return_mech.on_call(self.cpu, REG_RA, last_pc + 4)
             return self._direct_successor(fragment, "J", next_pc)
-        trace = self.trace
         if exit_kind is ExitKind.ICALL:
             self.stats.ib_dispatches["icall"] += 1
             self.return_mech.on_call(self.cpu, term_rd, last_pc + 4)
-            if trace is None:
-                return self.generic_ib.dispatch(fragment, last_pc, next_pc)
-            trace.emit("dispatch.start", ib="icall", site=last_pc,
-                       target=next_pc)
-            successor = self.generic_ib.dispatch(fragment, last_pc, next_pc)
-            trace.emit("dispatch.end", ib="icall", site=last_pc)
-            return successor
+            return self._dispatch_ib(
+                "icall", fragment, last_pc, next_pc,
+                self.generic_ib.dispatch,
+            )
         if exit_kind is ExitKind.IJUMP:
             self.stats.ib_dispatches["ijump"] += 1
-            if trace is None:
-                return self.generic_ib.dispatch(fragment, last_pc, next_pc)
-            trace.emit("dispatch.start", ib="ijump", site=last_pc,
-                       target=next_pc)
-            successor = self.generic_ib.dispatch(fragment, last_pc, next_pc)
-            trace.emit("dispatch.end", ib="ijump", site=last_pc)
-            return successor
+            return self._dispatch_ib(
+                "ijump", fragment, last_pc, next_pc,
+                self.generic_ib.dispatch,
+            )
         if exit_kind is ExitKind.RET:
             self.stats.ib_dispatches["ret"] += 1
-            if trace is None:
-                return self.return_mech.dispatch_ret(
-                    fragment, last_pc, next_pc
-                )
-            trace.emit("dispatch.start", ib="ret", site=last_pc,
-                       target=next_pc)
-            successor = self.return_mech.dispatch_ret(
-                fragment, last_pc, next_pc
+            return self._dispatch_ib(
+                "ret", fragment, last_pc, next_pc,
+                self.return_mech.dispatch_ret,
             )
-            trace.emit("dispatch.end", ib="ret", site=last_pc)
-            return successor
         raise AssertionError(f"unhandled exit kind {exit_kind}")
+
+    def _dispatch_ib(
+        self, ib: str, fragment: Fragment, ib_pc: int, target: int,
+        dispatch_fn,
+    ) -> Fragment:
+        """One dynamic IB dispatch: static fast path, then the mechanism.
+
+        When the static-targets runtime is bound, devirtualized sites may
+        resolve here with a guarded direct branch; every other dispatch
+        (and every guard mismatch) goes through ``dispatch_fn``
+        unchanged.  Trace brackets wrap both paths identically.
+        """
+        trace = self.trace
+        if trace is not None:
+            trace.emit("dispatch.start", ib=ib, site=ib_pc, target=target)
+        successor = None
+        if self.static_rt is not None:
+            successor = self.static_rt.dispatch(fragment, ib, ib_pc, target)
+        if successor is None:
+            successor = dispatch_fn(fragment, ib_pc, target)
+        if trace is not None:
+            trace.emit("dispatch.end", ib=ib, site=ib_pc)
+        return successor
 
     def run(self, fuel: int = DEFAULT_FUEL) -> SDTRunResult:
         """Run to completion (or until exactly ``fuel`` retired instrs)."""

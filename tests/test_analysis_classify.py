@@ -154,6 +154,61 @@ class TestConstantStates:
         assert t0 not in sw_state
 
 
+class TestTableRecoveryHardening:
+    def test_table_running_past_image_rejected(self):
+        # guard claims 8 entries but only 3 words exist: recovery must
+        # refuse entirely (silent truncation would be unsound)
+        analysis = analyze_source(TABLE_SOURCE.replace(
+            "sltiu t9, t0, 3", "sltiu t9, t0, 8"
+        ))
+        assert not analysis.sites_by_role().get("jump-table")
+        (site,) = analysis.sites.values()
+        assert site.role == "computed-jump"
+        assert not site.bounded
+
+    def test_table_with_non_text_word_rejected(self):
+        # one slot holds a data address, not code: recovery must refuse
+        analysis = analyze_source(TABLE_SOURCE.replace(
+            ".word case0, case1, case2", ".word case0, case1, table"
+        ))
+        assert not analysis.sites_by_role().get("jump-table")
+
+    def test_def_scan_does_not_cross_call_boundary(self):
+        # the table-address computation is separated from the jr by a
+        # call: the callee may clobber the register, so the def window
+        # must stop at the block boundary and recovery must refuse
+        analysis = analyze_source("""
+.text
+main:
+    li    t0, 1
+    sltiu t9, t0, 3
+    beq   t9, zero, default
+    sll   t8, t0, 2
+    la    t9, table
+    add   t8, t8, t9
+    lw    t8, 0(t8)
+    jal   helper
+    jr    t8
+case0:
+    halt
+case1:
+    halt
+case2:
+    halt
+default:
+    halt
+helper:
+    jr    ra
+
+.data
+table: .word case0, case1, case2
+""")
+        roles = analysis.sites_by_role()
+        assert not roles.get("jump-table")
+        (jr,) = roles["computed-jump"]
+        assert not jr.bounded
+
+
 class TestCompiledAllKinds:
     def test_all_three_roles_recovered(self):
         program = compile_to_program(ALL_IB_KINDS_SOURCE)

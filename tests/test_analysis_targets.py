@@ -1,0 +1,189 @@
+"""Target-set verdicts and soundness certificates (repro.analysis.targets)."""
+
+import dataclasses
+import json
+
+from conftest import ALL_IB_KINDS_SOURCE
+
+from repro.analysis.classify import analyze_program
+from repro.analysis.targets import (
+    MAX_PRESEED,
+    VERDICT_BOUNDED,
+    VERDICT_EXACT,
+    VERDICT_UNKNOWN,
+    Certificate,
+    analyze_targets,
+    build_report,
+    verify_report,
+)
+from repro.isa.assembler import assemble
+from repro.lang import compile_to_program
+from repro.workloads import get_workload, workload_names
+
+TABLE_SOURCE = """
+.text
+main:
+    li    t0, 1
+    sltiu t9, t0, 3
+    beq   t9, zero, default
+    sll   t8, t0, 2
+    la    t9, table
+    add   t8, t8, t9
+    lw    t8, 0(t8)
+    jr    t8
+case0:
+    halt
+case1:
+    halt
+case2:
+    halt
+default:
+    halt
+
+.data
+table: .word case0, case1, case2
+"""
+
+
+def report_for(source: str):
+    program = assemble(source)
+    return program, build_report(program)
+
+
+class TestVerdicts:
+    def test_jump_table_is_exact_under_a2(self):
+        program, report = report_for(TABLE_SOURCE)
+        (v,) = [x for x in report.verdicts.values()
+                if x.role == "jump-table"]
+        assert v.verdict == VERDICT_EXACT
+        assert not v.may_escape
+        assert v.certificate.rule == "jump-table"
+        assert v.certificate.assumptions == ("A2",)
+        assert v.targets == frozenset(
+            program.symbol(n) for n in ("case0", "case1", "case2")
+        )
+
+    def test_return_is_bounded_by_call_sites(self):
+        program, report = report_for(
+            ".text\nmain:\njal f\njal f\nhalt\nf:\njr ra\n"
+        )
+        v = report.verdicts[program.symbol("f")]
+        assert v.verdict == VERDICT_BOUNDED
+        assert v.certificate.rule == "return-sites"
+        assert not v.may_escape  # f is never address-taken
+        assert len(v.targets) == 2
+
+    def test_address_taken_return_may_escape(self):
+        program, report = report_for(
+            ".text\nmain:\nla t0, f\njalr t0\nhalt\nf:\njr ra\n"
+        )
+        ret = report.verdicts[program.symbol("f")]
+        assert ret.verdict == VERDICT_BOUNDED
+        assert ret.may_escape
+        assert "A1" in ret.certificate.assumptions
+
+    def test_dataflow_resolved_icall_is_exact(self):
+        program, report = report_for(
+            ".text\nmain:\nla t0, f\njalr t0\nhalt\nf:\njr ra\n"
+        )
+        (icall,) = [x for x in report.verdicts.values()
+                    if x.kind == "icall"]
+        assert icall.verdict == VERDICT_EXACT
+        assert icall.certificate.rule == "dataflow-consts"
+        assert icall.targets == frozenset({program.symbol("f")})
+
+    def test_unresolvable_jr_is_unknown(self):
+        program, report = report_for(".text\nmain:\njr t0\n")
+        (v,) = report.verdicts.values()
+        assert v.verdict == VERDICT_UNKNOWN
+        assert v.certificate.rule == "trivial-top"
+        assert report.static_bound(v.pc) is None
+
+
+class TestDevirtAndPreseed:
+    def test_singleton_site_is_devirt_candidate(self):
+        program, report = report_for(
+            ".text\nmain:\nla t0, f\njalr t0\nhalt\nf:\njr ra\n"
+        )
+        candidates = report.devirt_candidates()
+        (icall_pc,) = [pc for pc, v in report.verdicts.items()
+                       if v.kind == "icall"]
+        assert candidates[icall_pc] == program.symbol("f")
+
+    def test_may_escape_site_is_not_devirtualized(self):
+        program, report = report_for(
+            ".text\nmain:\nla t0, f\njalr t0\nhalt\nf:\njr ra\n"
+        )
+        # f's return has one target but f is address-taken (may_escape)
+        assert program.symbol("f") not in report.devirt_candidates()
+
+    def test_preseed_map_skips_unknown_and_caps_hints(self):
+        program, report = report_for(TABLE_SOURCE)
+        preseed = report.preseed_map()
+        for pc, hints in preseed.items():
+            v = report.verdicts[pc]
+            assert v.verdict != VERDICT_UNKNOWN
+            assert len(hints) <= MAX_PRESEED
+            assert set(hints) <= set(v.targets)
+
+
+class TestCertificates:
+    def test_all_workloads_verify_clean(self):
+        for name in workload_names():
+            program = get_workload(name, "tiny").compile()
+            report = analyze_targets(program)
+            assert verify_report(report) == [], name
+
+    def test_compiled_all_kinds_verifies(self):
+        program = compile_to_program(ALL_IB_KINDS_SOURCE)
+        assert verify_report(build_report(program)) == []
+
+    def test_tampered_targets_detected(self):
+        program, report = report_for(TABLE_SOURCE)
+        (pc,) = [pc for pc, v in report.verdicts.items()
+                 if v.role == "jump-table"]
+        v = report.verdicts[pc]
+        bogus = dataclasses.replace(
+            v, targets=v.targets | {program.entry}
+        )
+        report.verdicts[pc] = bogus
+        assert any("drifted" in p for p in verify_report(report))
+
+    def test_bogus_rule_detected(self):
+        program, report = report_for(TABLE_SOURCE)
+        pc = next(iter(report.verdicts))
+        v = report.verdicts[pc]
+        report.verdicts[pc] = dataclasses.replace(
+            v, certificate=Certificate(rule="made-up", assumptions=())
+        )
+        assert any("unknown rule" in p for p in verify_report(report))
+
+    def test_out_of_text_target_detected(self):
+        program, report = report_for(TABLE_SOURCE)
+        (pc,) = [pc for pc, v in report.verdicts.items()
+                 if v.role == "jump-table"]
+        v = report.verdicts[pc]
+        report.verdicts[pc] = dataclasses.replace(
+            v, targets=v.targets | {0xDEAD0000}
+        )
+        problems = verify_report(report)
+        assert any("outside text" in p for p in problems)
+
+
+class TestReportShape:
+    def test_to_dict_is_deterministic(self):
+        program = assemble(TABLE_SOURCE)
+        a = json.dumps(build_report(program).to_dict(), sort_keys=True)
+        b = json.dumps(build_report(program).to_dict(), sort_keys=True)
+        assert a == b
+
+    def test_analyze_targets_caches_by_image(self):
+        program = get_workload("gzip_like", "tiny").compile()
+        assert analyze_targets(program) is analyze_targets(program)
+
+    def test_counts_cover_every_site(self):
+        program = compile_to_program(ALL_IB_KINDS_SOURCE)
+        report = build_report(program)
+        analysis = analyze_program(program)
+        assert set(report.verdicts) == set(analysis.sites)
+        assert sum(report.verdict_counts().values()) == len(report.verdicts)

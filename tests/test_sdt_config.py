@@ -31,6 +31,7 @@ FIELD_ALTERNATES = {
     "retcache_entries": 99,
     "linking": False,
     "trace_jumps": True,
+    "static_targets": True,
     "fragment_cache_bytes": 12345,
     "max_fragment_instrs": 7,
     "engine": "oracle",

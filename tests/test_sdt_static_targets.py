@@ -1,0 +1,154 @@
+"""Translator-time devirtualization & preseeding (repro.sdt.static_targets).
+
+The soundness contract: turning ``static_targets`` on must never change
+architectural results (output/exit/retired — the devirt guard, not the
+analysis, is the correctness boundary), every scored dispatch must fall
+inside its claimed static bound (``escaped == 0``), and no devirtualized
+edge may survive a flush stale (the invariant checker walks the pins).
+"""
+
+import pytest
+
+from conftest import ALL_IB_KINDS_SOURCE
+
+from repro.faults.invariants import collect_violations
+from repro.host.profile import SIMPLE
+from repro.lang import compile_to_program
+from repro.sdt.config import SDTConfig
+from repro.sdt.vm import SDTVM
+from repro.workloads import get_workload
+
+PARITY_WORKLOADS = ("gcc_like", "perl_like", "eon_like", "vortex_like")
+
+
+def run_pair(name: str, scale: str = "tiny", **kwargs):
+    """Run a workload with static_targets off and on; return both."""
+    program = get_workload(name, scale).compile()
+    results = []
+    for static in (False, True):
+        config = SDTConfig(profile=SIMPLE, static_targets=static, **kwargs)
+        results.append(SDTVM(program, config=config).run())
+    return results
+
+
+class TestArchitecturalParity:
+    @pytest.mark.parametrize("name", PARITY_WORKLOADS)
+    @pytest.mark.parametrize("ib", ("reentry", "ibtc", "sieve"))
+    def test_results_identical_on_off(self, name, ib):
+        off, on = run_pair(name, ib=ib)
+        assert on.output == off.output
+        assert on.exit_code == off.exit_code
+        assert on.retired == off.retired
+
+    @pytest.mark.parametrize("returns", ("same", "fast", "shadow",
+                                         "retcache"))
+    def test_parity_across_return_schemes(self, returns):
+        off, on = run_pair("eon_like", ib="ibtc", returns=returns)
+        assert (on.output, on.exit_code, on.retired) == (
+            off.output, off.exit_code, off.retired
+        )
+
+    def test_parity_under_chaos_faults(self):
+        off, on = run_pair("gcc_like", ib="ibtc", faults="chaos:1234")
+        assert (on.output, on.exit_code, on.retired) == (
+            off.output, off.exit_code, off.retired
+        )
+
+
+class TestSoundnessCounters:
+    @pytest.mark.parametrize("name", PARITY_WORKLOADS)
+    @pytest.mark.parametrize("ib", ("reentry", "ibtc", "sieve"))
+    def test_no_escapes_no_mismatches(self, name, ib):
+        _, on = run_pair(name, ib=ib)
+        static = on.stats.static
+        assert static.get("escaped", 0) == 0
+        assert static.get("devirt_mismatch", 0) == 0
+
+    def test_precision_is_total_on_suite_workloads(self):
+        _, on = run_pair("perl_like", ib="ibtc")
+        assert on.stats.static_precision() == 1.0
+
+    def test_static_counters_exported_in_as_dict(self):
+        _, on = run_pair("gcc_like", ib="ibtc")
+        exported = on.stats.as_dict()["static"]
+        assert exported.get("predicted", 0) > 0
+
+
+class TestPreseeding:
+    def test_ibtc_preseed_fires(self):
+        _, on = run_pair("perl_like", ib="ibtc")
+        assert on.stats.static.get("preseed", 0) > 0
+
+    def test_sieve_preseed_fires(self):
+        _, on = run_pair("perl_like", ib="sieve")
+        assert on.stats.static.get("preseed", 0) > 0
+
+    def test_compiled_all_kinds_devirt_fill(self):
+        program = compile_to_program(ALL_IB_KINDS_SOURCE)
+        config = SDTConfig(profile=SIMPLE, ib="ibtc", static_targets=True)
+        vm = SDTVM(program, config=config)
+        result = vm.run()
+        assert result.exit_code == 0
+        # monomorphic returns/calls exist: at least one edge devirtualizes
+        assert vm.static_rt is not None
+        assert result.stats.static.get("devirt_fill", 0) > 0
+        assert result.stats.static.get("devirt_hit", 0) > 0
+
+
+class TestFlushCoherence:
+    def test_flushes_demote_devirt_edges_and_stay_coherent(self):
+        # a small fragment cache forces repeated whole-cache flushes;
+        # every flush must drop the devirt pins (counted) and leave no
+        # stale pointer for the invariant walk to find
+        program = get_workload("gcc_like", "tiny").compile()
+        config = SDTConfig(profile=SIMPLE, ib="ibtc", static_targets=True,
+                           fragment_cache_bytes=2048)
+        vm = SDTVM(program, config=config)
+        result = vm.run()
+        assert result.exit_code == 0
+        assert result.stats.cache_flushes > 0
+        assert result.stats.static.get("devirt_flushed", 0) > 0
+        assert collect_violations(vm) == []
+
+    def test_invariant_walk_sees_planted_static_pin(self):
+        from repro.faults.inject import tombstone
+
+        program = get_workload("gcc_like", "tiny").compile()
+        config = SDTConfig(profile=SIMPLE, ib="ibtc", static_targets=True)
+        vm = SDTVM(program, config=config)
+        vm.run()
+        frags = vm.static_rt._devirt_frags
+        assert frags  # gcc_like devirtualizes at least one site
+        pc = next(iter(frags))
+        frags[pc] = tombstone(frags[pc])
+        found = collect_violations(vm)
+        assert any(v.site == "static-devirt" for v in found)
+
+
+class TestConfigSurface:
+    def test_label_and_fingerprint_reflect_static(self):
+        base = SDTConfig(profile=SIMPLE, ib="ibtc")
+        static = SDTConfig(profile=SIMPLE, ib="ibtc", static_targets=True)
+        assert static.label.endswith("+static")
+        assert base.fingerprint() != static.fingerprint()
+
+    def test_off_by_default_and_no_runtime_bound(self):
+        program = get_workload("gzip_like", "tiny").compile()
+        vm = SDTVM(program, config=SDTConfig(profile=SIMPLE))
+        assert vm.static_rt is None
+        result = vm.run()
+        assert result.stats.static == {}
+
+
+class TestTraceEvents:
+    def test_static_events_emitted_inside_dispatch(self):
+        from repro.trace.spec import TraceSpec
+
+        program = get_workload("perl_like", "tiny").compile()
+        config = SDTConfig(profile=SIMPLE, ib="ibtc", static_targets=True,
+                           trace=TraceSpec(ring=65536))
+        vm = SDTVM(program, config=config)
+        vm.run()
+        kinds = {kind for _seq, _cyc, kind, _data in vm.trace.events}
+        assert "static.preseed" in kinds
+        assert "static.devirt" in kinds

@@ -40,6 +40,7 @@ class TestAsDict:
             "ib_dispatches",
             "mechanism",
             "faults",
+            "static",
         }
 
     def test_snapshot_is_detached(self):
