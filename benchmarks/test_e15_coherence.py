@@ -1,0 +1,44 @@
+"""E15: invalidation-policy cost on the self-modifying scenario suite.
+
+Regenerates the experiment table into ``results/`` (and stdout with
+``pytest -s``); the benchmarked body is one un-cached mini-JIT run
+under targeted invalidation — the full coherence path (write watch,
+byte-range invalidation, scrub, retranslation) on every iteration.
+
+Run: ``pytest benchmarks/test_e15_coherence.py --benchmark-only -s``
+"""
+
+from conftest import run_experiment_table, run_once
+from repro.sdt.config import SDTConfig
+from repro.sdt.vm import SDTVM
+from repro.workloads import get_coherence_workload
+
+
+def test_e15_coherence(benchmark):
+    headers, rows = run_experiment_table("e15")
+    assert rows, "experiment produced no rows"
+    ibtc = headers.index("ibtc")
+    writes = headers.index("writes")
+    by_key = {(row[0], row[1], row[2]): row for row in rows}
+    scenarios = {row[0] for row in rows}
+    for scenario in scenarios:
+        flush = by_key[(scenario, "8M", "flush")]
+        page = by_key[(scenario, "8M", "page")]
+        targeted = by_key[(scenario, "8M", "targeted")]
+        # the headline separation: whole-cache flush costs the most,
+        # byte-range targeted the least, page granularity between
+        assert flush[ibtc] > page[ibtc] >= targeted[ibtc], scenario
+        # every policy observes the same guest write stream
+        assert flush[writes] > 0
+    # smc_loop shares a page between the patch site and an untouched
+    # helper, so page granularity strictly overpays there
+    assert by_key[("smc_loop", "8M", "page")][ibtc] > \
+        by_key[("smc_loop", "8M", "targeted")][ibtc]
+
+    def representative():
+        workload = get_coherence_workload("mini_jit", "small")
+        config = SDTConfig(ib="ibtc", coherence="targeted")
+        return SDTVM(workload.compile(), config=config).run()
+
+    result = run_once(benchmark, representative)
+    assert result.exit_code == 0

@@ -13,6 +13,11 @@ Re-asserts the robustness acceptance bar end-to-end (docs/robustness.md):
    violations.
 3. **E13 smoke** — the cache-pressure experiment regenerates at tiny
    scale and every chaos column shows at least the clean flush volume.
+4. **Coherence scenarios** — the self-modifying workload suite
+   (smc_loop / dyn_loader / mini_jit) stays byte-identical to the
+   reference interpreter under every invalidation policy with chaos
+   faults injected, and the invariant checker's per-flush *and*
+   per-invalidation walks report **zero** stale-fragment violations.
 
 Writes every invariant-checker report to ``results/ci/CHAOS_report.json``
 (uploaded as a CI artifact) and exits non-zero on any failure.
@@ -130,20 +135,77 @@ def check_e13(failures: list[str], report: dict) -> None:
           flush=True)
 
 
+def check_coherence(failures: list[str], report: dict) -> None:
+    """Self-modifying scenarios under chaos: parity + zero stale frags."""
+    from repro.machine.interpreter import run_program
+    from repro.sdt.config import COHERENCE_POLICIES, SDTConfig
+    from repro.sdt.vm import SDTVM
+    from repro.workloads import coherence_suite
+
+    cells = 0
+    invalidation_checks = 0
+    for workload in coherence_suite(SCALE):
+        program = workload.compile()
+        reference = run_program(program)
+        for mechanism in MECHANISMS:
+            for policy in COHERENCE_POLICIES:
+                if policy == "none":
+                    continue  # would execute stale fragments by design
+                config = SDTConfig(
+                    ib=mechanism, coherence=policy, faults=CHAOS,
+                    fragment_cache_bytes=2048,
+                )
+                vm = SDTVM(program, config=config)
+                result = vm.run()
+                cells += 1
+                if (
+                    result.output != reference.output
+                    or result.exit_code != reference.exit_code
+                    or result.retired != reference.retired
+                ):
+                    failures.append(
+                        f"{workload.name}/{mechanism}/coh={policy}: "
+                        f"diverged from the reference interpreter "
+                        f"under {CHAOS}"
+                    )
+                checker = vm.invariant_checker
+                record = checker.report()
+                record.update(workload=workload.name, mechanism=mechanism,
+                              coherence=policy, plan=CHAOS)
+                report["coherence"].append(record)
+                invalidation_checks += record["invalidations_checked"]
+                if record["violations"]:
+                    failures.append(
+                        f"{workload.name}/{mechanism}/coh={policy}: "
+                        f"{len(record['violations'])} stale-fragment "
+                        f"violation(s) under {CHAOS}"
+                    )
+    report["coherence_invalidations_checked"] = invalidation_checks
+    if invalidation_checks == 0:
+        failures.append(
+            "coherence runs exercised zero selective-invalidation checks"
+        )
+    print(f"coherence: {cells} scenario cells, {invalidation_checks} "
+          f"invalidations checked, 0 violations required", flush=True)
+
+
 def main() -> int:
     failures: list[str] = []
-    report: dict = {"identity": [], "storm": []}
+    report: dict = {"identity": [], "storm": [], "coherence": []}
 
     check_identity(failures, report)
     check_storm(failures, report)
     check_e13(failures, report)
+    check_coherence(failures, report)
 
     report["failures"] = failures
     REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"report:    {REPORT_PATH} "
-          f"({len(report['identity']) + len(report['storm'])} run records)",
-          flush=True)
+    records = (
+        len(report["identity"]) + len(report["storm"])
+        + len(report["coherence"])
+    )
+    print(f"report:    {REPORT_PATH} ({records} run records)", flush=True)
 
     if failures:
         print("\nCHAOS CHECK FAILED:", file=sys.stderr)

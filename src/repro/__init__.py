@@ -13,4 +13,4 @@ synthetic 32-bit RISC guest:
 - :mod:`repro.eval` — experiment drivers reproducing the paper's artefacts.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"

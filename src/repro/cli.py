@@ -34,17 +34,32 @@ from repro.isa.assembler import assemble
 from repro.lang import compile_source
 from repro.machine.engine import ENGINES, resolve_engine
 from repro.machine.interpreter import run_program
-from repro.sdt.config import SDTConfig
-from repro.workloads import get_workload, workload_names
+from repro.sdt.config import COHERENCE_POLICIES, SDTConfig
+from repro.workloads import (
+    COHERENCE_WORKLOADS,
+    get_coherence_workload,
+    get_workload,
+    workload_names,
+)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("workloads: ", ", ".join(workload_names()))
+    print("scenarios: ", ", ".join(COHERENCE_WORKLOADS),
+          "(self-modifying; need --coherence)")
     print("profiles:  ", ", ".join(sorted(PROFILES)))
     print("mechanisms: reentry, ibtc, sieve")
     print("returns:    same, fast, shadow, retcache")
+    print("coherence: ", ", ".join(COHERENCE_POLICIES))
     print("experiments:", ", ".join(ALL_EXPERIMENTS))
     return 0
+
+
+def _resolve_workload(name: str, scale: str):
+    """A registered workload, or one of the coherence scenarios."""
+    if name in COHERENCE_WORKLOADS:
+        return get_coherence_workload(name, scale)
+    return get_workload(name, scale)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -63,10 +78,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         returns=args.returns,
         linking=not args.no_linking,
         static_targets=args.static_targets,
+        coherence=args.coherence,
         engine=resolve_engine(args.engine),
         **config_kwargs,
     )
-    workload = get_workload(args.workload, args.scale)
+    workload = _resolve_workload(args.workload, args.scale)
+    if args.workload in COHERENCE_WORKLOADS and args.coherence == "none":
+        print(
+            f"error: scenario {args.workload!r} modifies its own code; "
+            f"pick --coherence flush|page|targeted",
+            file=sys.stderr,
+        )
+        return 2
     baseline = run_native(workload, profile, scale=args.scale,
                           engine=config.engine)
     trace_paths = None
@@ -136,6 +159,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         precision = static.get("predicted", 0) / scored if scored else 0.0
         print(f"static   : precision={precision:.4f} " + " ".join(
             f"{key}={count}" for key, count in sorted(static.items())
+        ))
+    coherence = result.stats.get("coherence") or {}
+    if coherence:
+        print("coherence: " + " ".join(
+            f"{key}={count}" for key, count in sorted(coherence.items())
         ))
     faults = result.stats.get("faults") or {}
     if faults:
@@ -464,6 +492,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--static-targets", action="store_true",
         help="enable translator-time devirtualization and IBTC/sieve "
         "preseeding from the whole-program target-set analysis",
+    )
+    run.add_argument(
+        "--coherence", default="none", choices=COHERENCE_POLICIES,
+        help="code-cache coherence policy for guests that write their "
+        "own code (required for the smc_loop/dyn_loader/mini_jit "
+        "scenarios)",
     )
     run.add_argument(
         "--engine", default=None, choices=ENGINES,

@@ -763,6 +763,98 @@ def e14_static_targets(scale: str | None = None):
     return _run("e14", scale)
 
 
+# -- E15: code-cache coherence — invalidation policy cost ---------------------
+
+#: Invalidation policies compared (``none`` would execute stale fragments
+#: on these guests, so it is excluded by construction).
+E15_POLICIES = ("flush", "page", "targeted")
+
+#: Capacities: unconstrained, plus one E13-style pressure point so
+#: coherence invalidations compound with capacity flushes.
+E15_CAPACITIES: tuple[tuple[str, int], ...] = (
+    ("2K", 2048),
+    ("8M", DEFAULT_CAPACITY),
+)
+
+
+def _e15_mechs() -> dict[str, dict]:
+    return {
+        "reentry": dict(ib="reentry"),
+        "ibtc": dict(ib="ibtc", ibtc_entries=BEST_IBTC),
+        "sieve": dict(ib="sieve", sieve_buckets=BEST_SIEVE),
+    }
+
+
+def _e15_config(
+    mech_kwargs: dict, policy: str, capacity: int
+) -> SDTConfig:
+    # faults pinned to None so E15 output is env-independent (cf. E13)
+    return SDTConfig(
+        profile=DEFAULT_PROFILE, coherence=policy,
+        fragment_cache_bytes=capacity, faults=None, **mech_kwargs,
+    )
+
+
+def _e15_workloads(scale: str) -> list:
+    from repro.workloads.coherence import coherence_suite
+
+    return coherence_suite(scale)
+
+
+def _cells_e15(scale: str) -> list[Cell]:
+    return [
+        measure_cell(workload, scale, _e15_config(kwargs, policy, capacity))
+        for workload in _e15_workloads(scale)
+        for kwargs in _e15_mechs().values()
+        for policy in E15_POLICIES
+        for _label, capacity in E15_CAPACITIES
+    ]
+
+
+def _build_e15(lookup: CellLookup, scale: str):
+    """Invalidation-policy cost on the self-modifying scenario suite.
+
+    Per (scenario, capacity, policy): overhead under each IB mechanism,
+    plus the coherence counters (guest code writes seen, fragments
+    selectively invalidated, whole-cache flushes) from the IBTC cell —
+    the counters are mechanism-independent, only the overhead differs.
+    Every cell is verified against the reference interpreter by the
+    runner, so this table doubles as the coherence correctness gate:
+    flush must cost the most, targeted the least, with page between.
+    """
+    mechs = _e15_mechs()
+    headers = ["scenario", "cap", "policy"]
+    headers += list(mechs)
+    headers += ["writes", "inval", "flushes"]
+    rows: list[list[object]] = []
+    for workload in _e15_workloads(scale):
+        for cap_label, capacity in E15_CAPACITIES:
+            for policy in E15_POLICIES:
+                row: list[object] = [workload.name, cap_label, policy]
+                stats_cell = None
+                for mech, kwargs in mechs.items():
+                    cell = lookup(measure_cell(
+                        workload, scale, _e15_config(kwargs, policy, capacity)
+                    ))
+                    row.append(cell.overhead)
+                    if mech == "ibtc":
+                        stats_cell = cell
+                assert stats_cell is not None
+                coherence = stats_cell.stats.get("coherence") or {}
+                row += [
+                    coherence.get("code_writes", 0),
+                    coherence.get("fragments_invalidated", 0),
+                    stats_cell.stats.get("cache_flushes", 0),
+                ]
+                rows.append(row)
+    return headers, rows
+
+
+def e15_coherence(scale: str | None = None):
+    """Coherence-policy cost table on the SMC/loader/JIT scenarios."""
+    return _run("e15", scale)
+
+
 # -- registry -----------------------------------------------------------------
 
 EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
@@ -904,6 +996,17 @@ EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
             cells=_cells_e14,
             build=_build_e14,
         ),
+        ExperimentSpec(
+            name="e15",
+            slug="e15_coherence",
+            title=lambda scale: (
+                f"E15 (coherence): invalidation policy cost on "
+                f"self-modifying / dyn-load / mini-JIT scenarios "
+                f"[scale={scale}]"
+            ),
+            cells=_cells_e15,
+            build=_build_e15,
+        ),
     )
 }
 
@@ -923,4 +1026,5 @@ ALL_EXPERIMENTS = {
     "e12": e12_fanout_sweep,
     "e13": e13_cache_pressure,
     "e14": e14_static_targets,
+    "e15": e15_coherence,
 }

@@ -67,13 +67,21 @@ def _check_refs(site: str, refs, live_ids, violations) -> None:
             ))
 
 
-def collect_violations(vm: "SDTVM") -> list[CoherenceViolation]:
+def collect_violations(
+    vm: "SDTVM", include_plans: bool = True
+) -> list[CoherenceViolation]:
     """Walk every fragment-pointer store in ``vm`` and report stale state.
 
     Checked stores: the generic IB mechanism and the return mechanism
     (via their ``live_fragment_refs()``), the static-targets runtime's
     devirtualized edges (when bound), every live fragment's link stubs,
     and every live fragment's attached superblock plan.
+
+    ``include_plans=False`` skips the plan-coherence leg: the coherence
+    manager's post-invalidation walk runs *between* flushes, where a
+    fault-injected plan perturbation may legitimately sit un-executed
+    (plan incoherence has its own detection + demotion path at execution
+    time; it is not a stale-pointer bug).
     """
     violations: list[CoherenceViolation] = []
     live = vm.cache.fragments()
@@ -105,7 +113,8 @@ def collect_violations(vm: "SDTVM") -> list[CoherenceViolation]:
                 ))
         plan = fragment.plan
         if (
-            plan is not None
+            include_plans
+            and plan is not None
             and hasattr(plan, "coherent_with")
             and not plan.coherent_with(fragment.guest_pc, fragment.instrs)
         ):
@@ -138,6 +147,7 @@ class InvariantChecker:
     def __init__(self, vm: "SDTVM"):
         self.vm = vm
         self.flushes_checked = 0
+        self.invalidations_checked = 0
         self.violations: list[CoherenceViolation] = []
 
     def install(self) -> None:
@@ -152,10 +162,28 @@ class InvariantChecker:
             self.violations.extend(found)
             stats.faults["invariant.violations"] += len(found)
 
+    def on_invalidate(self) -> None:
+        """Coherence site: walk after each selective invalidation.
+
+        The coherence manager calls this once it has finished scrubbing
+        the mechanisms/static runtime, so any surviving stale pointer is
+        a real missed scrub.  Plans are excluded — between flushes an
+        injected plan perturbation may sit un-executed, and plan
+        incoherence is caught (and demoted) at execution time.
+        """
+        self.invalidations_checked += 1
+        found = collect_violations(self.vm, include_plans=False)
+        stats = self.vm.stats
+        stats.faults["invariant.invalidations_checked"] += 1
+        if found:
+            self.violations.extend(found)
+            stats.faults["invariant.violations"] += len(found)
+
     def report(self) -> dict:
         """JSON-ready summary (the chaos CI artifact's per-run record)."""
         return {
             "flushes_checked": self.flushes_checked,
+            "invalidations_checked": self.invalidations_checked,
             "violations": [
                 {"site": v.site, "kind": v.kind, "detail": v.detail}
                 for v in self.violations

@@ -42,6 +42,7 @@ from repro.machine.engine import (
 from repro.machine.errors import FuelExhausted, MemoryFault
 from repro.machine.executor import execute
 from repro.machine.loader import load_program
+from repro.machine.memory import PAGE_SHIFT
 
 DEFAULT_FUEL = 50_000_000
 
@@ -94,6 +95,11 @@ class Interpreter:
         self._blocks: dict[int, Superblock] = {}
         self._text_lo = program.text.base
         self._text_hi = program.text.end
+        # The interpreter is the correctness oracle, so it must observe
+        # self-modifying code: pages are watched as they are decoded and
+        # a store into one drops the overlapping decode/superblock cache
+        # entries (docs/robustness.md, "Code-cache coherence").
+        self.mem.set_write_watch(self._on_code_write)
 
     def fetch(self, pc: int) -> Instruction:
         """Fetch and decode the instruction at ``pc`` (cached)."""
@@ -103,7 +109,33 @@ class Interpreter:
                 raise MemoryFault(pc, "fetch")
             instr = decode(self.mem.load_word(pc))
             self._decoded[pc] = instr
+            self.mem.watch_page(pc >> PAGE_SHIFT)
         return instr
+
+    def _on_code_write(self, addr: int, length: int) -> None:
+        """A store hit a page holding decoded code: drop stale entries.
+
+        SR32's SMC visibility rule: a store to code becomes
+        architecturally visible at the next control transfer.  Both
+        caches are consulted at control-transfer boundaries (per-pc
+        fetch, block lookup by entry), so dropping every overlapping
+        entry here is exactly that boundary.
+        """
+        decoded = self._decoded
+        if decoded:
+            first = addr & ~3
+            last = (addr + length - 1) & ~3
+            for pc in range(first, last + 4, 4):
+                decoded.pop(pc, None)
+        blocks = self._blocks
+        if blocks:
+            end = addr + length
+            stale = [
+                entry for entry, block in blocks.items()
+                if entry < end and entry + 4 * block.n > addr
+            ]
+            for entry in stale:
+                del blocks[entry]
 
     def step(self) -> None:
         """Execute exactly one instruction."""

@@ -4,9 +4,23 @@ Memory is organised as 4 KiB pages allocated on first touch, so the guest's
 widely separated text / data / stack regions do not cost host RAM.  All
 multi-byte accesses are little-endian and must be naturally aligned (SR32
 has no unaligned accesses, which keeps the SDT's fetch path simple).
+
+Write watch
+-----------
+
+Every store path (byte/half/word and the bulk copy) funnels through one
+hook point so execution engines can detect guest writes to translated
+code (:mod:`repro.sdt.coherence`, the interpreter's block caches).  The
+owner registers a hook with :meth:`Memory.set_write_watch` and marks
+pages of interest with :meth:`Memory.watch_page`; the hook fires *after*
+the bytes land, with the store's address and length.  When no watch is
+installed the per-store cost is a single attribute load and ``is None``
+test, so coherence-off configurations pay nothing measurable.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.machine.errors import AlignmentFault, MemoryFault
 
@@ -15,14 +29,21 @@ PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
 ADDR_LIMIT = 1 << 32
 
+#: Write-watch callback: ``hook(addr, length)`` after the store landed.
+WriteWatch = Callable[[int, int], None]
+
 
 class Memory:
     """Sparse 32-bit guest address space."""
 
-    __slots__ = ("_pages",)
+    __slots__ = ("_pages", "_watched", "_watch_hook")
 
     def __init__(self) -> None:
         self._pages: dict[int, bytearray] = {}
+        #: watched page indices, or None when no watch is installed (the
+        #: fast-path guard tests this one attribute)
+        self._watched: set[int] | None = None
+        self._watch_hook: WriteWatch | None = None
 
     def _page(self, addr: int) -> bytearray:
         page = self._pages.get(addr >> PAGE_SHIFT)
@@ -31,15 +52,51 @@ class Memory:
             self._pages[addr >> PAGE_SHIFT] = page
         return page
 
-    def _fail(self, addr: int, width: int) -> None:
+    def _fail(self, addr: int, width: int, op: str) -> None:
         """Raise for an access rejected by a fast-path guard.
 
         Out-of-range beats misalignment, matching the historical check
         order (an out-of-range odd address is a :class:`MemoryFault`).
+        ``op`` is the access kind ("load"/"store") carried into the
+        fault message, the same label the byte accessors report.
         """
         if not 0 <= addr <= ADDR_LIMIT - width:
-            raise MemoryFault(addr)
+            raise MemoryFault(addr, op)
         raise AlignmentFault(addr, width)
+
+    # -- write watch ---------------------------------------------------------
+
+    def set_write_watch(self, hook: WriteWatch | None) -> None:
+        """Install (or, with ``None``, remove) the store-path hook.
+
+        The hook is called as ``hook(addr, length)`` after any store that
+        touches a page previously marked via :meth:`watch_page`.  Only
+        one hook can be installed at a time; the owning execution layer
+        multiplexes if it needs more.
+        """
+        if hook is None:
+            self._watched = None
+            self._watch_hook = None
+            return
+        self._watch_hook = hook
+        if self._watched is None:
+            self._watched = set()
+
+    def watch_page(self, page_index: int) -> None:
+        """Mark one page so stores into it invoke the watch hook."""
+        if self._watch_hook is None:
+            raise ValueError("watch_page requires set_write_watch first")
+        assert self._watched is not None
+        self._watched.add(page_index)
+
+    def unwatch_page(self, page_index: int) -> None:
+        """Stop watching one page (missing pages are ignored)."""
+        if self._watched is not None:
+            self._watched.discard(page_index)
+
+    def watched_pages(self) -> frozenset[int]:
+        """Currently watched page indices (introspection/tests)."""
+        return frozenset(self._watched) if self._watched is not None else frozenset()
 
     # -- loads -------------------------------------------------------------
     #
@@ -57,7 +114,7 @@ class Memory:
 
     def load_half(self, addr: int) -> int:
         if addr & 1 or addr < 0 or addr > ADDR_LIMIT - 2:
-            self._fail(addr, 2)
+            self._fail(addr, 2, "load")
         page = self._pages.get(addr >> PAGE_SHIFT)
         if page is None:
             return 0
@@ -66,7 +123,7 @@ class Memory:
 
     def load_word(self, addr: int) -> int:
         if addr & 3 or addr < 0 or addr > ADDR_LIMIT - 4:
-            self._fail(addr, 4)
+            self._fail(addr, 4, "load")
         page = self._pages.get(addr >> PAGE_SHIFT)
         if page is None:
             return 0
@@ -79,31 +136,91 @@ class Memory:
         if not 0 <= addr < ADDR_LIMIT:
             raise MemoryFault(addr, "store")
         self._page(addr)[addr & PAGE_MASK] = value & 0xFF
+        watched = self._watched
+        if watched is not None and (addr >> PAGE_SHIFT) in watched:
+            self._watch_hook(addr, 1)
 
     def store_half(self, addr: int, value: int) -> None:
         if addr & 1 or addr < 0 or addr > ADDR_LIMIT - 2:
-            self._fail(addr, 2)
+            self._fail(addr, 2, "store")
         page = self._page(addr)
         off = addr & PAGE_MASK
         page[off] = value & 0xFF
         page[off + 1] = (value >> 8) & 0xFF
+        watched = self._watched
+        if watched is not None and (addr >> PAGE_SHIFT) in watched:
+            self._watch_hook(addr, 2)
 
     def store_word(self, addr: int, value: int) -> None:
         if addr & 3 or addr < 0 or addr > ADDR_LIMIT - 4:
-            self._fail(addr, 4)
+            self._fail(addr, 4, "store")
         page = self._page(addr)
         off = addr & PAGE_MASK
         page[off : off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        watched = self._watched
+        if watched is not None and (addr >> PAGE_SHIFT) in watched:
+            self._watch_hook(addr, 4)
 
     # -- bulk --------------------------------------------------------------
 
     def write_bytes(self, addr: int, data: bytes) -> None:
-        """Copy a buffer into guest memory (loader use)."""
-        for index, byte in enumerate(data):
-            self.store_byte(addr + index, byte)
+        """Copy a buffer into guest memory, one page slice at a time.
+
+        Faulting behaviour matches the historical per-byte loop exactly:
+        a negative start faults before writing anything, and a buffer
+        running past the address limit writes the in-range prefix and
+        then faults at the first out-of-range address.
+        """
+        if not data:
+            return
+        if addr < 0:
+            raise MemoryFault(addr, "store")
+        length = len(data)
+        prefix = min(length, ADDR_LIMIT - addr) if addr < ADDR_LIMIT else 0
+        pages = self._pages
+        watched = self._watched
+        pos = 0
+        cursor = addr
+        while pos < prefix:
+            off = cursor & PAGE_MASK
+            take = min(PAGE_SIZE - off, prefix - pos)
+            index = cursor >> PAGE_SHIFT
+            page = pages.get(index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                pages[index] = page
+            page[off : off + take] = data[pos : pos + take]
+            if watched is not None and index in watched:
+                self._watch_hook(cursor, take)
+            pos += take
+            cursor += take
+        if prefix < length:
+            raise MemoryFault(addr + prefix, "store")
 
     def read_bytes(self, addr: int, length: int) -> bytes:
-        return bytes(self.load_byte(addr + i) for i in range(length))
+        """Read a buffer from guest memory, one page slice at a time."""
+        if length <= 0:
+            return b""
+        if addr < 0:
+            raise MemoryFault(addr, "load")
+        prefix = min(length, ADDR_LIMIT - addr) if addr < ADDR_LIMIT else 0
+        pages = self._pages
+        out = bytearray()
+        pos = 0
+        cursor = addr
+        while pos < prefix:
+            off = cursor & PAGE_MASK
+            take = min(PAGE_SIZE - off, prefix - pos)
+            page = pages.get(cursor >> PAGE_SHIFT)
+            if page is None:
+                out.extend(b"\x00" * take)
+            else:
+                out.extend(page[off : off + take])
+            pos += take
+            cursor += take
+        if prefix < length:
+            raise MemoryFault(addr + prefix, "load")
+        return bytes(out)
 
     def read_cstring(self, addr: int, limit: int = 1 << 16) -> str:
         """Read a NUL-terminated string (bounded by ``limit`` bytes)."""

@@ -122,6 +122,35 @@ class FragmentCache:
     def insert(self, fragment: Fragment) -> None:
         self._fragments[fragment.guest_pc] = fragment
 
+    def invalidate(self, fragments: list[Fragment]) -> int:
+        """Selectively evict fragments (code-cache coherence).
+
+        Unlike :meth:`flush` this does *not* run the flush hooks — the
+        caller (:class:`repro.sdt.coherence.CoherenceManager`) scrubs the
+        derived IB state itself, because only it knows which fragments
+        died.  Bump allocation means the evicted bytes are not reclaimed;
+        the holes persist until the next whole-cache flush, exactly like
+        a patched-out fragment in a real bump-allocated code cache.
+
+        Returns the number of fragments actually evicted.
+        """
+        evicted = 0
+        for fragment in fragments:
+            if not fragment.valid:
+                continue
+            fragment.valid = False
+            fragment.links.clear()
+            fragment.plan = None
+            registered = self._fragments.get(fragment.guest_pc)
+            if registered is fragment:
+                del self._fragments[fragment.guest_pc]
+            evicted += 1
+        if evicted:
+            self.stats.coherence["fragments_invalidated"] += evicted
+            if self.trace is not None:
+                self.trace.emit("coherence.invalidate", fragments=evicted)
+        return evicted
+
     def flush(self) -> None:
         """Drop every fragment and notify mechanisms.
 

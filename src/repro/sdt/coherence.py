@@ -1,0 +1,191 @@
+"""Code-cache coherence: guest writes to translated code.
+
+Every pre-coherence workload executes static code, so the fragment cache
+and the IB-mechanism tables could safely assume guest text never changes.
+Self-modifying code, dynamically loaded/unloaded code and guest-hosted
+JITs break that assumption: a store into a translated region leaves the
+cached fragments (and every derived structure pointing at them — IBTC
+slots, sieve stubs, fast-return pad bindings, devirtualized edges,
+superblock plans) describing bytes that no longer exist.
+
+:class:`CoherenceManager` is the SDT-side consumer of the
+:class:`repro.machine.memory.Memory` write watch.  Translated guest
+pages are tracked at page granularity: each freshly translated fragment
+registers the pages its instructions occupy (via the translator's
+post-translate hook) and those pages are watched.  A store into a
+watched page fires :meth:`_on_write`, which applies the configured
+``SDTConfig.coherence`` policy:
+
+``flush``
+    drop the whole fragment cache (Strata's only option — every flush
+    hook runs, exactly as on a capacity flush),
+``page``
+    selectively invalidate the fragments overlapping the written page,
+``targeted``
+    selectively invalidate only the fragments whose instruction byte
+    range intersects the written bytes (a store into a translated page
+    that hits no fragment costs one registry probe and nothing else).
+
+Selective invalidation bypasses the flush hooks — only this manager
+knows *which* fragments died — so it scrubs the derived structures
+itself: the generic and return mechanisms (``scrub_invalid``), the
+static-targets runtime (``on_invalidate``), surviving fragments' link
+stubs, and the translator's decode cache.  When the invariant checker is
+active (chaos runs) its coherence site walks the whole VM afterwards, so
+a missed scrub is a CI failure, not a silent wrong-code execution.
+
+Visibility rule (shared with the interpreter, see docs/robustness.md):
+a store to code becomes architecturally visible at the next control
+transfer, never mid-fragment — both engines reach invalidated state only
+through a fresh lookup/translation, which sees the new bytes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.machine.memory import PAGE_SHIFT
+from repro.sdt.fragment import Fragment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sdt.vm import SDTVM
+
+
+class CoherenceManager:
+    """Write-detection + invalidation driver bound to one VM."""
+
+    def __init__(self, vm: "SDTVM"):
+        self.vm = vm
+        self.policy = vm.config.coherence
+        if self.policy == "none":  # pragma: no cover - VM never wires this
+            raise ValueError("CoherenceManager requires coherence != 'none'")
+        #: page index -> fragments with instructions on that page, keyed
+        #: by id() (Fragment is deliberately unhashable)
+        self._page_frags: dict[int, dict[int, Fragment]] = {}
+
+    def install(self) -> None:
+        """Hook the memory write watch, the translator and the flush path.
+
+        Must run after the IB mechanisms bind and after the
+        static-targets runtime installs (registration order is scrub
+        order is checker-visibility order), and before the invariant
+        checker installs.
+        """
+        vm = self.vm
+        vm.mem.set_write_watch(self._on_write)
+        vm.translator.add_post_translate(self._on_translate)
+        vm.cache.on_flush(self._on_flush)
+
+    # -- page tracking -------------------------------------------------------
+
+    def _on_translate(self, fragment: Fragment) -> None:
+        """Register (and watch) the pages a new fragment's code occupies."""
+        mem = self.vm.mem
+        page_frags = self._page_frags
+        for pc, _instr in fragment.instrs:
+            index = pc >> PAGE_SHIFT
+            frags = page_frags.get(index)
+            if frags is None:
+                frags = page_frags[index] = {}
+                mem.watch_page(index)
+            frags[id(fragment)] = fragment
+
+    def _on_flush(self) -> None:
+        """Whole-cache flush: every registration is dead, stop watching.
+
+        Unwatching makes further stores to these pages invisible, so the
+        translator's decodes for them must die with the watch — keeping
+        them would serve stale instructions to the next retranslation
+        (the remaining stores of a guest copy loop land after the first
+        one already triggered the flush).
+        """
+        mem = self.vm.mem
+        translator = self.vm.translator
+        for index in self._page_frags:
+            mem.unwatch_page(index)
+            translator.invalidate_decoded_page(index)
+        self._page_frags.clear()
+
+    # -- the write hook ------------------------------------------------------
+
+    def _on_write(self, addr: int, length: int) -> None:
+        """A guest store landed in a translated page: apply the policy."""
+        vm = self.vm
+        stats = vm.stats.coherence
+        stats["code_writes"] += 1
+        if vm.trace is not None:
+            vm.trace.emit("coherence.write", addr=addr, length=length,
+                          policy=self.policy)
+        # dropped unconditionally: a later (re)translation must decode
+        # the new bytes whatever the invalidation granularity
+        vm.translator.invalidate_decoded(addr, length)
+
+        if self.policy == "flush":
+            stats["flushes"] += 1
+            vm.cache.flush()
+            return
+
+        first_page = addr >> PAGE_SHIFT
+        last_page = (addr + length - 1) >> PAGE_SHIFT
+        candidates: dict[int, Fragment] = {}
+        for index in range(first_page, last_page + 1):
+            frags = self._page_frags.get(index)
+            if frags:
+                candidates.update(frags)
+
+        if self.policy == "targeted":
+            end = addr + length
+            dead = [
+                frag for frag in candidates.values()
+                if any(pc < end and pc + 4 > addr for pc, _i in frag.instrs)
+            ]
+        else:  # page
+            dead = list(candidates.values())
+
+        if not dead:
+            stats["noop_writes"] += 1
+            return
+        self._invalidate(dead)
+
+    # -- selective invalidation ----------------------------------------------
+
+    def _invalidate(self, dead: list[Fragment]) -> None:
+        """Evict ``dead`` and scrub every structure that could point at
+        them, in the same order flush hooks would have run."""
+        vm = self.vm
+        vm.cache.invalidate(dead)
+
+        # unregister the dead fragments (a fragment may be registered on
+        # pages other than the written one) and stop watching pages left
+        # with no translated code
+        dead_ids = {id(frag) for frag in dead}
+        empty = []
+        for index, frags in self._page_frags.items():
+            for frag_id in dead_ids & frags.keys():
+                del frags[frag_id]
+            if not frags:
+                empty.append(index)
+        for index in empty:
+            del self._page_frags[index]
+            vm.mem.unwatch_page(index)
+            # a decode may only outlive a watch on its page (see
+            # Translator.invalidate_decoded_page)
+            vm.translator.invalidate_decoded_page(index)
+
+        # derived structures, in flush-hook order: mechanisms, then the
+        # static-targets runtime, then surviving links, checker last
+        vm.generic_ib.scrub_invalid()
+        vm.return_mech.scrub_invalid()
+        if vm.static_rt is not None:
+            vm.static_rt.on_invalidate(dead)
+        for fragment in vm.cache.fragments():
+            links = fragment.links
+            if links:
+                stale = [
+                    key for key, linked in links.items() if not linked.valid
+                ]
+                for key in stale:
+                    del links[key]
+        checker = vm.invariant_checker
+        if checker is not None:
+            checker.on_invalidate()

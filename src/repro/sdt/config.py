@@ -14,6 +14,15 @@ from repro.trace.spec import TraceSpec, default_trace_spec, parse_trace_spec
 GENERIC_MECHANISMS = ("reentry", "ibtc", "sieve")
 RETURN_SCHEMES = ("same", "fast", "shadow", "retcache")
 
+#: Code-cache coherence policies (see repro.sdt.coherence):
+#: ``none``  — no write detection; guest code is assumed immutable
+#:             (every pre-coherence workload; zero store-path cost),
+#: ``flush`` — any store to a translated page drops the whole cache,
+#: ``page``  — invalidate the fragments overlapping the written page,
+#: ``targeted`` — invalidate only fragments whose instruction byte
+#:             range intersects the written bytes.
+COHERENCE_POLICIES = ("none", "flush", "page", "targeted")
+
 #: Fields excluded from :meth:`SDTConfig.fingerprint`.  Only fields that
 #: provably cannot change any *architectural* result may appear here:
 #: ``engine`` selects *how* the simulation executes (oracle dispatch vs
@@ -61,6 +70,16 @@ class SDTConfig:
         fragment_cache_bytes: fragment-cache capacity (whole-cache flush
             when exceeded).
         max_fragment_instrs: fragment length limit.
+        coherence: code-cache coherence policy for guest writes to
+            translated code (:data:`COHERENCE_POLICIES`).  ``none``
+            (the default) performs no write detection — correct for
+            static code and free on the store path; ``flush``/``page``/
+            ``targeted`` install the write watch and invalidate at
+            whole-cache / page / byte-range granularity
+            (:mod:`repro.sdt.coherence`).  The policy changes which
+            fragments survive a write — and under ``none`` potentially
+            the architectural results of self-modifying guests — so it
+            is fingerprint-relevant and appears in :attr:`label`.
         engine: simulation execution engine — ``"threaded"`` (closure
             superblocks, the default) or ``"oracle"`` (per-instruction
             reference dispatch).  Results are identical; only simulator
@@ -100,6 +119,7 @@ class SDTConfig:
     trace_jumps: bool = False
     fragment_cache_bytes: int = DEFAULT_CAPACITY
     max_fragment_instrs: int = DEFAULT_MAX_FRAGMENT_INSTRS
+    coherence: str = "none"
     engine: str = field(default_factory=default_engine)
     faults: FaultPlan | None = field(default_factory=default_fault_plan)
     trace: TraceSpec | None = field(default_factory=default_trace_spec)
@@ -140,6 +160,11 @@ class SDTConfig:
             raise ValueError(f"unknown ibtc hash {self.ibtc_hash!r}")
         if self.sieve_policy not in ("prepend", "append"):
             raise ValueError(f"unknown sieve policy {self.sieve_policy!r}")
+        if self.coherence not in COHERENCE_POLICIES:
+            raise ValueError(
+                f"unknown coherence policy {self.coherence!r}; "
+                f"expected one of {COHERENCE_POLICIES}"
+            )
 
     @property
     def label(self) -> str:
@@ -166,6 +191,8 @@ class SDTConfig:
             parts.append("static")
         if self.trace_jumps:
             parts.append("trace")
+        if self.coherence != "none":
+            parts.append(f"coh={self.coherence}")
         return "+".join(parts)
 
     def fingerprint(self) -> tuple:

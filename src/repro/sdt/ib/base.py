@@ -70,6 +70,17 @@ class IBMechanism(ABC):
     def on_flush(self) -> None:
         """Drop any cached fragment pointers (cache was flushed)."""
 
+    def scrub_invalid(self) -> None:
+        """Drop entries pointing at invalidated fragments.
+
+        Called by the coherence manager after a *selective* invalidation
+        (:meth:`repro.sdt.cache.FragmentCache.invalidate`), which —
+        unlike a whole-cache flush — kills only some fragments and runs
+        no flush hooks.  Mechanisms holding no fragment pointers inherit
+        this no-op.  Scrubbing must be by validity predicate, never by
+        identity list, so it also clears fault-injected tombstones.
+        """
+
     def live_fragment_refs(self) -> list[Fragment]:
         """Every fragment reference this mechanism currently holds.
 
@@ -125,6 +136,13 @@ class ReturnMechanism(ABC):
 
     def on_flush(self) -> None:
         """Drop any cached fragment pointers."""
+
+    def scrub_invalid(self) -> None:
+        """Drop entries pointing at invalidated fragments (selective
+        invalidation; see :meth:`IBMechanism.scrub_invalid`).  Schemes
+        that share their fallback with the generic mechanism scrub only
+        their *own* state — the coherence manager scrubs the generic
+        mechanism separately."""
 
     def live_fragment_refs(self) -> list[Fragment]:
         """Fragment references held by this scheme (coherence checking)."""

@@ -206,3 +206,16 @@ class IBTC(IBMechanism):
         if self._shared_table is not None:
             self._shared_table.clear()
         self._site_tables.clear()
+
+    def scrub_invalid(self) -> None:
+        tables = []
+        if self._shared_table is not None:
+            tables.append(self._shared_table)
+        tables.extend(self._site_tables.values())
+        for table in tables:
+            frags = table.frags
+            tags = table.tags
+            for index, frag in enumerate(frags):
+                if frag is not None and not frag.valid:
+                    tags[index] = -1
+                    frags[index] = None

@@ -90,6 +90,15 @@ class InlinePrediction(IBMechanism):
         self._predictions.clear()
         # inner is registered with the cache separately via bind()
 
+    def scrub_invalid(self) -> None:
+        stale = [
+            pc for pc, p in self._predictions.items()
+            if not p.fragment.valid
+        ]
+        for pc in stale:
+            del self._predictions[pc]
+        self.inner.scrub_invalid()
+
     def live_fragment_refs(self):
         refs = [p.fragment for p in self._predictions.values()]
         refs.extend(self.inner.live_fragment_refs())

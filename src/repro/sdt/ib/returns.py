@@ -129,6 +129,16 @@ class FastReturns(ReturnMechanism):
         # fragment bindings do not
         self._pad_fragment.clear()
 
+    def scrub_invalid(self) -> None:
+        # pads and their guest bindings survive (stable addresses); only
+        # bindings to dead fragments are dropped
+        stale = [
+            pad for pad, frag in self._pad_fragment.items()
+            if not frag.valid
+        ]
+        for pad in stale:
+            del self._pad_fragment[pad]
+
     def live_fragment_refs(self):
         return list(self._pad_fragment.values())
 
@@ -241,6 +251,12 @@ class ReturnCache(ReturnMechanism):
     def on_flush(self) -> None:
         for index in range(len(self._table)):
             self._table[index] = None
+
+    def scrub_invalid(self) -> None:
+        table = self._table
+        for index, frag in enumerate(table):
+            if frag is not None and not frag.valid:
+                table[index] = None
 
     def live_fragment_refs(self):
         return list(self._table)

@@ -146,6 +146,12 @@ class Sieve(IBMechanism):
         for chain in self._chains:
             chain.clear()
 
+    def scrub_invalid(self) -> None:
+        # in-place: dispatch holds direct references to chain lists
+        for chain in self._chains:
+            if any(not frag.valid for _target, frag in chain):
+                chain[:] = [entry for entry in chain if entry[1].valid]
+
     def live_fragment_refs(self):
         return [
             fragment

@@ -109,7 +109,7 @@ class StaticTargetsRuntime:
         Must run *before* the invariant checker installs, so the
         checker's post-flush walk observes this runtime's cleared state.
         """
-        self.vm.translator.post_translate = self._on_translate
+        self.vm.translator.add_post_translate(self._on_translate)
         self.vm.cache.on_flush(self._on_flush)
 
     # -- translation-time preseeding ----------------------------------------
@@ -215,12 +215,47 @@ class StaticTargetsRuntime:
     # -- flush coherence ------------------------------------------------------
 
     def _on_flush(self) -> None:
-        """A cache flush demotes every devirtualized edge to cold."""
+        """A cache flush demotes every devirtualized edge to cold.
+
+        Pending preseed hints (``_wanted``) and armed sites are cleared
+        too: a flush can land *inside* ``translate()`` (capacity
+        eviction or an injected flush storm) between the reservation and
+        the post-translate drain, and any hint surviving that window
+        would be drained against freed fragments.
+        """
         if self._devirt_frags:
             self.vm.stats.static["devirt_flushed"] += len(self._devirt_frags)
             self._devirt_frags.clear()
         self._armed.clear()
         self._wanted.clear()
+
+    def on_invalidate(self, dead: list[Fragment]) -> None:
+        """Selective (page/targeted) invalidation scrub.
+
+        Unlike :meth:`_on_flush` only *some* fragments died, so the
+        devirt pins are scrubbed by validity and only the IB sites that
+        lived inside dead fragments are disarmed (their retranslation
+        re-arms and re-queues them).  Queued wants from disarmed sites
+        are dropped so the drain never preseeds on behalf of a site
+        whose fragment is gone.
+        """
+        stale = [
+            pc for pc, frag in self._devirt_frags.items() if not frag.valid
+        ]
+        if stale:
+            self.vm.stats.static["devirt_flushed"] += len(stale)
+            for pc in stale:
+                del self._devirt_frags[pc]
+        dead_pcs = {pc for frag in dead for pc, _instr in frag.instrs}
+        dead_sites = self._armed & dead_pcs
+        if not dead_sites:
+            return
+        self._armed -= dead_sites
+        for target in list(self._wanted):
+            waiting = self._wanted[target]
+            waiting -= dead_sites
+            if not waiting:
+                del self._wanted[target]
 
     def live_fragment_refs(self) -> list[Fragment]:
         """Pinned devirt edges, for the invariant checker's walk."""

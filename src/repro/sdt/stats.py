@@ -30,6 +30,12 @@ class SDTStats:
     #: "devirt_mismatch", "preseed" per-mechanism insertions, and the
     #: precision tallies "predicted"/"unpredicted"/"escaped"
     static: Counter = field(default_factory=Counter)
+    #: code-cache coherence events (empty unless ``SDTConfig.coherence``
+    #: != "none"): "code_writes" (stores hitting translated pages),
+    #: "flushes" (whole-cache drops under the flush policy),
+    #: "fragments_invalidated" (selective page/targeted evictions) and
+    #: "noop_writes" (targeted writes intersecting no fragment)
+    coherence: Counter = field(default_factory=Counter)
 
     def hit_rate(self, mechanism: str) -> float:
         """Hit rate for a mechanism (0.0 if it never dispatched)."""
@@ -50,6 +56,7 @@ class SDTStats:
             "mechanism": dict(self.mechanism),
             "faults": dict(self.faults),
             "static": dict(self.static),
+            "coherence": dict(self.coherence),
         }
 
     def static_precision(self) -> float:

@@ -9,6 +9,7 @@ from repro.isa.encoding import decode
 from repro.isa.instruction import Instruction
 from repro.isa.program import Program
 from repro.machine.errors import MemoryFault
+from repro.machine.memory import PAGE_SHIFT, PAGE_SIZE
 from repro.sdt.cache import FragmentCache
 from repro.sdt.fragment import ExitKind, Fragment, exit_kind_for
 
@@ -38,6 +39,7 @@ class Translator:
         max_fragment_instrs: int = DEFAULT_MAX_FRAGMENT_INSTRS,
         trace_jumps: bool = False,
         plan_factory: PlanFactory | None = None,
+        mem=None,
     ):
         if max_fragment_instrs < 1:
             raise ValueError("max_fragment_instrs must be >= 1")
@@ -61,14 +63,57 @@ class Translator:
         #: optional observability sink (repro.trace.session.TraceSession);
         #: the owning VM wires it after construction
         self.trace = None
-        #: invoked with each freshly inserted fragment (after the cache
-        #: insert and the TRANSLATE charge); the static-targets runtime
-        #: hooks this to preseed IB lookup state.  The callback must not
-        #: translate (it only links already-cached fragments).
-        self.post_translate: Callable[[Fragment], None] | None = None
+        #: hooks invoked with each freshly inserted fragment (after the
+        #: cache insert and the TRANSLATE charge), in registration order;
+        #: the static-targets runtime preseeds IB lookup state here and
+        #: the coherence manager registers translated pages.  Hooks must
+        #: not translate (they only link already-cached fragments).
+        self._post_translate: list[Callable[[Fragment], None]] = []
         self._text = program.text.data
         self._text_base = program.text.base
+        #: when set, instruction fetches read live guest memory instead
+        #: of the program image's static text bytes, so translation sees
+        #: guest writes to code (coherence policies != "none" wire this)
+        self._mem = mem
         self._decoded: dict[int, Instruction] = {}
+
+    def add_post_translate(self, hook: Callable[[Fragment], None]) -> None:
+        """Register a callback run after each fragment is translated."""
+        self._post_translate.append(hook)
+
+    def invalidate_decoded(self, addr: int, length: int) -> None:
+        """Drop cached decodes overlapping ``[addr, addr + length)``.
+
+        Called by the coherence manager on every guest write to a
+        translated page, so a later (re)translation decodes the new
+        bytes rather than serving a stale cached instruction.
+        """
+        decoded = self._decoded
+        if not decoded or length <= 0:
+            return
+        first = addr & ~3
+        last = (addr + length - 1) & ~3
+        for pc in range(first, last + 4, 4):
+            decoded.pop(pc, None)
+
+    def invalidate_decoded_page(self, page_index: int) -> None:
+        """Drop every cached decode on one guest page.
+
+        Called by the coherence manager when it stops *watching* a page
+        (whole-cache flush, or a selective invalidation that emptied the
+        page): once unwatched, further guest stores to the page are
+        invisible, so any decode kept beyond that point could silently
+        go stale.  The invariant is that a cached decode only outlives a
+        write watch on its page.
+        """
+        decoded = self._decoded
+        if not decoded:
+            return
+        lo = page_index << PAGE_SHIFT
+        hi = lo + PAGE_SIZE
+        stale = [pc for pc in decoded if lo <= pc < hi]
+        for pc in stale:
+            del decoded[pc]
 
     def _in_text(self, pc: int) -> bool:
         offset = pc - self._text_base
@@ -80,7 +125,12 @@ class Translator:
             offset = pc - self._text_base
             if pc % 4 or not 0 <= offset < len(self._text):
                 raise MemoryFault(pc, "translate-fetch")
-            word = int.from_bytes(self._text[offset : offset + 4], "little")
+            if self._mem is not None:
+                word = self._mem.load_word(pc)
+            else:
+                word = int.from_bytes(
+                    self._text[offset : offset + 4], "little"
+                )
             instr = decode(word)
             self._decoded[pc] = instr
         return instr
@@ -199,6 +249,6 @@ class Translator:
             trace.emit("translate.end", pc=guest_pc, instrs=len(instrs),
                        fc_addr=fragment.fc_addr,
                        exit=fragment.exit_kind.name.lower())
-        if self.post_translate is not None:
-            self.post_translate(fragment)
+        for hook in self._post_translate:
+            hook(fragment)
         return fragment

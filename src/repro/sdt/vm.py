@@ -86,6 +86,7 @@ class SDTVM:
         self.cache.trace = self.trace
         self.cpu, self.mem, self.syscalls = load_program(program, inputs)
         self._threaded = self.config.engine == "threaded"
+        self._coherent = self.config.coherence != "none"
         self.translator = Translator(
             program,
             self.cache,
@@ -93,6 +94,10 @@ class SDTVM:
             max_fragment_instrs=self.config.max_fragment_instrs,
             trace_jumps=self.config.trace_jumps,
             plan_factory=self._compile_plan if self._threaded else None,
+            # under a coherence policy the translator must fetch live
+            # guest memory, so retranslation after an invalidation sees
+            # the written bytes instead of the static program image
+            mem=self.mem if self._coherent else None,
         )
         self.translator.trace = self.trace
         self.generic_ib, self.return_mech = build_mechanisms(self.config)
@@ -108,6 +113,15 @@ class SDTVM:
 
             self.static_rt = StaticTargetsRuntime(self)
             self.static_rt.install()
+        # code-cache coherence (see repro.sdt.coherence): installed after
+        # the mechanisms and the static runtime (selective invalidations
+        # scrub them in that order) and before the invariant checker.
+        self.coherence = None
+        if self._coherent:
+            from repro.sdt.coherence import CoherenceManager
+
+            self.coherence = CoherenceManager(self)
+            self.coherence.install()
         # fault injection + coherence watchdog (see repro.faults).  The
         # checker's flush hook registers *after* the mechanisms' so it
         # observes their post-invalidation state.

@@ -11,6 +11,11 @@ from repro.workloads.base import (
     suite,
     workload_names,
 )
+from repro.workloads.coherence import (
+    COHERENCE_WORKLOADS,
+    coherence_suite,
+    get_coherence_workload,
+)
 
 # importing the modules registers each workload
 from repro.workloads import (  # noqa: F401  (imported for side effects)
@@ -29,8 +34,11 @@ from repro.workloads import (  # noqa: F401  (imported for side effects)
 )
 
 __all__ = [
+    "COHERENCE_WORKLOADS",
     "SCALES",
     "Workload",
+    "coherence_suite",
+    "get_coherence_workload",
     "get_workload",
     "suite",
     "workload_names",

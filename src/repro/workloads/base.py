@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable
 
+from repro.isa.assembler import assemble
 from repro.isa.program import Program
 from repro.lang import compile_to_program
 
@@ -24,21 +25,34 @@ SCALES = ("tiny", "small", "large")
 
 @dataclass(frozen=True)
 class Workload:
-    """One benchmark program."""
+    """One benchmark program.
+
+    ``language`` selects the compile path: ``"minic"`` (the benchmark
+    suite) or ``"asm"`` (hand-written SR32, used by the coherence
+    scenarios whose code layout must be controlled to the byte).
+    """
 
     name: str
     spec_analog: str
     description: str
     ib_profile: str
     source: str
+    language: str = "minic"
 
     def compile(self) -> Program:
+        if self.language == "asm":
+            return _assemble_cached(self.source)
         return _compile_cached(self.source)
 
 
 @lru_cache(maxsize=128)
 def _compile_cached(source: str) -> Program:
     return compile_to_program(source)
+
+
+@lru_cache(maxsize=128)
+def _assemble_cached(source: str) -> Program:
+    return assemble(source)
 
 
 _REGISTRY: dict[str, Callable[[str], Workload]] = {}

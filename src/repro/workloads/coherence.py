@@ -1,0 +1,324 @@
+"""Coherence scenario workloads: guests that write their own code.
+
+Every workload in the benchmark registry executes static text, so these
+three scenarios live outside it (E1–E14 and the CLI iterate the registry;
+``coherence="none"`` runs would silently execute stale fragments on these
+programs — by design, that is the failure mode E15 measures the cost of
+avoiding).  They are hand-written SR32 assembly because the code *layout*
+is the point: what shares a page with what determines how the ``flush`` /
+``page`` / ``targeted`` invalidation policies separate.
+
+All three rely on two ISA facts (see ``repro.isa.assembler``):
+
+* J-format jumps encode an **absolute** word address, so a jump word
+  copied byte-for-byte to a new location still transfers to its original
+  target — that is how ``smc_loop`` patches a jump by copying template
+  words.
+* Conditional branches encode a **relative** displacement, so a
+  self-contained code region whose only internal control is branches
+  (plus a ``ret``) relocates freely — that is how ``dyn_loader`` "maps"
+  a library by copying it into a scratch region.
+
+Data directives are illegal in ``.text``, so patchable/JIT regions are
+``nop`` sleds: real instructions that are simply never executed until
+the guest overwrites them.
+
+Visibility rule (docs/robustness.md): a store to code becomes visible at
+the next control transfer.  Every scenario stores, then transfers
+control (``jalr``), and only then executes the written bytes — never
+patching ahead of itself inside a straight-line run.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.machine.memory import PAGE_SHIFT
+from repro.workloads.base import Workload
+
+#: Scenario names, in suite order.
+COHERENCE_WORKLOADS = ("smc_loop", "dyn_loader", "mini_jit")
+
+_ITERS = {"tiny": 8, "small": 64, "large": 256}
+
+#: One page of nops (4 KiB / 4 bytes per instruction) — inserted between
+#: the driver loop and the written region so they land on distinct pages.
+_PAGE_SLED = "\n".join(["    nop"] * 1024)
+
+_EPILOGUE = """\
+    mv   a0, s1
+    li   v0, 1
+    syscall                 # print checksum
+    li   v0, 10
+    li   a0, 0
+    syscall                 # exit 0
+"""
+
+
+def _page(program: Program, label: str) -> int:
+    return program.symbol(label) >> PAGE_SHIFT
+
+
+def _check_layout(program: Program, same: list[tuple[str, str]],
+                  distinct: list[tuple[str, str]]) -> None:
+    """Assert the page layout the scenario's cost separation depends on."""
+    for a, b in same:
+        if _page(program, a) != _page(program, b):
+            raise AssertionError(
+                f"coherence scenario layout: {a} and {b} must share a page"
+            )
+    for a, b in distinct:
+        if _page(program, a) == _page(program, b):
+            raise AssertionError(
+                f"coherence scenario layout: {a} and {b} must be on "
+                f"distinct pages"
+            )
+
+
+def smc_loop(scale: str = "small") -> Workload:
+    """Self-modifying loop: re-patches the jump it then calls.
+
+    Each iteration copies a template jump word (``j path_a`` or
+    ``j path_b``, alternating) over ``patch_site`` and indirect-calls it.
+    ``helper`` sits on the *same page* as ``patch_site`` but is never
+    written: ``targeted`` keeps its fragment alive across every patch,
+    ``page`` kills it each time, ``flush`` kills everything — the
+    three-way cost separation E15 measures.
+    """
+    iters = _ITERS[scale]
+    source = f"""\
+    .text
+    .entry main
+main:
+    li   s0, {iters}
+    li   s1, 0              # checksum
+    la   s2, patch_site
+    la   t0, tpl_a
+    lw   s3, 0(t0)          # template word: j path_a (absolute target)
+    la   t0, tpl_b
+    lw   s4, 0(t0)          # template word: j path_b
+    la   s6, helper
+loop:
+    andi t0, s0, 1
+    beqz t0, even
+    sw   s3, 0(s2)          # patch: j path_a
+    b    fire
+even:
+    sw   s4, 0(s2)          # patch: j path_b
+fire:
+    jalr s2                 # indirect call into the patched site
+    add  s1, s1, v0
+    jalr s6                 # same-page neighbour, never written
+    add  s1, s1, v0
+    addi s0, s0, -1
+    bnez s0, loop
+{_EPILOGUE}
+    # unreachable template words the patch loop copies from
+tpl_a:
+    j    path_a
+tpl_b:
+    j    path_b
+{_PAGE_SLED}
+patch_site:
+    j    path_a             # overwritten every iteration
+path_a:
+    li   v0, 1
+    ret
+path_b:
+    li   v0, 2
+    ret
+helper:
+    li   v0, 3
+    ret
+"""
+    workload = Workload(
+        name="smc_loop",
+        spec_analog="none (coherence scenario)",
+        description=(
+            "self-modifying loop alternately patching a jump between two "
+            "targets, with an unwritten same-page helper"
+        ),
+        ib_profile="two icall sites; one hits freshly patched code",
+        source=source,
+        language="asm",
+    )
+    _check_layout(
+        workload.compile(),
+        same=[("patch_site", "helper"), ("patch_site", "path_a")],
+        distinct=[("loop", "patch_site"), ("tpl_a", "patch_site")],
+    )
+    return workload
+
+
+def dyn_loader(scale: str = "small") -> Workload:
+    """Load/unload scenario: alternately copies two "libraries" into one
+    region and indirect-calls the region.
+
+    The templates are self-contained (internal control is PC-relative
+    branches plus ``ret``), so the word-copy relocates them correctly.
+    Re-loading overwrites the previous library's translated fragments —
+    the dynamically-loaded-code flavour of the coherence problem.
+    """
+    iters = _ITERS[scale]
+    source = f"""\
+    .text
+    .entry main
+main:
+    li   s0, {iters}
+    li   s1, 0              # checksum
+    la   s5, lib_region
+loop:
+    andi t0, s0, 1
+    beqz t0, pick_b
+    la   s2, lib_a
+    la   s3, lib_a_end
+    b    load
+pick_b:
+    la   s2, lib_b
+    la   s3, lib_b_end
+load:
+    mv   t3, s5
+copy:
+    lw   t4, 0(s2)          # word-copy the library image
+    sw   t4, 0(t3)
+    addi s2, s2, 4
+    addi t3, t3, 4
+    bne  s2, s3, copy
+    jalr s5                 # indirect call into the loaded library
+    add  s1, s1, v0
+    addi s0, s0, -1
+    bnez s0, loop
+{_EPILOGUE}
+    # library images: self-contained, PC-relative control only
+lib_a:
+    li   v0, 0
+    li   t5, 5
+lib_a_loop:
+    add  v0, v0, t5
+    addi t5, t5, -1
+    bnez t5, lib_a_loop
+    ret
+lib_a_end:
+lib_b:
+    li   v0, 7
+    li   t5, 4
+lib_b_loop:
+    add  v0, v0, t5
+    addi t5, t5, -1
+    bnez t5, lib_b_loop
+    ret
+lib_b_end:
+{_PAGE_SLED}
+lib_region:
+{chr(10).join(["    nop"] * 16)}
+"""
+    workload = Workload(
+        name="dyn_loader",
+        spec_analog="none (coherence scenario)",
+        description=(
+            "alternately copies two relocatable library images into one "
+            "region and indirect-calls it (load/unload cycle)"
+        ),
+        ib_profile="one polymorphic icall site into reloaded code",
+        source=source,
+        language="asm",
+    )
+    _check_layout(
+        workload.compile(),
+        same=[],
+        distinct=[("loop", "lib_region"), ("lib_a", "lib_region")],
+    )
+    return workload
+
+
+def mini_jit(scale: str = "small") -> Workload:
+    """Guest-hosted mini-JIT: emits a fresh two-instruction function each
+    iteration and indirect-jumps to it.
+
+    The emitter ORs the iteration counter into the immediate field of an
+    ``addi v0, zero, 0`` template word, appends a copied ``ret`` word,
+    and calls the region — every call runs code that did not exist one
+    store ago, the worst case for any invalidation policy.
+    """
+    iters = _ITERS[scale]
+    source = f"""\
+    .text
+    .entry main
+main:
+    li   s0, {iters}
+    li   s1, 0              # checksum
+    la   s5, jit_region
+    la   t0, jit_tpl
+    lw   s6, 0(t0)          # template word: addi v0, zero, 0
+    la   t0, ret_tpl
+    lw   s7, 0(t0)          # template word: ret
+loop:
+    andi t0, s0, 0x7ff
+    or   t1, s6, t0         # splice k into the addi immediate field
+    sw   t1, 0(s5)          # emit: addi v0, zero, k
+    sw   s7, 4(s5)          # emit: ret
+    jalr s5                 # call the freshly emitted function
+    add  s1, s1, v0
+    addi s0, s0, -1
+    bnez s0, loop
+{_EPILOGUE}
+    # unreachable template words the emitter copies from
+jit_tpl:
+    addi v0, zero, 0
+ret_tpl:
+    ret
+{_PAGE_SLED}
+jit_region:
+{chr(10).join(["    nop"] * 8)}
+"""
+    workload = Workload(
+        name="mini_jit",
+        spec_analog="none (coherence scenario)",
+        description=(
+            "guest-hosted mini-JIT emitting a fresh two-instruction "
+            "function per iteration and calling it"
+        ),
+        ib_profile="one icall site whose target is always just-written",
+        source=source,
+        language="asm",
+    )
+    _check_layout(
+        workload.compile(),
+        same=[],
+        distinct=[("loop", "jit_region"), ("jit_tpl", "jit_region")],
+    )
+    return workload
+
+
+_BUILDERS = {
+    "smc_loop": smc_loop,
+    "dyn_loader": dyn_loader,
+    "mini_jit": mini_jit,
+}
+
+
+def get_coherence_workload(name: str, scale: str = "small") -> Workload:
+    """Build one coherence scenario by name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown coherence scenario {name!r}; "
+            f"available: {list(COHERENCE_WORKLOADS)}"
+        ) from None
+    return builder(scale)
+
+
+def coherence_suite(scale: str = "small") -> list[Workload]:
+    """All three scenarios at one scale."""
+    return [get_coherence_workload(name, scale)
+            for name in COHERENCE_WORKLOADS]
+
+
+__all__ = [
+    "COHERENCE_WORKLOADS",
+    "coherence_suite",
+    "dyn_loader",
+    "get_coherence_workload",
+    "mini_jit",
+    "smc_loop",
+]

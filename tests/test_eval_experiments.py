@@ -174,4 +174,4 @@ class TestE9:
 
 
 def test_registry_complete():
-    assert set(ALL_EXPERIMENTS) == {f"e{i}" for i in range(1, 15)}
+    assert set(ALL_EXPERIMENTS) == {f"e{i}" for i in range(1, 16)}

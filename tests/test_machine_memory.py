@@ -94,6 +94,163 @@ class TestBulk:
         assert mem.resident_pages == 2
 
 
+class TestFaultAccessKind:
+    """The access kind reaches the fault message on every path.
+
+    Pins the ``_fail`` bugfix: the shared fast-path guard used to raise
+    ``MemoryFault(addr)`` without saying whether the rejected access was
+    a load or a store, so wide-access faults were indistinguishable in
+    fault reports while the byte accessors labelled theirs correctly.
+    """
+
+    @pytest.mark.parametrize(
+        "op, expected",
+        [
+            (lambda m: m.store_word((1 << 32) - 2, 1), "store"),
+            (lambda m: m.store_half((1 << 32) - 1, 1), "store"),
+            (lambda m: m.store_byte(1 << 32, 1), "store"),
+            (lambda m: m.load_word((1 << 32) - 2), "load"),
+            (lambda m: m.load_half((1 << 32) - 1), "load"),
+            (lambda m: m.load_byte(1 << 32), "load"),
+            (lambda m: m.write_bytes(-4, b"xy"), "store"),
+            (lambda m: m.read_bytes(-4, 2), "load"),
+            (lambda m: m.write_bytes((1 << 32) - 1, b"xy"), "store"),
+            (lambda m: m.read_bytes((1 << 32) - 1, 2), "load"),
+        ],
+    )
+    def test_fault_message_carries_kind(self, op, expected):
+        mem = Memory()
+        with pytest.raises(MemoryFault) as excinfo:
+            op(mem)
+        assert expected in str(excinfo.value)
+
+    def test_misalignment_still_alignment_fault(self):
+        # in-range misaligned accesses keep raising AlignmentFault; the
+        # op threading must not change the fault taxonomy
+        mem = Memory()
+        with pytest.raises(AlignmentFault):
+            mem.store_word(2, 1)
+        with pytest.raises(AlignmentFault):
+            mem.load_half(1)
+
+
+def _write_bytes_bytewise(mem: Memory, addr: int, data: bytes) -> None:
+    """The historical per-byte bulk-write loop (the reference oracle)."""
+    for offset, byte in enumerate(data):
+        mem.store_byte(addr + offset, byte)
+
+
+class TestBulkEquivalence:
+    """Page-sliced bulk paths are byte-identical to the per-byte loop."""
+
+    @pytest.mark.parametrize(
+        "addr",
+        [0, 5, PAGE_SIZE - 3, PAGE_SIZE - 1, 3 * PAGE_SIZE - 7],
+    )
+    def test_write_bytes_matches_bytewise(self, addr):
+        data = bytes(range(256)) * 20  # > one page, crosses boundaries
+        sliced, bytewise = Memory(), Memory()
+        sliced.write_bytes(addr, data)
+        _write_bytes_bytewise(bytewise, addr, data)
+        span = len(data) + 8
+        start = max(addr - 4, 0)
+        assert sliced.read_bytes(start, span) == \
+            bytewise.read_bytes(start, span)
+
+    def test_limit_overrun_writes_prefix_then_faults(self):
+        # the old loop wrote every in-range byte, then faulted at the
+        # first out-of-range address; the sliced path must match exactly
+        addr = (1 << 32) - 6
+        sliced, bytewise = Memory(), Memory()
+        with pytest.raises(MemoryFault) as got:
+            sliced.write_bytes(addr, b"abcdefgh")
+        with pytest.raises(MemoryFault) as want:
+            _write_bytes_bytewise(bytewise, addr, b"abcdefgh")
+        assert got.value.addr == want.value.addr == 1 << 32
+        assert sliced.read_bytes(addr, 6) == bytewise.read_bytes(addr, 6) \
+            == b"abcdef"
+
+    def test_read_bytes_zero_fill_and_overrun(self):
+        mem = Memory()
+        mem.store_byte(PAGE_SIZE + 1, 0xAA)
+        assert mem.read_bytes(PAGE_SIZE - 2, 5) == b"\x00\x00\x00\xaa\x00"
+        with pytest.raises(MemoryFault) as excinfo:
+            mem.read_bytes((1 << 32) - 2, 4)
+        assert excinfo.value.addr == 1 << 32
+        assert mem.read_bytes(0, 0) == b""
+
+    @given(
+        st.integers(0, 3 * PAGE_SIZE),
+        st.binary(min_size=1, max_size=2 * PAGE_SIZE + 17),
+    )
+    def test_write_bytes_property(self, addr, data):
+        sliced, bytewise = Memory(), Memory()
+        sliced.write_bytes(addr, data)
+        _write_bytes_bytewise(bytewise, addr, data)
+        assert sliced.read_bytes(addr, len(data)) == \
+            bytewise.read_bytes(addr, len(data)) == data
+
+
+class TestWriteWatch:
+    def _armed(self):
+        mem = Memory()
+        fired: list[tuple[int, int]] = []
+        mem.set_write_watch(lambda addr, length: fired.append((addr, length)))
+        return mem, fired
+
+    def test_fires_only_on_watched_pages(self):
+        mem, fired = self._armed()
+        mem.watch_page(1)
+        mem.store_word(0x10, 1)          # page 0: unwatched
+        mem.store_word(PAGE_SIZE + 8, 2)  # page 1: watched
+        mem.store_half(PAGE_SIZE + 2, 3)
+        mem.store_byte(PAGE_SIZE, 4)
+        assert fired == [(PAGE_SIZE + 8, 4), (PAGE_SIZE + 2, 2),
+                         (PAGE_SIZE, 1)]
+
+    def test_hook_sees_landed_bytes(self):
+        # the hook fires *after* the store lands, so a coherence layer
+        # can immediately re-read the new code bytes
+        mem = Memory()
+        seen: list[int] = []
+        mem.set_write_watch(lambda addr, length: seen.append(
+            mem.load_word(addr)
+        ))
+        mem.watch_page(0)
+        mem.store_word(0x40, 0xCAFEBABE)
+        assert seen == [0xCAFEBABE]
+
+    def test_unwatch_and_clear(self):
+        mem, fired = self._armed()
+        mem.watch_page(0)
+        mem.store_word(0, 1)
+        mem.unwatch_page(0)
+        mem.store_word(0, 2)
+        assert len(fired) == 1
+        mem.unwatch_page(7)  # absent page index: no-op
+        mem.set_write_watch(None)
+        assert mem.watched_pages() == frozenset()
+
+    def test_watch_page_requires_hook(self):
+        mem = Memory()
+        with pytest.raises(ValueError):
+            mem.watch_page(0)
+
+    def test_write_bytes_fires_per_page_slice(self):
+        mem, fired = self._armed()
+        mem.watch_page(0)
+        mem.watch_page(1)
+        start = PAGE_SIZE - 4
+        mem.write_bytes(start, bytes(12))  # 4 bytes page 0, 8 bytes page 1
+        assert fired == [(start, 4), (PAGE_SIZE, 8)]
+
+    def test_write_bytes_skips_unwatched_slice(self):
+        mem, fired = self._armed()
+        mem.watch_page(1)
+        mem.write_bytes(PAGE_SIZE - 4, bytes(12))
+        assert fired == [(PAGE_SIZE, 8)]
+
+
 @given(
     st.lists(
         st.tuples(

@@ -34,6 +34,7 @@ FIELD_ALTERNATES = {
     "static_targets": True,
     "fragment_cache_bytes": 12345,
     "max_fragment_instrs": 7,
+    "coherence": "targeted",
     "engine": "oracle",
     "faults": FaultPlan(seed=31337, flush_storm=0.5),
     "trace": TraceSpec(ring=4096),

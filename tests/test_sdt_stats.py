@@ -41,6 +41,7 @@ class TestAsDict:
             "mechanism",
             "faults",
             "static",
+            "coherence",
         }
 
     def test_snapshot_is_detached(self):
