@@ -18,6 +18,10 @@ Re-asserts the robustness acceptance bar end-to-end (docs/robustness.md):
    reference interpreter under every invalidation policy with chaos
    faults injected, and the invariant checker's per-flush *and*
    per-invalidation walks report **zero** stale-fragment violations.
+5. **Serve daemon under chaos** — ``scripts/load_serve.py --quick
+   --chaos`` drives the HTTP service with fault plans, worker kills and
+   client disconnects: zero wrong results, and a tripped circuit
+   breaker must recover through its half-open probe (docs/serve.md).
 
 Writes every invariant-checker report to ``results/ci/CHAOS_report.json``
 (uploaded as a CI artifact) and exits non-zero on any failure.
@@ -189,6 +193,38 @@ def check_coherence(failures: list[str], report: dict) -> None:
           f"invalidations checked, 0 violations required", flush=True)
 
 
+def check_serve(failures: list[str], report: dict) -> None:
+    """The serve daemon's chaos bar, via its own load generator."""
+    import os
+    import subprocess
+
+    script = Path(__file__).parent / "load_serve.py"
+    env = dict(os.environ)
+    env.pop("REPRO_FAULTS", None)    # the load script sets its own plan
+    result = subprocess.run(
+        [sys.executable, str(script), "--quick", "--chaos"],
+        capture_output=True, text=True, env=env, timeout=900,
+    )
+    bench_path = Path("results/ci/BENCH_serve.json")
+    bench = {}
+    if bench_path.exists():
+        bench = json.loads(bench_path.read_text())
+    report["serve"] = bench
+    if result.returncode != 0:
+        tail = (result.stderr or result.stdout).strip().splitlines()[-6:]
+        failures.append("serve chaos load failed: " + " | ".join(tail))
+        return
+    if bench.get("wrong_results", 1) != 0:
+        failures.append(
+            f"serve returned {bench['wrong_results']} wrong result(s)"
+        )
+    if not bench.get("breaker", {}).get("recovered"):
+        failures.append("serve circuit breaker did not recover")
+    print(f"serve:     {bench['statuses'].get('200', 0)} ok responses, "
+          f"{bench['chaos']['worker_kills']} worker kills, "
+          f"0 wrong results required", flush=True)
+
+
 def main() -> int:
     failures: list[str] = []
     report: dict = {"identity": [], "storm": [], "coherence": []}
@@ -197,6 +233,7 @@ def main() -> int:
     check_storm(failures, report)
     check_e13(failures, report)
     check_coherence(failures, report)
+    check_serve(failures, report)
 
     report["failures"] = failures
     REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)

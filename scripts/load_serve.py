@@ -1,0 +1,403 @@
+#!/usr/bin/env python3
+"""Load generator + correctness gate for the serve daemon.
+
+Spawns ``repro-sdt serve`` on an ephemeral port, drives a mixed request
+load against it, and verifies the serve-layer acceptance bar
+(docs/serve.md): **no accepted request ever yields a wrong result** —
+every 200 body is byte-compared against an in-process cold computation
+of the same cell — and a tripped circuit breaker **recovers** through
+its half-open probe.
+
+Chaos mode (``--chaos``) additionally:
+
+- runs the daemon under ``REPRO_FAULTS=chaos:<seed>`` (the PR 3 fault
+  plans; deterministic, architecturally invisible),
+- SIGKILLs live pool worker processes mid-computation (exercising the
+  executor's BrokenProcessPool recovery under the daemon),
+- disconnects clients after the request is accepted (the daemon must
+  finish, journal and cache the work anyway).
+
+Emits ``results/ci/BENCH_serve.json`` with latency percentiles, status
+and source mixes, cache hit rate, breaker transitions, shed count and
+the chaos tallies.  Exit code 0 only if every gate holds.
+
+Usage::
+
+    python scripts/load_serve.py --quick --chaos
+    python scripts/load_serve.py --requests 200 --concurrency 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+CHAOS_PLAN = "chaos:1234"
+OUT_PATH = REPO / "results" / "ci" / "BENCH_serve.json"
+
+#: Bad-fuel request: deterministic FuelExhausted, trips its family.
+BREAKER_FAMILY_BAD = {"kind": "measure", "workload": "gzip_like",
+                      "scale": "tiny", "config": {"ib": "sieve"},
+                      "fuel": 64}
+#: Same family (fuel excluded), viable fuel: the recovering probe.
+BREAKER_FAMILY_GOOD = {"kind": "measure", "workload": "gzip_like",
+                       "scale": "tiny", "config": {"ib": "sieve"},
+                       "fuel": 30_000_000}
+
+
+def request_mix(quick: bool) -> list[dict]:
+    """The load's request payloads: few unique cells, many duplicates
+    (duplicates exercise coalescing and the cache tiers)."""
+    unique = [
+        {"kind": "native", "workload": "gzip_like", "scale": "tiny",
+         "fuel": 3_000_000},
+        {"kind": "native", "workload": "mcf_like", "scale": "tiny",
+         "fuel": 3_000_000},
+        {"kind": "fanout", "workload": "perl_like", "scale": "tiny",
+         "fuel": 3_000_000},
+        {"kind": "measure", "workload": "gzip_like", "scale": "tiny",
+         "config": {"ib": "ibtc"}, "fuel": 3_000_000},
+        {"kind": "measure", "workload": "mcf_like", "scale": "tiny",
+         "config": {"ib": "reentry"}, "fuel": 3_000_000},
+        {"kind": "measure", "workload": "gzip_like", "scale": "tiny",
+         "config": {"ib": "sieve", "returns": "shadow"},
+         "fuel": 3_000_000},
+    ]
+    repeat = 3 if quick else 8
+    mix = [dict(payload) for payload in unique for _ in range(repeat)]
+    # deterministic interleave so duplicates overlap in flight
+    mix.sort(key=lambda p: hash(json.dumps(p, sort_keys=True)) % 97)
+    return mix
+
+
+class Client:
+    def __init__(self, port: int):
+        self.port = port
+
+    def request(self, method: str, path: str, payload=None, timeout=120):
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}{path}",
+            data=(json.dumps(payload).encode()
+                  if payload is not None else None),
+            method=method, headers={"Connection": "close"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def disconnect_after_send(self, payload: dict) -> None:
+        """Send a full request, then hang up before the response."""
+        body = json.dumps(payload).encode()
+        head = (f"POST /v1/cells HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode()
+        with socket.create_connection(("127.0.0.1", self.port),
+                                      timeout=10) as sock:
+            sock.sendall(head + body)
+            time.sleep(0.05)       # let the daemon accept + journal it
+        # socket closed: the daemon must finish the work regardless
+
+
+def spawn_daemon(state_dir: Path, cache_dir: Path, jobs: int,
+                 chaos: bool) -> tuple[subprocess.Popen, dict]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    if chaos:
+        env["REPRO_FAULTS"] = CHAOS_PLAN
+    else:
+        env.pop("REPRO_FAULTS", None)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--state-dir", str(state_dir), "--cache-dir", str(cache_dir),
+         "--jobs", str(jobs), "--queue-depth", "64",
+         "--drain-timeout", "30"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env=env, cwd=str(REPO),
+    )
+    ready = json.loads(proc.stdout.readline())
+    assert ready.get("event") == "ready", ready
+    return proc, ready
+
+
+def descendant_pids(pid: int) -> list[int]:
+    """PIDs of all live descendants of ``pid`` (Linux /proc walk)."""
+    found: list[int] = []
+    frontier = [pid]
+    while frontier:
+        parent = frontier.pop()
+        task_dir = Path(f"/proc/{parent}/task")
+        try:
+            for task in task_dir.iterdir():
+                children = (task / "children").read_text().split()
+                for child in children:
+                    found.append(int(child))
+                    frontier.append(int(child))
+        except OSError:
+            continue
+    return found
+
+
+class WorkerKiller(threading.Thread):
+    """Periodically SIGKILLs a daemon pool worker while load runs."""
+
+    def __init__(self, daemon_pid: int, interval: float):
+        super().__init__(daemon=True)
+        self.daemon_pid = daemon_pid
+        self.interval = interval
+        self.kills = 0
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            # grandchildren are pool workers (children of the
+            # forkserver); killing one surfaces as BrokenProcessPool
+            direct = set(descendant_pids(self.daemon_pid))
+            victims = sorted(direct)[-1:]        # newest descendant
+            for pid in victims:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                    self.kills += 1
+                except OSError:
+                    pass
+
+    def stop(self) -> None:
+        self._halt.set()
+
+
+def compute_references(payloads: list[dict], chaos: bool) -> dict:
+    """Cold, serial, in-process reference result for each unique cell.
+
+    Under chaos the daemon computes with ``REPRO_FAULTS`` set; fault
+    plans are seeded and deterministic, so setting the same environment
+    here reproduces its results bit-for-bit.
+    """
+    if chaos:
+        os.environ["REPRO_FAULTS"] = CHAOS_PLAN
+    else:
+        os.environ.pop("REPRO_FAULTS", None)
+    from repro.eval.cells import encode_result
+    from repro.serve.protocol import parse_request
+
+    references = {}
+    for payload in payloads:
+        request = parse_request(payload)
+        if request.key not in references:
+            references[request.key] = encode_result(request.cell.execute())
+    return references
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(q * len(sorted_values) + 0.5) - 1))
+    return round(sorted_values[index], 3)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small load for CI smoke")
+    parser.add_argument("--chaos", action="store_true",
+                        help="fault plans + worker kills + disconnects")
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--out", default=str(OUT_PATH))
+    args = parser.parse_args()
+
+    work_dir = Path(tempfile.mkdtemp(prefix="serve-load-"))
+    proc, ready = spawn_daemon(work_dir / "state", work_dir / "cache",
+                               args.jobs, args.chaos)
+    client = Client(ready["port"])
+    failures: list[str] = []
+    mix = request_mix(args.quick)
+    print(f"daemon up: pid={ready['pid']} port={ready['port']} "
+          f"chaos={args.chaos} requests={len(mix)}", flush=True)
+
+    killer = None
+    if args.chaos:
+        killer = WorkerKiller(ready["pid"], interval=0.4)
+        killer.start()
+
+    records: list[dict] = []
+    lock = threading.Lock()
+
+    def fire(payload: dict) -> None:
+        start = time.monotonic()
+        try:
+            status, body = client.request("POST", "/v1/cells", payload)
+        except Exception as exc:  # noqa: BLE001 - recorded and gated
+            with lock:
+                records.append({"status": -1, "error": str(exc),
+                                "payload": payload})
+            return
+        with lock:
+            records.append({
+                "status": status,
+                "latency_ms": round((time.monotonic() - start) * 1e3, 3),
+                "source": body.get("source"),
+                "key": body.get("key"),
+                "result": body.get("result"),
+                "payload": payload,
+            })
+
+    threads: list[threading.Thread] = []
+    disconnects = 0
+    for index, payload in enumerate(mix):
+        while sum(t.is_alive() for t in threads) >= args.concurrency:
+            time.sleep(0.01)
+        if args.chaos and index % 7 == 3:
+            try:
+                client.disconnect_after_send(payload)
+                disconnects += 1
+            except OSError:
+                pass
+            continue
+        thread = threading.Thread(target=fire, args=(payload,))
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join(timeout=300)
+    if killer is not None:
+        killer.stop()
+        killer.join(timeout=5)
+
+    # ---- gate 1: zero wrong results ------------------------------------
+    references = compute_references(mix, args.chaos)
+    wrong = 0
+    ok = [r for r in records if r["status"] == 200]
+    for record in ok:
+        expected = references.get(record["key"])
+        if expected is None or record["result"] != expected:
+            wrong += 1
+            failures.append(
+                f"wrong result for key {record['key']}: "
+                f"source={record['source']}"
+            )
+    errors = [r for r in records if r["status"] < 0]
+    print(f"load done: {len(ok)}/{len(records)} ok, "
+          f"{len(errors)} transport errors, {wrong} wrong results",
+          flush=True)
+    if not ok:
+        failures.append("no successful responses at all")
+
+    # ---- gate 2: breaker trips, then recovers --------------------------
+    breaker_tripped = False
+    for _ in range(8):
+        status, body = client.request("POST", "/v1/cells",
+                                      BREAKER_FAMILY_BAD)
+        if status == 503 and "circuit open" in body.get("error", ""):
+            breaker_tripped = True
+            break
+    breaker_recovered = False
+    if breaker_tripped:
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            time.sleep(0.5)      # let the open interval elapse
+            status, body = client.request("POST", "/v1/cells",
+                                          BREAKER_FAMILY_GOOD)
+            if status == 200:
+                breaker_recovered = True
+                break
+    if not breaker_tripped:
+        failures.append("circuit breaker never opened on a crash loop")
+    elif not breaker_recovered:
+        failures.append("circuit breaker never recovered via its probe")
+    print(f"breaker: tripped={breaker_tripped} "
+          f"recovered={breaker_recovered}", flush=True)
+
+    # ---- teardown + metrics -------------------------------------------
+    _, metrics = client.request("GET", "/metrics")
+    proc.send_signal(signal.SIGTERM)
+    try:
+        out, _ = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        out = ""
+        failures.append("daemon did not exit after SIGTERM")
+    if proc.returncode != 0:
+        failures.append(f"daemon exit code {proc.returncode}")
+    if args.chaos and killer is not None and killer.kills == 0:
+        failures.append("chaos mode killed zero workers")
+
+    latencies = sorted(r["latency_ms"] for r in records
+                       if "latency_ms" in r)
+    statuses: dict[str, int] = {}
+    sources: dict[str, int] = {}
+    for record in records:
+        statuses[str(record["status"])] = \
+            statuses.get(str(record["status"]), 0) + 1
+        if record.get("source"):
+            sources[record["source"]] = sources.get(record["source"], 0) + 1
+
+    counters = metrics["metrics"]["counters"]
+    bench = {
+        "config": {
+            "quick": args.quick, "chaos": args.chaos,
+            "concurrency": args.concurrency, "jobs": args.jobs,
+            "requests": len(mix),
+        },
+        "statuses": dict(sorted(statuses.items())),
+        "sources": dict(sorted(sources.items())),
+        "latency_ms": {
+            "count": len(latencies),
+            "p50": quantile(latencies, 0.5),
+            "p90": quantile(latencies, 0.9),
+            "p99": quantile(latencies, 0.99),
+        },
+        "cache_hit_rate": metrics["cache"]["hit_rate"],
+        "breaker": {
+            "tripped": breaker_tripped,
+            "recovered": breaker_recovered,
+            "transitions": metrics["breaker"]["transitions"],
+        },
+        "shed": counters.get("serve.shed", 0),
+        "coalesced": counters.get("serve.coalesced", 0),
+        "chaos": {
+            "worker_kills": killer.kills if killer else 0,
+            "client_disconnects": disconnects,
+            "cell_retries": counters.get("serve.cell_retries", 0),
+        },
+        "wrong_results": wrong,
+        "transport_errors": len(errors),
+        "daemon_exit_code": proc.returncode,
+        "failures": failures,
+    }
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(bench, indent=2) + "\n")
+    print(f"bench: {out_path}", flush=True)
+
+    # keep the journal for CI artifact upload
+    journal = work_dir / "state" / "journal.jsonl"
+    if journal.exists():
+        artifact = out_path.parent / "serve_journal.jsonl"
+        artifact.write_bytes(journal.read_bytes())
+
+    if failures:
+        print("\nSERVE LOAD CHECK FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("serve load check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

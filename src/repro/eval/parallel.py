@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
 
+from repro.eval.backoff import Backoff, BackoffPolicy
 from repro.eval.cells import Cell
 from repro.eval.diskcache import DiskCache
 
@@ -48,6 +49,13 @@ DEFAULT_BACKOFF = 0.25
 
 #: Ceiling on any single backoff sleep, in seconds.
 MAX_BACKOFF = 30.0
+
+
+def _backoff_policy(backoff: "float | BackoffPolicy") -> BackoffPolicy:
+    """Normalise the executor's ``backoff`` argument to a policy."""
+    if isinstance(backoff, BackoffPolicy):
+        return backoff
+    return BackoffPolicy(base=float(backoff), ceiling=MAX_BACKOFF)
 
 
 @dataclass(frozen=True)
@@ -124,11 +132,6 @@ def _stable_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {text[0] if text else ''}".rstrip(": ")
 
 
-def _backoff_sleep(backoff: float, round_no: int) -> None:
-    if backoff > 0:
-        time.sleep(min(backoff * (2 ** (round_no - 1)), MAX_BACKOFF))
-
-
 def _shutdown_pool(pool: ProcessPoolExecutor, force: bool) -> None:
     """Dispose of a pool; ``force`` also terminates hung worker processes."""
     if not force:
@@ -149,20 +152,21 @@ def _shutdown_pool(pool: ProcessPoolExecutor, force: bool) -> None:
 def _run_serial(
     pending: list[tuple[str, Cell]],
     retries: int,
-    backoff: float,
+    policy: BackoffPolicy,
     finish: Callable[[str, Cell, object, float], None],
     fail: Callable[[str, Cell, str, int, BaseException], None],
     report: ExecutionReport,
 ) -> None:
     """In-process execution with bounded retry (no watchdog possible)."""
     for key, cell in pending:
+        pacer = Backoff(policy, token=key)
         for attempt in range(1, retries + 2):
             try:
                 result, seconds = _execute_cell(cell)
             except Exception as exc:
                 if attempt <= retries:
                     report.retries += 1
-                    _backoff_sleep(backoff, attempt)
+                    pacer.sleep()
                     continue
                 fail(key, cell, "error", attempt, exc)
             else:
@@ -175,10 +179,11 @@ def _run_pooled(
     jobs: int,
     timeout: float | None,
     retries: int,
-    backoff: float,
+    policy: BackoffPolicy,
     finish: Callable[[str, Cell, object, float], None],
     fail: Callable[[str, Cell, str, int, BaseException], None],
     report: ExecutionReport,
+    mp_context=None,
 ) -> None:
     """Process-pool execution with watchdog, retry and crash recovery.
 
@@ -193,9 +198,8 @@ def _run_pooled(
     """
     attempts: dict[str, int] = {key: 0 for key, _ in pending}
     queue = list(pending)
-    round_no = 0
+    pacer = Backoff(policy)
     while queue:
-        round_no += 1
         retry_queue: list[tuple[str, Cell]] = []
         dead = False        # pool unusable for the rest of this round
         blame_rest = False  # crash round: unfinished cells are charged
@@ -209,7 +213,7 @@ def _run_pooled(
             else:
                 fail(key, cell, kind, attempts[key], exc)
 
-        pool = ProcessPoolExecutor(max_workers=jobs)
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
         try:
             submitted: list[tuple[str, Cell, object]] = []
             try:
@@ -267,7 +271,7 @@ def _run_pooled(
         finally:
             _shutdown_pool(pool, force=dead)
         if retry_queue:
-            _backoff_sleep(backoff, round_no)
+            pacer.sleep()
         queue = retry_queue
 
 
@@ -278,7 +282,8 @@ def execute_cells(
     progress: ProgressFn | None = None,
     timeout: float | None = None,
     retries: int = DEFAULT_RETRIES,
-    backoff: float = DEFAULT_BACKOFF,
+    backoff: "float | BackoffPolicy" = DEFAULT_BACKOFF,
+    mp_context=None,
 ) -> tuple[dict[str, object], ExecutionReport]:
     """Execute a batch of cells; returns ``(results_by_key, report)``.
 
@@ -288,10 +293,19 @@ def execute_cells(
     in-process; larger values fan misses across that many worker
     processes.  ``timeout`` is the per-cell watchdog in seconds (it
     forces pool execution even for ``jobs == 1``, since a hung cell can
-    only be killed from outside its process); ``retries`` bounds
-    re-execution of failing cells, with exponential ``backoff`` between
-    rounds.  Uncacheable cells (fault-injected measurements) skip the
-    disk cache in both directions.
+    only be killed from outside its process) — external callers with
+    their own deadlines, e.g. the serve daemon, pass the remaining
+    deadline here so a client timeout *kills* the worker instead of
+    orphaning it; ``retries`` bounds re-execution of failing cells, with
+    exponential ``backoff`` (a base in seconds, or a full
+    :class:`repro.eval.backoff.BackoffPolicy`) between rounds.
+    Uncacheable cells (fault-injected measurements) skip the disk cache
+    in both directions.  ``mp_context`` selects the multiprocessing
+    start method for worker pools (default: the platform's) — callers
+    that execute from a *multithreaded* process (the serve daemon's
+    dispatcher thread) must pass a fork-safe context such as
+    ``forkserver``, because fork-starting workers from a threaded parent
+    can deadlock the child.
     """
     start = time.perf_counter()
     cell_list = list(cells)
@@ -325,11 +339,12 @@ def execute_cells(
         )
 
     if pending:
+        policy = _backoff_policy(backoff)
         if jobs > 1 or timeout is not None:
-            _run_pooled(pending, max(1, jobs), timeout, retries, backoff,
-                        finish, fail, report)
+            _run_pooled(pending, max(1, jobs), timeout, retries, policy,
+                        finish, fail, report, mp_context=mp_context)
         else:
-            _run_serial(pending, retries, backoff, finish, fail, report)
+            _run_serial(pending, retries, policy, finish, fail, report)
 
     # deterministic failure order: declared (deduped) cell order, not
     # the completion order the incident happened to produce
@@ -399,7 +414,7 @@ def run_experiments(
     write: bool = True,
     timeout: float | None = None,
     retries: int = DEFAULT_RETRIES,
-    backoff: float = DEFAULT_BACKOFF,
+    backoff: "float | BackoffPolicy" = DEFAULT_BACKOFF,
 ) -> tuple[dict[str, tuple[list[str], list[list[object]]]], ExecutionReport]:
     """Run experiment drivers on the shared executor.
 
@@ -474,7 +489,7 @@ def run_experiment(
     write: bool = True,
     timeout: float | None = None,
     retries: int = DEFAULT_RETRIES,
-    backoff: float = DEFAULT_BACKOFF,
+    backoff: "float | BackoffPolicy" = DEFAULT_BACKOFF,
 ) -> tuple[list[str], list[list[object]]]:
     """Single-experiment convenience wrapper around :func:`run_experiments`."""
     tables, _report = run_experiments(

@@ -1,0 +1,35 @@
+"""`repro-sdt serve`: a resilient, long-running experiment service.
+
+The serve layer turns the cell executor (:mod:`repro.eval.parallel`)
+into an asyncio HTTP daemon that accepts simulation/experiment cell
+requests and survives the failure modes a long-running service actually
+meets — overload, hung workers, crash-looping cell shapes, client
+disconnects, and mid-flight restarts — without ever returning a wrong or
+stale result table.  See docs/serve.md for the API and the resilience
+model.
+
+Modules:
+
+- :mod:`repro.serve.protocol` — request validation and cell building,
+- :mod:`repro.serve.breaker`  — per-cell-family circuit breaker,
+- :mod:`repro.serve.journal`  — write-ahead request journal + replay,
+- :mod:`repro.serve.service`  — admission, coalescing, cache tiers,
+  batching dispatcher, metrics, drain (HTTP-free core),
+- :mod:`repro.serve.server`   — the asyncio HTTP front end + lifecycle.
+"""
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.journal import Journal
+from repro.serve.protocol import CellRequest, ProtocolError, parse_request
+from repro.serve.service import ExperimentService, Response, ServeSettings
+
+__all__ = [
+    "CellRequest",
+    "CircuitBreaker",
+    "ExperimentService",
+    "Journal",
+    "ProtocolError",
+    "Response",
+    "ServeSettings",
+    "parse_request",
+]

@@ -1,0 +1,178 @@
+"""Per-cell-family circuit breaker: closed → open → half-open.
+
+A *family* (see :mod:`repro.serve.protocol`) groups requests that share
+a failure shape — same workload, kind, config label and profile, fuel
+excluded.  When a family fails ``threshold`` consecutive times it is
+quarantined (*open*): admission fast-fails with a retry hint instead of
+burning workers on a crash loop, while healthy families keep flowing.
+After a deterministic exponential backoff (seeded jitter per family, so
+quarantined families do not re-probe in lockstep) the family turns
+*half-open*: exactly one probe request is admitted.  A successful probe
+closes the family; a failed probe re-opens it with the next, longer
+backoff.
+
+The clock is injectable (``time.monotonic`` by default), so state
+transitions are unit-testable with a fake clock and no real sleeps —
+the same discipline as :mod:`repro.eval.backoff`, whose policy drives
+the open-interval schedule.  This mirrors the executor's
+quarantine/DEGRADED semantics (docs/robustness.md): a breaker rejection
+is the service-level analogue of a quarantined cell, and like DEGRADED
+tables it can never replace a good result — it only ever refuses work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.eval.backoff import BackoffPolicy
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Default open-interval schedule: 1s, 2s, 4s, ... capped at 60s.
+DEFAULT_POLICY = BackoffPolicy(base=1.0, factor=2.0, ceiling=60.0,
+                               jitter=0.5, seed=0)
+
+#: Called on every state change: (family, old_state, new_state).
+TransitionFn = Callable[[str, str, str], None]
+
+
+@dataclass
+class FamilyState:
+    """Mutable breaker bookkeeping for one cell family."""
+
+    state: str = CLOSED
+    failures: int = 0       #: consecutive failures while closed
+    open_cycles: int = 0    #: consecutive open periods (backoff attempt)
+    retry_at: float = 0.0   #: clock value at which a probe is admitted
+    probing: bool = False   #: a half-open probe is in flight
+    opened_total: int = 0   #: lifetime count of closed/half-open → open
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "open_cycles": self.open_cycles,
+            "opened_total": self.opened_total,
+        }
+
+
+class CircuitBreaker:
+    """Failure tracker over cell families with deterministic backoff."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        policy: BackoffPolicy = DEFAULT_POLICY,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: TransitionFn | None = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.policy = policy
+        self.clock = clock
+        self.on_transition = on_transition
+        self.transitions = 0
+        self._families: dict[str, FamilyState] = {}
+
+    def _shift(self, family: str, state: FamilyState, new: str) -> None:
+        old = state.state
+        if old == new:
+            return
+        state.state = new
+        self.transitions += 1
+        if self.on_transition is not None:
+            self.on_transition(family, old, new)
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, family: str) -> tuple[bool, float]:
+        """Whether a request for ``family`` may run now.
+
+        Returns ``(allowed, retry_after)``: when ``allowed`` is False,
+        ``retry_after`` is the seconds until the next admission window
+        (0.0 when the window is gated on an in-flight probe rather than
+        the clock).
+        """
+        state = self._families.get(family)
+        if state is None or state.state == CLOSED:
+            return True, 0.0
+        now = self.clock()
+        if state.state == OPEN:
+            if now < state.retry_at:
+                return False, state.retry_at - now
+            self._shift(family, state, HALF_OPEN)
+            state.probing = True
+            return True, 0.0
+        # half-open: one probe at a time
+        if state.probing:
+            return False, 0.0
+        state.probing = True
+        return True, 0.0
+
+    # -- outcome reporting ---------------------------------------------------
+
+    def record_success(self, family: str) -> None:
+        """A request for ``family`` completed: close and reset."""
+        state = self._families.get(family)
+        if state is None:
+            return
+        self._shift(family, state, CLOSED)
+        state.failures = 0
+        state.open_cycles = 0
+        state.probing = False
+
+    def record_failure(self, family: str) -> None:
+        """A request for ``family`` failed: count, maybe quarantine."""
+        state = self._families.setdefault(family, FamilyState())
+        if state.state == HALF_OPEN:
+            self._open(family, state)            # probe failed: re-open
+        elif state.state == CLOSED:
+            state.failures += 1
+            if state.failures >= self.threshold:
+                self._open(family, state)
+        # already OPEN: a straggler admitted before the trip; no-op
+
+    def _open(self, family: str, state: FamilyState) -> None:
+        state.open_cycles += 1
+        state.opened_total += 1
+        state.probing = False
+        state.retry_at = self.clock() + self.policy.delay(
+            state.open_cycles, token=family
+        )
+        self._shift(family, state, OPEN)
+
+    # -- introspection -------------------------------------------------------
+
+    def state_of(self, family: str) -> str:
+        state = self._families.get(family)
+        return state.state if state is not None else CLOSED
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-ready view for ``/metrics``."""
+        return {
+            "threshold": self.threshold,
+            "transitions": self.transitions,
+            "open": sorted(
+                family for family, state in self._families.items()
+                if state.state != CLOSED
+            ),
+            "families": {
+                family: self._families[family].snapshot()
+                for family in sorted(self._families)
+            },
+        }
+
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "DEFAULT_POLICY",
+    "FamilyState",
+    "HALF_OPEN",
+    "OPEN",
+]

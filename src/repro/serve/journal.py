@@ -1,0 +1,150 @@
+"""Write-ahead request journal: accepted work survives a crash.
+
+Every admitted request is appended to ``journal.jsonl`` *before* it is
+queued, and marked ``done``/``failed`` when it resolves, so the set of
+accepted-but-unfinished requests is always recoverable from disk.  On
+startup the daemon replays that set: the requests re-enter the pipeline
+as waiter-less computations whose results land in the disk cache, so a
+client retrying after a daemon crash is served the exact result its
+original request would have produced — accepted work resumes instead of
+vanishing.
+
+Records are single JSON lines::
+
+    {"event": "accepted", "id": 7, "key": "<sha256>", "request": {...}}
+    {"event": "done",     "id": 7, "key": "<sha256>"}
+    {"event": "failed",   "id": 7, "key": "<sha256>", "error": "..."}
+
+Appends are flushed to the kernel per record (a ``SIGKILL``-proof
+write-ahead guarantee; only a whole-machine crash can lose the tail) and
+the file is fsynced on close.  Loading tolerates a torn final line — a
+crash mid-append — by ignoring any line that fails to parse.  Startup
+*compacts*: the journal is atomically rewritten with only the pending
+``accepted`` records, so it stays bounded by in-flight work rather than
+growing with lifetime traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Journal file name inside the daemon's state directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+@dataclass(frozen=True)
+class PendingRequest:
+    """One accepted-but-unfinished request recovered from the journal."""
+
+    id: int
+    key: str
+    payload: dict
+
+
+def load_pending(path: Path) -> tuple[list[PendingRequest], int]:
+    """Pending requests in acceptance order, plus the next free id.
+
+    Corrupt or torn lines are skipped; ``done``/``failed`` markers
+    cancel their ``accepted`` record whatever the interleaving.
+    """
+    accepted: dict[int, PendingRequest] = {}
+    max_id = 0
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (FileNotFoundError, OSError):
+        return [], 1
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            event = record["event"]
+            record_id = int(record["id"])
+        except (ValueError, TypeError, KeyError):
+            continue  # torn or corrupt line: ignore
+        max_id = max(max_id, record_id)
+        if event == "accepted":
+            payload = record.get("request")
+            key = record.get("key")
+            if isinstance(payload, dict) and isinstance(key, str):
+                accepted[record_id] = PendingRequest(
+                    id=record_id, key=key, payload=payload
+                )
+        elif event in ("done", "failed"):
+            accepted.pop(record_id, None)
+    return [accepted[i] for i in sorted(accepted)], max_id + 1
+
+
+class Journal:
+    """Append-only write-ahead journal bound to one state directory."""
+
+    def __init__(self, state_dir: Path | str) -> None:
+        self.path = Path(state_dir) / JOURNAL_NAME
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+        self._next_id = 1
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self) -> list[PendingRequest]:
+        """Compact the journal and return the pending set to replay."""
+        pending, self._next_id = load_pending(self.path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=".tmp-journal-", suffix=".jsonl"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for request in pending:
+                    handle.write(json.dumps({
+                        "event": "accepted", "id": request.id,
+                        "key": request.key, "request": request.payload,
+                    }, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._handle = open(self.path, "a", encoding="utf-8")
+        return pending
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    # -- records -------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            raise RuntimeError("journal is not open")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def accepted(self, key: str, payload: dict) -> int:
+        """Journal an admitted request; returns its journal id."""
+        record_id = self._next_id
+        self._next_id += 1
+        self._append({"event": "accepted", "id": record_id, "key": key,
+                      "request": payload})
+        return record_id
+
+    def done(self, record_id: int, key: str) -> None:
+        self._append({"event": "done", "id": record_id, "key": key})
+
+    def failed(self, record_id: int, key: str, error: str) -> None:
+        self._append({"event": "failed", "id": record_id, "key": key,
+                      "error": error})
+
+
+__all__ = ["JOURNAL_NAME", "Journal", "PendingRequest", "load_pending"]

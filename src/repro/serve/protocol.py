@@ -1,0 +1,177 @@
+"""Request protocol for the serve daemon: validation and cell building.
+
+A request names one experiment cell in JSON::
+
+    {"kind": "measure", "workload": "gzip_like", "scale": "tiny",
+     "config": {"ib": "ibtc", "returns": "shadow"}, "profile": "simple",
+     "fuel": 30000000, "deadline": 30.0}
+
+``parse_request`` turns that into the same content-addressed
+:class:`repro.eval.cells.Cell` the batch executor runs, so a served
+result is *by construction* byte-identical to a cold serial run of the
+same cell: identical fingerprints imply identical results, and the
+fingerprint covers the workload source, scale, fuel and every
+fingerprint-relevant config/profile field.
+
+Validation is strict: only registered workloads, known scales/profiles,
+and whitelisted config fields are accepted; service-level knobs
+(``engine``, ``faults``, ``trace``) are daemon configuration, not
+request configuration, and are rejected so a client can never flip the
+daemon into an uncacheable or differently-costed mode per request.
+
+The *family* string groups cells that share a failure shape for the
+circuit breaker: workload + kind + config label + profile, but **not**
+fuel — so a crash-looping shape (e.g. a fuel too small to finish) is
+quarantined as a family, and a later well-formed request for the same
+shape is exactly the half-open probe that recovers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.cells import Cell, fanout_cell, measure_cell, native_cell
+from repro.eval.runner import DEFAULT_FUEL
+from repro.host.profile import PROFILES, get_profile
+from repro.sdt.config import SDTConfig
+from repro.workloads import workload_names
+
+#: Request kinds, matching the executor's cell kinds.
+KINDS = ("measure", "native", "fanout")
+
+#: Accepted workload scales.
+SCALES = ("tiny", "small", "large")
+
+#: Upper bound on a per-request deadline, in seconds.
+MAX_DEADLINE = 600.0
+
+#: Upper bound on the per-cell instruction budget.
+MAX_FUEL = 10**12
+
+#: SDTConfig fields a request may set.  ``engine``/``faults``/``trace``
+#: are deliberately absent (daemon-level), as is ``profile`` (named via
+#: the request's ``profile`` field instead of inline).
+CONFIG_FIELDS = frozenset({
+    "ib", "ibtc_entries", "ibtc_shared", "ibtc_inline", "ibtc_hash",
+    "inline_predict", "sieve_buckets", "sieve_policy", "returns",
+    "shadow_depth", "retcache_entries", "linking", "static_targets",
+    "trace_jumps", "fragment_cache_bytes", "max_fragment_instrs",
+    "coherence",
+})
+
+
+class ProtocolError(ValueError):
+    """A malformed request: the HTTP layer maps this to 400."""
+
+
+@dataclass(frozen=True)
+class CellRequest:
+    """One validated request: the cell to run plus service metadata."""
+
+    cell: Cell            #: the content-addressed unit of work
+    family: str           #: circuit-breaker grouping (no fuel)
+    deadline: float | None  #: client deadline in seconds, if any
+    payload: dict         #: canonical JSON-able form (journaled verbatim)
+
+    @property
+    def key(self) -> str:
+        return self.cell.key()
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(message)
+
+
+def _parse_deadline(value: object) -> float | None:
+    if value is None:
+        return None
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             "deadline must be a number of seconds")
+    deadline = float(value)
+    _require(0.0 < deadline <= MAX_DEADLINE,
+             f"deadline must be in (0, {MAX_DEADLINE:g}] seconds")
+    return deadline
+
+
+def parse_request(payload: object) -> CellRequest:
+    """Validate a request payload and build its cell.
+
+    Raises :class:`ProtocolError` with a client-safe message on any
+    malformed field; never raises on well-formed input.
+    """
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    assert isinstance(payload, dict)
+    known = {"kind", "workload", "scale", "fuel", "config", "profile",
+             "deadline"}
+    unknown = sorted(set(payload) - known)
+    _require(not unknown, f"unknown request field(s): {', '.join(unknown)}")
+
+    kind = payload.get("kind", "measure")
+    _require(kind in KINDS, f"kind must be one of {KINDS}")
+
+    workload = payload.get("workload")
+    _require(isinstance(workload, str) and workload in workload_names(),
+             "workload must name a registered workload "
+             f"(one of: {', '.join(workload_names())})")
+
+    scale = payload.get("scale", "tiny")
+    _require(scale in SCALES, f"scale must be one of {SCALES}")
+
+    fuel = payload.get("fuel", DEFAULT_FUEL)
+    _require(isinstance(fuel, int) and not isinstance(fuel, bool)
+             and 0 < fuel <= MAX_FUEL,
+             f"fuel must be an integer in [1, {MAX_FUEL}]")
+
+    profile_name = payload.get("profile", "simple")
+    _require(isinstance(profile_name, str) and profile_name in PROFILES,
+             f"profile must be one of {sorted(PROFILES)}")
+    profile = get_profile(profile_name)
+
+    deadline = _parse_deadline(payload.get("deadline"))
+
+    config_payload = payload.get("config", {})
+    _require(isinstance(config_payload, dict),
+             "config must be a JSON object")
+    if kind != "measure":
+        _require(not config_payload, f"{kind} cells take no config")
+
+    if kind == "measure":
+        bad = sorted(set(config_payload) - CONFIG_FIELDS)
+        _require(not bad, f"unknown config field(s): {', '.join(bad)}")
+        try:
+            config = SDTConfig(profile=profile, **config_payload)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid config: {exc}") from None
+        cell = measure_cell(workload, scale, config, fuel=fuel)
+        family = f"measure:{workload}:{config.label}@{profile.name}"
+    elif kind == "native":
+        cell = native_cell(workload, scale, profile, fuel=fuel)
+        family = f"native:{workload}@{profile.name}"
+    else:
+        cell = fanout_cell(workload, scale, fuel=fuel)
+        family = f"fanout:{workload}"
+
+    canonical = {
+        "kind": kind,
+        "workload": workload,
+        "scale": scale,
+        "fuel": fuel,
+        "profile": profile_name,
+        "config": {key: config_payload[key] for key in sorted(config_payload)},
+    }
+    if deadline is not None:
+        canonical["deadline"] = deadline
+    return CellRequest(cell=cell, family=family, deadline=deadline,
+                       payload=canonical)
+
+
+__all__ = [
+    "CONFIG_FIELDS",
+    "CellRequest",
+    "KINDS",
+    "MAX_DEADLINE",
+    "ProtocolError",
+    "SCALES",
+    "parse_request",
+]

@@ -1,0 +1,239 @@
+"""Asyncio HTTP/1.1 front end and process lifecycle for the daemon.
+
+Stdlib-only on purpose: a minimal, careful HTTP/1.1 server over
+``asyncio.start_server`` — keep-alive, ``Content-Length`` bodies only,
+bounded body size, idle timeout — is a few hundred lines and keeps the
+container dependency-free.  Everything interesting lives in
+:class:`repro.serve.service.ExperimentService`; this module only maps
+requests onto :meth:`submit` and serialises :class:`Response` objects.
+
+Routes::
+
+    GET  /healthz   liveness: the process is up and the loop turns
+    GET  /readyz    readiness: admitting work (503 while draining)
+    GET  /metrics   deterministic JSON metrics snapshot
+    POST /v1/cells  execute one experiment cell request
+
+Lifecycle: :func:`run_daemon` starts the service (replaying the
+journal), prints a single machine-readable ready line to stdout::
+
+    {"event": "ready", "port": 8421, "pid": 1234, "replayed": 0}
+
+then serves until ``SIGTERM``/``SIGINT``, at which point it stops
+accepting connections, drains in-flight work (bounded by
+``drain_timeout``), fsyncs the journal and exits 0.  A second signal
+during the drain is ignored — the drain already has a hard deadline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+from typing import Callable
+
+from repro.serve.service import ExperimentService, Response, ServeSettings
+
+#: Largest accepted request body, in bytes.
+MAX_BODY_BYTES = 64 * 1024
+
+#: Largest accepted request-line + headers block, in bytes.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Idle keep-alive connections are closed after this many seconds.
+IDLE_TIMEOUT = 75.0
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _render(response: Response, keep_alive: bool) -> bytes:
+    body = json.dumps(response.body, sort_keys=True).encode("utf-8")
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+class HttpFrontend:
+    """Connection handler bridging raw HTTP onto the service core."""
+
+    def __init__(self, service: ExperimentService) -> None:
+        self.service = service
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                keep_alive, done = await self._one_request(reader, writer)
+                if not keep_alive or done:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            self.service.metrics.incr("serve.client_disconnects")
+        except asyncio.TimeoutError:
+            pass  # idle keep-alive connection: close quietly
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _one_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> tuple[bool, bool]:
+        """Serve one request; returns (keep_alive, connection_done)."""
+        header_block = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=IDLE_TIMEOUT
+        )
+        if len(header_block) > MAX_HEADER_BYTES:
+            await self._send(writer, Response(
+                400, {"error": "header block too large"}), False)
+            return False, True
+        try:
+            method, target, headers = _parse_head(header_block)
+        except ValueError as exc:
+            await self._send(writer, Response(
+                400, {"error": str(exc)}), False)
+            return False, True
+
+        keep_alive = headers.get("connection", "").lower() != "close"
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            # read nothing further; the connection is now unsynchronised
+            await self._send(writer, Response(413, {
+                "error": f"body exceeds {MAX_BODY_BYTES} bytes",
+            }), False)
+            return False, True
+        body = await reader.readexactly(length) if length else b""
+
+        response = await self._route(method, target, body)
+        # shutting down: signal the client not to reuse the connection
+        if self.service.draining:
+            keep_alive = False
+        await self._send(writer, response, keep_alive)
+        return keep_alive, False
+
+    async def _route(self, method: str, target: str,
+                     body: bytes) -> Response:
+        path = target.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return Response(200, {"status": "ok"})
+        if path == "/readyz":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            if self.service.ready:
+                return Response(200, {"status": "ready"})
+            return Response(503, {
+                "status": "draining" if self.service.draining
+                else "starting",
+            })
+        if path == "/metrics":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return Response(200, self.service.metrics_payload())
+        if path == "/v1/cells":
+            if method != "POST":
+                return _method_not_allowed("POST")
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                return Response(400, {"error": "body is not valid JSON"})
+            return await self.service.submit(payload)
+        return Response(404, {"error": f"no route for {path}"})
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    response: Response, keep_alive: bool) -> None:
+        writer.write(_render(response, keep_alive))
+        await writer.drain()
+
+
+def _parse_head(block: bytes) -> tuple[str, str, dict[str, str]]:
+    try:
+        text = block.decode("ascii")
+    except UnicodeDecodeError:
+        raise ValueError("request head is not ASCII") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ValueError("malformed request line")
+    method, target = parts[0], parts[1]
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ValueError("malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length")
+    if length is not None and not length.isdigit():
+        raise ValueError("malformed Content-Length")
+    return method, target, headers
+
+
+def _method_not_allowed(allowed: str) -> Response:
+    return Response(405, {"error": "method not allowed"},
+                    headers={"Allow": allowed})
+
+
+async def run_daemon(
+    settings: ServeSettings,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    announce: Callable[[dict], None] | None = None,
+) -> int:
+    """Serve until SIGTERM/SIGINT; returns 0 on a clean drain, 1 else.
+
+    ``port=0`` binds an ephemeral port; the bound port is in the ready
+    line, so callers (tests, the load generator) never race a fixed
+    port.  ``announce`` overrides the default stdout ready line.
+    """
+    service = ExperimentService(settings)
+    frontend = HttpFrontend(service)
+    replayed = await service.start()
+    server = await asyncio.start_server(frontend.handle, host=host,
+                                        port=port)
+    bound_port = server.sockets[0].getsockname()[1]
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+
+    ready = {"event": "ready", "port": bound_port,
+             "pid": os.getpid(), "replayed": replayed}
+    if announce is not None:
+        announce(ready)
+    else:
+        print(json.dumps(ready, sort_keys=True), flush=True)
+
+    await stop.wait()
+    service.begin_drain()        # /readyz flips before the listener dies
+    server.close()
+    await server.wait_closed()
+    drained = await service.drain()
+    closing = {"event": "stopped", "drained": drained}
+    if announce is not None:
+        announce(closing)
+    else:
+        print(json.dumps(closing, sort_keys=True), flush=True)
+    return 0 if drained else 1
+
+
+__all__ = ["HttpFrontend", "IDLE_TIMEOUT", "MAX_BODY_BYTES", "run_daemon"]

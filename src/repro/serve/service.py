@@ -1,0 +1,629 @@
+"""The serve daemon's HTTP-free core: admission, coalescing, caching,
+batching dispatch, circuit breaking, journaling, metrics and drain.
+
+Request lifecycle (``submit``):
+
+1. **Validate** (:mod:`repro.serve.protocol`) — malformed → 400.
+2. **Cache tiers** — the in-memory LRU then the disk cache
+   (:mod:`repro.eval.diskcache`); a hit never touches a worker and is
+   correct by content addressing.  Uncacheable (fault-injected) cells
+   skip this, preserving the executor's contract.
+3. **Coalesce** — an identical in-flight fingerprint joins that entry's
+   future instead of queueing a duplicate computation.
+4. **Circuit breaker** (:mod:`repro.serve.breaker`) — a quarantined cell
+   family fast-fails 503 with a retry hint while healthy traffic flows.
+5. **Admission** — the bounded queue is checked *before* any state is
+   written; a full queue sheds the request with 429 + ``Retry-After``
+   (fast-fail, never head-of-line blocking).
+6. **Journal** (:mod:`repro.serve.journal`) — the request is persisted
+   *before* it becomes runnable, so accepted work survives a crash.
+7. **Dispatch** — a single dispatcher task drains the queue in batches
+   onto :func:`repro.eval.parallel.execute_cells`, inheriting its
+   watchdog, bounded-retry and crash-recovery semantics.  A request
+   deadline is propagated as the executor watchdog, so a client timeout
+   *kills* a hung worker instead of orphaning it; entries with explicit
+   deadlines run as their own single-cell executions so one short
+   deadline can never starve a batch-mate of its time budget.
+
+Nothing in this file talks HTTP; :mod:`repro.serve.server` maps
+:class:`Response` objects onto the wire, and tests drive the service
+in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.eval.backoff import BackoffPolicy
+from repro.eval.cells import Cell, encode_result
+from repro.eval.diskcache import DiskCache
+from repro.eval.parallel import CellFailure, execute_cells
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.journal import Journal
+from repro.serve.protocol import CellRequest, ProtocolError, parse_request
+from repro.trace.session import MetricsRegistry
+
+
+def _pool_context():
+    """Fork-safe multiprocessing context for dispatcher-thread pools.
+
+    The dispatcher runs ``execute_cells`` from a worker thread of a
+    multithreaded (asyncio) process; plain ``fork`` there intermittently
+    deadlocks the child on locks held by other threads at fork time.
+    ``forkserver`` execs a single-threaded server process and forks the
+    workers from *that*, which is safe — and preloading the cell modules
+    keeps per-batch worker start cheap.  Platforms without forkserver
+    (none we run on) fall back to the default context.
+    """
+    try:
+        context = multiprocessing.get_context("forkserver")
+    except ValueError:       # pragma: no cover - non-POSIX fallback
+        return None
+    context.set_forkserver_preload(
+        ["repro.eval.cells", "repro.eval.parallel", "repro.eval.runner"]
+    )
+    return context
+
+
+@dataclass(frozen=True)
+class ServeSettings:
+    """Daemon configuration (CLI flags map 1:1 onto these fields)."""
+
+    queue_depth: int = 64           #: bounded admission queue capacity
+    jobs: int = 2                   #: worker processes / max batch size
+    timeout: float | None = 60.0    #: default per-cell watchdog (seconds)
+    retries: int = 1                #: executor retry budget per cell
+    state_dir: Path = Path("results") / "serve"   #: journal home
+    cache_dir: Path | None = Path("results") / ".cache"
+    lru_entries: int = 1024         #: in-memory result tier (0 = off)
+    breaker_threshold: int = 3      #: consecutive failures to quarantine
+    breaker_base: float = 1.0       #: open-interval backoff base seconds
+    breaker_ceiling: float = 60.0   #: open-interval backoff ceiling
+    retry_after: float = 1.0        #: Retry-After hint on 429 sheds
+    drain_timeout: float = 30.0     #: SIGTERM grace for in-flight work
+    cell_backoff: float = 0.1       #: executor inter-retry backoff base
+
+    def breaker_policy(self) -> BackoffPolicy:
+        return BackoffPolicy(base=self.breaker_base, factor=2.0,
+                             ceiling=self.breaker_ceiling, jitter=0.5)
+
+
+@dataclass(frozen=True)
+class Response:
+    """One service-level response; the HTTP layer serialises it."""
+
+    status: int
+    body: dict
+    headers: dict = field(default_factory=dict)
+
+
+@dataclass
+class _Outcome:
+    """Terminal state of one computation entry."""
+
+    ok: bool
+    result: object = None
+    seconds: float = 0.0
+    failure: CellFailure | None = None
+    shutdown: bool = False
+
+
+@dataclass
+class _Entry:
+    """One admitted computation: queued, executing, or resolving."""
+
+    key: str
+    cell: Cell
+    family: str
+    journal_id: int
+    future: asyncio.Future
+    enqueued_at: float
+    #: watchdog bound derived from waiter deadlines (absolute clock
+    #: value); None = no waiter bound, the default watchdog applies
+    deadline_at: float | None = None
+    #: a waiter without a deadline (or a replayed request) pinned the
+    #: entry to the default watchdog; later deadlines cannot shrink it
+    unbounded: bool = False
+
+
+class ExperimentService:
+    """Resilient experiment-serving core (see module docstring)."""
+
+    def __init__(
+        self,
+        settings: ServeSettings | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.settings = settings or ServeSettings()
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self.breaker = CircuitBreaker(
+            threshold=self.settings.breaker_threshold,
+            policy=self.settings.breaker_policy(),
+            clock=clock,
+            on_transition=self._on_breaker_transition,
+        )
+        self.cache = (
+            DiskCache(self.settings.cache_dir,
+                      lru_entries=self.settings.lru_entries)
+            if self.settings.cache_dir is not None else None
+        )
+        self.journal = Journal(self.settings.state_dir)
+        self._queue: asyncio.Queue[_Entry] | None = None
+        self._inflight: dict[str, _Entry] = {}
+        self._dispatcher: asyncio.Task | None = None
+        self._started = False
+        self._draining = False
+        self._started_at = 0.0
+        self._mp_context = _pool_context()
+        #: recent request latencies in ms (bounded window, exact p50/p99)
+        self._latencies: deque[float] = deque(maxlen=8192)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        """Admitting new work (false before start and while draining)."""
+        return self._started and not self._draining
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> int:
+        """Open the journal, replay pending work, start dispatching.
+
+        Returns the number of journal entries replayed.
+        """
+        if self._started:
+            raise RuntimeError("service already started")
+        self._queue = asyncio.Queue(maxsize=self.settings.queue_depth)
+        pending = self.journal.open()
+        self._started = True
+        self._started_at = self.clock()
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="serve-dispatcher"
+        )
+        replayed = 0
+        for request in pending:
+            try:
+                parsed = parse_request(request.payload)
+            except ProtocolError as exc:
+                # version drift: the journaled request no longer parses
+                self.journal.failed(request.id, request.key,
+                                    f"replay: {exc}")
+                self.metrics.incr("serve.replay_unparseable")
+                continue
+            entry = _Entry(
+                key=parsed.key, cell=parsed.cell, family=parsed.family,
+                journal_id=request.id,
+                future=asyncio.get_running_loop().create_future(),
+                enqueued_at=self.clock(),
+                unbounded=True,
+            )
+            self._inflight[entry.key] = entry
+            await self._queue.put(entry)   # may exceed shed bound: replay
+            replayed += 1                  # work was already accepted
+        self.metrics.incr("serve.replayed", replayed)
+        return replayed
+
+    def begin_drain(self) -> None:
+        """Stop admitting; in-flight work keeps running."""
+        self._draining = True
+
+    async def drain(self) -> bool:
+        """Finish (or checkpoint) in-flight work; returns True if empty.
+
+        Waits up to ``settings.drain_timeout`` for the queue and the
+        executing batch to finish.  Whatever is still unfinished keeps
+        its ``accepted`` journal record and is replayed on the next
+        start — checkpointing by construction.  Always stops the
+        dispatcher and closes (fsyncs) the journal.
+        """
+        self.begin_drain()
+        deadline = self.clock() + self.settings.drain_timeout
+        queue = self._queue
+        while self.clock() < deadline:
+            if not self._inflight and (queue is None or queue.empty()):
+                break
+            await asyncio.sleep(0.02)
+        drained = not self._inflight
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for entry in self._inflight.values():
+            if not entry.future.done():
+                entry.future.set_result(_Outcome(ok=False, shutdown=True))
+        self._inflight.clear()
+        self.journal.close()
+        self._started = False
+        return drained
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, payload: object) -> Response:
+        """Serve one request payload end to end (see module docstring)."""
+        t0 = self.clock()
+        metrics = self.metrics
+        metrics.incr("serve.requests")
+        if not self._started:
+            return self._finish(t0, Response(
+                503, {"error": "service is not running"}
+            ))
+        try:
+            request = parse_request(payload)
+        except ProtocolError as exc:
+            metrics.incr("serve.bad_requests")
+            return self._finish(t0, Response(400, {"error": str(exc)}))
+
+        # 1. cache tiers: memory LRU then disk, never for faulted cells
+        if self.cache is not None and request.cell.cacheable:
+            before_memory = self.cache.memory_hits
+            cached = self.cache.get(request.cell)
+            if cached is not None:
+                from_memory = self.cache.memory_hits > before_memory
+                metrics.incr("serve.cache_hits_memory" if from_memory
+                             else "serve.cache_hits_disk")
+                source = "cache-memory" if from_memory else "cache-disk"
+                return self._finish(t0, self._ok_response(
+                    request, cached, source, 0.0
+                ))
+            metrics.incr("serve.cache_misses")
+
+        # 2. coalesce onto an identical in-flight computation
+        entry = self._inflight.get(request.key)
+        if entry is not None:
+            metrics.incr("serve.coalesced")
+            self._merge_deadline(entry, request.deadline)
+            return await self._await_entry(request, entry, t0,
+                                           source="coalesced")
+
+        if self._draining:
+            metrics.incr("serve.rejected_draining")
+            return self._finish(t0, Response(
+                503, {"error": "draining: not admitting new work"},
+                headers={"Retry-After": _retry_after_header(
+                    self.settings.retry_after)},
+            ))
+
+        # 3. circuit breaker: quarantined families fast-fail
+        allowed, retry_in = self.breaker.admit(request.family)
+        if not allowed:
+            metrics.incr("serve.breaker_rejected")
+            hint = retry_in if retry_in > 0 else self.settings.retry_after
+            return self._finish(t0, Response(
+                503,
+                {"error": f"circuit open for family {request.family!r}",
+                 "family": request.family, "retry_after": round(hint, 3)},
+                headers={"Retry-After": _retry_after_header(hint)},
+            ))
+
+        # 4. admission control: full queue sheds fast with 429
+        queue = self._queue
+        assert queue is not None
+        if queue.full():
+            metrics.incr("serve.shed")
+            return self._finish(t0, Response(
+                429,
+                {"error": "queue full: load shed",
+                 "retry_after": self.settings.retry_after},
+                headers={"Retry-After": _retry_after_header(
+                    self.settings.retry_after)},
+            ))
+
+        # 5. write-ahead journal, then enqueue (no awaits in between, so
+        #    the full-queue check above cannot race another submit)
+        journal_id = self.journal.accepted(request.key, request.payload)
+        entry = _Entry(
+            key=request.key, cell=request.cell, family=request.family,
+            journal_id=journal_id,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=t0,
+        )
+        self._merge_deadline(entry, request.deadline)
+        self._inflight[request.key] = entry
+        queue.put_nowait(entry)
+        metrics.incr("serve.accepted")
+        metrics.histogram("serve.queue_depth").record(queue.qsize())
+        return await self._await_entry(request, entry, t0,
+                                       source="computed")
+
+    def _merge_deadline(self, entry: _Entry, deadline: float | None) -> None:
+        """Fold a waiter deadline into the entry's watchdog bound.
+
+        The bound is the *latest* waiter deadline: work is killed only
+        once no waiter could still use the result.  A waiter without a
+        deadline removes the bound permanently (the default watchdog
+        still applies) — replayed journal entries start that way.
+        """
+        if deadline is None:
+            entry.unbounded = True
+            entry.deadline_at = None
+            return
+        if entry.unbounded:
+            return
+        candidate = self.clock() + deadline
+        entry.deadline_at = (candidate if entry.deadline_at is None
+                             else max(entry.deadline_at, candidate))
+
+    async def _await_entry(
+        self, request: CellRequest, entry: _Entry, t0: float, source: str
+    ) -> Response:
+        try:
+            if request.deadline is not None:
+                outcome = await asyncio.wait_for(
+                    asyncio.shield(entry.future), timeout=request.deadline
+                )
+            else:
+                outcome = await asyncio.shield(entry.future)
+        except asyncio.TimeoutError:
+            self.metrics.incr("serve.deadline_timeouts")
+            return self._finish(t0, Response(
+                504,
+                {"error": "deadline exceeded waiting for result",
+                 "key": request.key},
+            ))
+        return self._finish(t0, self._outcome_response(
+            request, outcome, source
+        ))
+
+    def _outcome_response(
+        self, request: CellRequest, outcome: _Outcome, source: str
+    ) -> Response:
+        if outcome.ok:
+            return self._ok_response(request, outcome.result, source,
+                                     outcome.seconds)
+        if outcome.shutdown:
+            return Response(503, {
+                "error": "daemon shut down before the cell completed; "
+                         "the request is journaled and will resume",
+                "key": request.key,
+            })
+        failure = outcome.failure
+        assert failure is not None
+        status = 504 if failure.kind == "timeout" else 500
+        return Response(status, {
+            "error": "cell execution failed",
+            "kind": failure.kind,
+            "detail": failure.error,
+            "attempts": failure.attempts,
+            "key": request.key,
+            "family": request.family,
+        })
+
+    def _ok_response(
+        self, request: CellRequest, result: object, source: str,
+        seconds: float,
+    ) -> Response:
+        return Response(200, {
+            "key": request.key,
+            "label": request.cell.label,
+            "source": source,
+            "seconds": round(seconds, 6),
+            "result": encode_result(result),
+        })
+
+    def _finish(self, t0: float, response: Response) -> Response:
+        self.metrics.incr(f"serve.status.{response.status}")
+        self._latencies.append((self.clock() - t0) * 1000.0)
+        return response
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        queue = self._queue
+        assert queue is not None
+        while True:
+            batch = [await queue.get()]
+            while len(batch) < max(1, self.settings.jobs):
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                await self._run_batch(batch)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # the dispatcher must outlive any batch: fail the batch's
+                # unresolved entries and keep serving — a lost dispatcher
+                # would hang every future waiter
+                self.metrics.incr("serve.dispatch_errors")
+                for entry in batch:
+                    if not entry.future.done():
+                        self._resolve_failure(entry, CellFailure(
+                            key=entry.key, label=entry.cell.label,
+                            kind="error", attempts=0,
+                            error=f"dispatch error: "
+                                  f"{type(exc).__name__}: {exc}",
+                        ))
+            finally:
+                for _ in batch:
+                    queue.task_done()
+
+    async def _run_batch(self, batch: list[_Entry]) -> None:
+        now = self.clock()
+        metrics = self.metrics
+        metrics.histogram("serve.batch_size").record(len(batch))
+        for entry in batch:
+            wait_ms = int((now - entry.enqueued_at) * 1000)
+            metrics.histogram("serve.queue_wait_ms").record(wait_ms)
+
+        plain: list[_Entry] = []
+        bounded: list[_Entry] = []
+        expired: list[_Entry] = []
+        for entry in batch:
+            if entry.deadline_at is None:
+                plain.append(entry)
+            elif entry.deadline_at <= now:
+                expired.append(entry)
+            else:
+                bounded.append(entry)
+
+        for entry in expired:
+            self._resolve_failure(entry, CellFailure(
+                key=entry.key, label=entry.cell.label, kind="timeout",
+                attempts=0, error="deadline expired before dispatch",
+            ))
+
+        tasks = []
+        if plain:
+            tasks.append(asyncio.to_thread(
+                execute_cells, [entry.cell for entry in plain],
+                jobs=min(self.settings.jobs, len(plain)),
+                timeout=self.settings.timeout,
+                retries=self.settings.retries,
+                backoff=self.settings.cell_backoff,
+                mp_context=self._mp_context,
+            ))
+        for entry in bounded:
+            remaining = entry.deadline_at - now
+            if self.settings.timeout is not None:
+                remaining = min(remaining, self.settings.timeout)
+            tasks.append(asyncio.to_thread(
+                execute_cells, [entry.cell], jobs=1, timeout=remaining,
+                retries=self.settings.retries,
+                backoff=self.settings.cell_backoff,
+                mp_context=self._mp_context,
+            ))
+        if not tasks:
+            return
+        outcomes = await asyncio.gather(*tasks)
+
+        results: dict[str, object] = {}
+        failures: dict[str, CellFailure] = {}
+        seconds: dict[str, float] = {}
+        for cell_results, report in outcomes:
+            results.update(cell_results)
+            failures.update(report.failures)
+            seconds.update(report.cell_seconds)
+            if report.retries:
+                metrics.incr("serve.cell_retries", report.retries)
+
+        # persist results *before* releasing any waiter: a client that
+        # resubmits the instant its response lands must hit the cache,
+        # and a crash after ``done`` can never lose an unpersisted result
+        if self.cache is not None:
+            cache = self.cache
+            to_persist = [entry for entry in plain + bounded
+                          if entry.key in results and entry.cell.cacheable]
+            for entry in to_persist:
+                try:
+                    await asyncio.to_thread(
+                        cache.put, entry.cell, results[entry.key]
+                    )
+                except Exception:
+                    # a failed persist (disk full, encoding) must not
+                    # fail a good result; the cell just recomputes later
+                    metrics.incr("serve.cache_put_errors")
+        for entry in plain + bounded:
+            if entry.key in results:
+                metrics.incr("serve.computed")
+                self.breaker.record_success(entry.family)
+                self.journal.done(entry.journal_id, entry.key)
+                self._resolve(entry, _Outcome(
+                    ok=True, result=results[entry.key],
+                    seconds=seconds.get(entry.key, 0.0),
+                ))
+            else:
+                failure = failures.get(entry.key) or CellFailure(
+                    key=entry.key, label=entry.cell.label, kind="error",
+                    attempts=0, error="executor returned no result",
+                )
+                self._resolve_failure(entry, failure)
+
+    def _resolve(self, entry: _Entry, outcome: _Outcome) -> None:
+        self._inflight.pop(entry.key, None)
+        if not entry.future.done():
+            entry.future.set_result(outcome)
+
+    def _resolve_failure(self, entry: _Entry, failure: CellFailure) -> None:
+        self.metrics.incr("serve.failures")
+        self.breaker.record_failure(entry.family)
+        self.journal.failed(entry.journal_id, entry.key,
+                            f"{failure.kind}: {failure.error}")
+        self._resolve(entry, _Outcome(ok=False, failure=failure))
+
+    def _on_breaker_transition(self, family: str, old: str,
+                               new: str) -> None:
+        self.metrics.incr(f"serve.breaker.{old}_to_{new}")
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_payload(self) -> dict:
+        """Deterministically-ordered JSON body for ``GET /metrics``."""
+        queue = self._queue
+        counters = self.metrics.counters
+        lookups = (
+            counters.get("serve.cache_hits_memory", 0)
+            + counters.get("serve.cache_hits_disk", 0)
+            + counters.get("serve.cache_misses", 0)
+        )
+        hits = (counters.get("serve.cache_hits_memory", 0)
+                + counters.get("serve.cache_hits_disk", 0))
+        latencies = sorted(self._latencies)
+        depth_hist = self.metrics.histograms.get("serve.queue_depth")
+        return {
+            "uptime_s": round(self.clock() - self._started_at, 3)
+            if self._started else 0.0,
+            "ready": self.ready,
+            "draining": self._draining,
+            "queue": {
+                "depth": queue.qsize() if queue is not None else 0,
+                "capacity": self.settings.queue_depth,
+                "inflight": len(self._inflight),
+                "depth_p50": depth_hist.quantile(0.5) if depth_hist else 0,
+                "depth_p99": depth_hist.quantile(0.99) if depth_hist else 0,
+            },
+            "latency_ms": _quantiles(latencies),
+            "cache": {
+                "hit_rate": hits / lookups if lookups else 0.0,
+                "memory_hits": counters.get("serve.cache_hits_memory", 0),
+                "disk_hits": counters.get("serve.cache_hits_disk", 0),
+                "misses": counters.get("serve.cache_misses", 0),
+                "lru_entries": len(self.cache.lru)
+                if self.cache is not None and self.cache.lru is not None
+                else 0,
+            },
+            "breaker": self.breaker.snapshot(),
+            "metrics": self.metrics.as_dict(),
+        }
+
+
+def _retry_after_header(seconds: float) -> str:
+    """HTTP ``Retry-After`` value: whole seconds, at least 1."""
+    return str(max(1, math.ceil(seconds)))
+
+
+def _quantiles(sorted_ms: list[float]) -> dict:
+    """Exact latency quantiles over the recent-window reservoir."""
+    if not sorted_ms:
+        return {"count": 0, "p50": 0.0, "p99": 0.0, "mean": 0.0,
+                "max": 0.0}
+
+    def at(q: float) -> float:
+        index = min(len(sorted_ms) - 1,
+                    max(0, int(q * len(sorted_ms) + 0.5) - 1))
+        return round(sorted_ms[index], 3)
+
+    return {
+        "count": len(sorted_ms),
+        "p50": at(0.5),
+        "p99": at(0.99),
+        "mean": round(sum(sorted_ms) / len(sorted_ms), 3),
+        "max": round(sorted_ms[-1], 3),
+    }
+
+
+__all__ = ["ExperimentService", "Response", "ServeSettings"]

@@ -38,6 +38,7 @@ workload × mechanism.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 from repro.trace.spec import TraceSpec
@@ -99,6 +100,26 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> int:
+        """Upper bucket bound at quantile ``q`` in [0, 1] (0 when empty).
+
+        Resolution is the bucket geometry (a power of two), which is
+        exactly what the serve layer's queue-depth and batch-size
+        distributions need; exact latency quantiles use a reservoir
+        instead (see :mod:`repro.serve.service`).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be within [0, 1], got {q}")
+        if not self.count:
+            return 0
+        target = max(1, min(self.count, math.ceil(q * self.count)))
+        seen = 0
+        for bound in sorted(self.buckets):
+            seen += self.buckets[bound]
+            if seen >= target:
+                return bound
+        return self.max or 0
 
     def as_dict(self) -> dict[str, object]:
         """Deterministic JSON-ready form (buckets sorted numerically)."""

@@ -1,6 +1,8 @@
-"""Disk cache: round-trips, hit/miss accounting, corruption tolerance."""
+"""Disk cache: round-trips, hit/miss accounting, corruption tolerance,
+the in-memory LRU tier, and multi-process contention."""
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -157,3 +159,120 @@ class TestInvalidation:
         b = measure_cell(dispatch_microbench(2, iterations=20), "tiny", config)
         assert a.workload_name == b.workload_name  # same name ...
         assert a.key() != b.key()                  # ... different source
+
+
+class TestLruTier:
+    def test_second_get_is_served_from_memory(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache", lru_entries=4)
+        cell = _measure_cell()
+        cache.put(cell, cell.execute())
+        assert cache.get(cell) is not None
+        assert cache.memory_hits == 1           # put pre-filled the tier
+
+    def test_disk_hit_populates_the_tier(self, tmp_path):
+        writer = DiskCache(tmp_path / "cache")
+        cell = _measure_cell()
+        writer.put(cell, cell.execute())
+
+        reader = DiskCache(tmp_path / "cache", lru_entries=4)
+        assert reader.get(cell) is not None
+        assert reader.memory_hits == 0          # first read came from disk
+        assert reader.get(cell) is not None
+        assert reader.memory_hits == 1          # now resident in memory
+
+    def test_capacity_evicts_least_recently_used(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache", lru_entries=2)
+        cells = [
+            measure_cell("gzip_like", "tiny",
+                         SDTConfig(profile=SIMPLE, ib="ibtc"),
+                         fuel=1_000_000 + n)
+            for n in range(3)
+        ]
+        results = [cell.execute() for cell in cells]
+        for cell, result in zip(cells, results):
+            cache.put(cell, result)
+        assert len(cache.lru) == 2
+        # cells[0] was evicted: served from disk, then re-admitted
+        before = cache.memory_hits
+        assert cache.get(cells[0]) is not None
+        assert cache.memory_hits == before
+
+    def test_memory_result_identical_to_disk_result(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache", lru_entries=4)
+        cell = _measure_cell()
+        cache.put(cell, cell.execute())
+        from_memory = cache.get(cell)
+        cold = DiskCache(tmp_path / "cache")
+        from_disk = cold.get(cell)
+        assert encode_result(from_memory) == encode_result(from_disk)
+
+    def test_zero_entries_disables_the_tier(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache", lru_entries=0)
+        assert cache.lru is None
+        cell = _measure_cell()
+        cache.put(cell, cell.execute())
+        assert cache.get(cell) is not None
+        assert cache.memory_hits == 0
+
+
+def _contend(root, index, barrier, out):
+    """Worker: hammer one shared cache dir with puts and gets."""
+    from repro.eval.diskcache import DiskCache
+    from repro.eval.cells import encode_result, fanout_cell, native_cell
+    from repro.host.profile import SIMPLE
+
+    cache = DiskCache(root)
+    cells = [
+        native_cell("gzip_like", "tiny", SIMPLE, fuel=500_000),
+        fanout_cell("gzip_like", "tiny", fuel=500_000),
+        native_cell("mcf_like", "tiny", SIMPLE, fuel=500_000),
+    ]
+    results = [cell.execute() for cell in cells]
+    barrier.wait(timeout=60)                   # maximise overlap
+    digests = []
+    for round_no in range(6):
+        for cell, result in zip(cells, results):
+            cache.put(cell, result)
+            seen = cache.get(cell)
+            # torn read would surface as None (discarded) or garbage;
+            # None is only legal before the first put completes, and
+            # here our own put already landed
+            assert seen is not None, f"worker {index} torn read"
+            digests.append(json.dumps(encode_result(seen),
+                                      sort_keys=True))
+    out.put((index, digests))
+
+
+class TestMultiProcessContention:
+    def test_concurrent_writers_never_tear(self, tmp_path):
+        """N processes put/get the same cells in the same directory;
+        every read returns a byte-identical, well-formed result."""
+        root = tmp_path / "shared-cache"
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(4)
+        out = ctx.Queue()
+        workers = [
+            ctx.Process(target=_contend, args=(root, n, barrier, out))
+            for n in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        collected = {}
+        for _ in workers:
+            index, digests = out.get(timeout=120)
+            collected[index] = digests
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        # every worker saw the same bytes for every (cell, read) pair
+        reference = collected[0]
+        for index, digests in collected.items():
+            assert digests == reference, f"worker {index} diverged"
+        # and the surviving on-disk entries decode cleanly
+        survivors = DiskCache(root)
+        assert len(survivors) == 3
+        for path in root.glob("*/*.json"):
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            assert "fingerprint" in payload and "type" in payload
+        # no temp droppings left behind by any racer
+        assert [p for p in root.rglob(".tmp-*")] == []

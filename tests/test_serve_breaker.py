@@ -1,0 +1,171 @@
+"""Circuit breaker state machine under a fake clock — no real sleeps."""
+
+import pytest
+
+from repro.eval.backoff import BackoffPolicy
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+#: Jitter-free schedule (1s, 2s, 4s ... cap 60s) for exact assertions.
+PLAIN = BackoffPolicy(base=1.0, factor=2.0, ceiling=60.0, jitter=0.0)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(threshold=3, policy=PLAIN, clock=clock)
+
+
+def trip(breaker, family="fam", times=3):
+    for _ in range(times):
+        breaker.record_failure(family)
+
+
+class TestTrip:
+    def test_starts_closed_and_admits(self, breaker):
+        assert breaker.state_of("fam") == CLOSED
+        assert breaker.admit("fam") == (True, 0.0)
+
+    def test_opens_at_threshold(self, breaker):
+        trip(breaker, times=2)
+        assert breaker.state_of("fam") == CLOSED
+        breaker.record_failure("fam")
+        assert breaker.state_of("fam") == OPEN
+
+    def test_success_resets_the_failure_streak(self, breaker):
+        trip(breaker, times=2)
+        breaker.record_success("fam")
+        trip(breaker, times=2)
+        assert breaker.state_of("fam") == CLOSED
+
+    def test_families_are_independent(self, breaker):
+        trip(breaker, family="bad")
+        assert breaker.state_of("bad") == OPEN
+        assert breaker.admit("good") == (True, 0.0)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+class TestOpenState:
+    def test_rejects_with_retry_hint(self, breaker, clock):
+        trip(breaker)
+        allowed, retry_after = breaker.admit("fam")
+        assert not allowed
+        assert retry_after == pytest.approx(1.0)  # first open interval
+        clock.advance(0.4)
+        _, retry_after = breaker.admit("fam")
+        assert retry_after == pytest.approx(0.6)
+
+    def test_straggler_failure_while_open_is_noop(self, breaker):
+        trip(breaker)
+        state = breaker.snapshot()["families"]["fam"]
+        breaker.record_failure("fam")
+        assert breaker.snapshot()["families"]["fam"] == state
+
+
+class TestHalfOpen:
+    def test_probe_admitted_after_backoff(self, breaker, clock):
+        trip(breaker)
+        clock.advance(1.0)
+        assert breaker.admit("fam") == (True, 0.0)
+        assert breaker.state_of("fam") == HALF_OPEN
+
+    def test_single_probe_at_a_time(self, breaker, clock):
+        trip(breaker)
+        clock.advance(1.0)
+        assert breaker.admit("fam")[0]
+        assert breaker.admit("fam") == (False, 0.0)
+
+    def test_probe_success_closes(self, breaker, clock):
+        trip(breaker)
+        clock.advance(1.0)
+        breaker.admit("fam")
+        breaker.record_success("fam")
+        assert breaker.state_of("fam") == CLOSED
+        assert breaker.admit("fam") == (True, 0.0)
+
+    def test_probe_failure_reopens_with_longer_backoff(self, breaker,
+                                                       clock):
+        trip(breaker)
+        clock.advance(1.0)
+        breaker.admit("fam")
+        breaker.record_failure("fam")
+        assert breaker.state_of("fam") == OPEN
+        _, retry_after = breaker.admit("fam")
+        assert retry_after == pytest.approx(2.0)  # second open interval
+
+    def test_backoff_caps_at_ceiling(self, breaker, clock):
+        trip(breaker)
+        for _ in range(10):                      # 10 failed probes
+            clock.advance(120.0)
+            breaker.admit("fam")
+            breaker.record_failure("fam")
+        clock.advance(0.0)
+        _, retry_after = breaker.admit("fam")
+        assert retry_after <= 60.0
+
+    def test_recovery_resets_backoff_schedule(self, breaker, clock):
+        trip(breaker)
+        clock.advance(1.0)
+        breaker.admit("fam")
+        breaker.record_success("fam")
+        trip(breaker)                            # trips afresh
+        _, retry_after = breaker.admit("fam")
+        assert retry_after == pytest.approx(1.0)  # back to first interval
+
+
+class TestJitterDeterminism:
+    def test_families_decorrelate_but_reproduce(self):
+        policy = BackoffPolicy(base=1.0, factor=2.0, ceiling=60.0,
+                               jitter=0.5, seed=0)
+        clock = FakeClock()
+        first = CircuitBreaker(threshold=1, policy=policy, clock=clock)
+        second = CircuitBreaker(threshold=1, policy=policy, clock=clock)
+        for breaker in (first, second):
+            breaker.record_failure("fam-a")
+            breaker.record_failure("fam-b")
+        a1 = first.admit("fam-a")[1]
+        b1 = first.admit("fam-b")[1]
+        assert a1 != b1                           # decorrelated
+        assert second.admit("fam-a")[1] == a1     # reproducible
+        assert second.admit("fam-b")[1] == b1
+
+
+class TestObservability:
+    def test_transition_callback_and_counter(self, clock):
+        seen = []
+        breaker = CircuitBreaker(threshold=1, policy=PLAIN, clock=clock,
+                                 on_transition=lambda *a: seen.append(a))
+        breaker.record_failure("fam")
+        clock.advance(1.0)
+        breaker.admit("fam")
+        breaker.record_success("fam")
+        assert seen == [("fam", CLOSED, OPEN),
+                        ("fam", OPEN, HALF_OPEN),
+                        ("fam", HALF_OPEN, CLOSED)]
+        assert breaker.transitions == 3
+
+    def test_snapshot_is_deterministic_and_sorted(self, breaker):
+        trip(breaker, family="zzz")
+        trip(breaker, family="aaa")
+        snapshot = breaker.snapshot()
+        assert snapshot["open"] == ["aaa", "zzz"]
+        assert list(snapshot["families"]) == ["aaa", "zzz"]
+        assert snapshot["families"]["aaa"]["opened_total"] == 1

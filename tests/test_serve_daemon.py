@@ -1,0 +1,279 @@
+"""Daemon lifecycle against real processes: SIGTERM drain, SIGKILL
+crash, journal replay, and byte-identity with a cold serial run.
+
+These tests drive ``repro-sdt serve`` the way an operator would: spawn
+the daemon, speak HTTP to it, kill it at awkward moments, and assert
+that no accepted request ever yields a wrong result — the serve-layer
+analogue of the executor's "results are correct or absent" contract.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.eval.cells import encode_result, measure_cell
+from repro.host.profile import SIMPLE
+from repro.sdt.config import SDTConfig
+
+pytestmark = pytest.mark.usefixtures("no_faults")
+
+#: ~0.2-0.4s of real computation: long enough to be killed mid-flight,
+#: short enough to keep the suite fast.
+SLOW_CELL = {"kind": "measure", "workload": "gzip_like", "scale": "small",
+             "config": {"ib": "ibtc"}, "fuel": 30_000_000}
+
+
+def start_daemon(tmp_path, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env.pop("REPRO_FAULTS", None)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--state-dir", str(tmp_path / "state"),
+         "--cache-dir", str(tmp_path / "cache"),
+         "--jobs", "1", "--drain-timeout", "20", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        env=env, cwd="/root/repo",
+    )
+    line = proc.stdout.readline()
+    ready = json.loads(line)
+    assert ready["event"] == "ready"
+    return proc, ready
+
+
+def request(port, method, path, payload=None, timeout=60):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode() if payload is not None else None,
+        method=method,
+        headers={"Connection": "close"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def wait_for_idle(port, timeout=60):
+    """Poll /metrics until no work is queued or in flight."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            _, metrics = request(port, "GET", "/metrics", timeout=5)
+            queue = metrics["queue"]
+            if queue["inflight"] == 0 and queue["depth"] == 0:
+                return metrics
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.05)
+    raise AssertionError("daemon never went idle")
+
+
+def reference_result():
+    """The cold, serial, in-process result for SLOW_CELL."""
+    cell = measure_cell(
+        SLOW_CELL["workload"], SLOW_CELL["scale"],
+        SDTConfig(profile=SIMPLE, ib="ibtc"), fuel=SLOW_CELL["fuel"],
+    )
+    return encode_result(cell.execute())
+
+
+class TestSigtermDrain:
+    def test_clean_shutdown_exits_zero(self, tmp_path):
+        proc, ready = start_daemon(tmp_path)
+        try:
+            status, _ = request(ready["port"], "GET", "/healthz")
+            assert status == 200
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0
+        stopped = json.loads(out.strip().splitlines()[-1])
+        assert stopped == {"event": "stopped", "drained": True}
+
+    def test_in_flight_request_completes_during_drain(self, tmp_path):
+        proc, ready = start_daemon(tmp_path)
+        port = ready["port"]
+        outcome = {}
+
+        def client():
+            try:
+                outcome["response"] = request(port, "POST", "/v1/cells",
+                                              SLOW_CELL, timeout=90)
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                outcome["error"] = exc
+
+        try:
+            thread = threading.Thread(target=client)
+            thread.start()
+            # wait until the request is accepted (journaled + in flight)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                _, metrics = request(port, "GET", "/metrics", timeout=5)
+                counters = metrics["metrics"]["counters"]
+                if counters.get("serve.accepted", 0) >= 1:
+                    break
+                time.sleep(0.02)
+            else:
+                raise AssertionError("request never accepted")
+            proc.send_signal(signal.SIGTERM)
+            thread.join(timeout=90)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0              # drained cleanly
+        status, body = outcome["response"]
+        assert status == 200                     # the work was finished
+        assert body["source"] == "computed"
+        assert body["result"] == reference_result()
+        stopped = json.loads(out.strip().splitlines()[-1])
+        assert stopped["drained"] is True
+        # nothing left pending for a future restart
+        journal = (tmp_path / "state" / "journal.jsonl")
+        pending = [line for line in journal.read_text().splitlines()
+                   if line.strip()]
+        accepted = [json.loads(l) for l in pending
+                    if json.loads(l)["event"] == "accepted"]
+        done = {json.loads(l)["id"] for l in pending
+                if json.loads(l)["event"] in ("done", "failed")}
+        assert all(record["id"] in done for record in accepted)
+
+
+class TestCrashReplay:
+    def test_sigkill_mid_flight_then_replay_byte_identical(self, tmp_path):
+        proc, ready = start_daemon(tmp_path)
+        port = ready["port"]
+
+        def client():
+            try:
+                request(port, "POST", "/v1/cells", SLOW_CELL, timeout=30)
+            except Exception:
+                pass  # the daemon dies under us: expected
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        try:
+            # wait for acceptance (the journal record is durable), then
+            # kill the daemon while the cell is still computing
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                _, metrics = request(port, "GET", "/metrics", timeout=5)
+                if metrics["metrics"]["counters"].get("serve.accepted", 0):
+                    break
+                time.sleep(0.02)
+            else:
+                raise AssertionError("request never accepted")
+            time.sleep(0.05)
+        finally:
+            proc.kill()                           # SIGKILL: no goodbye
+            proc.wait(timeout=30)
+        thread.join(timeout=30)
+
+        journal = tmp_path / "state" / "journal.jsonl"
+        events = [json.loads(line)["event"]
+                  for line in journal.read_text().splitlines()
+                  if line.strip()]
+        assert "accepted" in events and "done" not in events
+
+        # restart on the same state dir: the accepted request replays
+        proc2, ready2 = start_daemon(tmp_path)
+        try:
+            assert ready2["replayed"] == 1
+            metrics = wait_for_idle(ready2["port"])
+            assert metrics["metrics"]["counters"]["serve.computed"] == 1
+            # the replayed result is in the cache now: a client retry is
+            # served without recomputation, byte-identical to a cold run
+            status, body = request(ready2["port"], "POST", "/v1/cells",
+                                   SLOW_CELL)
+            assert status == 200
+            assert body["source"].startswith("cache-")
+            assert body["result"] == reference_result()
+            proc2.send_signal(signal.SIGTERM)
+            proc2.communicate(timeout=30)
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()
+        assert proc2.returncode == 0
+
+        # third start: the journal compacted, nothing to replay
+        proc3, ready3 = start_daemon(tmp_path)
+        try:
+            assert ready3["replayed"] == 0
+            proc3.send_signal(signal.SIGTERM)
+            proc3.communicate(timeout=30)
+        finally:
+            if proc3.poll() is None:
+                proc3.kill()
+
+
+class TestDaemonHttp:
+    def test_surfaces_and_errors(self, tmp_path):
+        proc, ready = start_daemon(tmp_path)
+        port = ready["port"]
+        try:
+            assert request(port, "GET", "/healthz")[0] == 200
+            assert request(port, "GET", "/readyz")[0] == 200
+            assert request(port, "GET", "/nope")[0] == 404
+            assert request(port, "POST", "/metrics", {})[0] == 405
+            status, body = request(port, "POST", "/v1/cells",
+                                   {"workload": "not_a_workload"})
+            assert status == 400
+            assert "workload" in body["error"]
+            # raw non-JSON body
+            raw = urllib.request.Request(
+                f"http://127.0.0.1:{port}/v1/cells", data=b"not json",
+                method="POST", headers={"Connection": "close"})
+            try:
+                urllib.request.urlopen(raw, timeout=10)
+                raise AssertionError("expected HTTP 400")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 400
+            proc.send_signal(signal.SIGTERM)
+            proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0
+
+    def test_readyz_flips_during_drain_window(self, tmp_path):
+        """A drain with in-flight work keeps the process alive briefly;
+        new connections are refused once the listener closes."""
+        proc, ready = start_daemon(tmp_path)
+        port = ready["port"]
+        threading.Thread(
+            target=lambda: request(port, "POST", "/v1/cells", SLOW_CELL,
+                                   timeout=90),
+            daemon=True,
+        ).start()
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            _, metrics = request(port, "GET", "/metrics", timeout=5)
+            if metrics["metrics"]["counters"].get("serve.accepted", 0):
+                break
+            time.sleep(0.02)
+        proc.send_signal(signal.SIGTERM)
+        # the listener closes promptly: probes now fail to connect
+        refused = False
+        for _ in range(100):
+            try:
+                request(port, "GET", "/readyz", timeout=2)
+            except (urllib.error.URLError, OSError, socket.timeout):
+                refused = True
+                break
+            time.sleep(0.05)
+        proc.communicate(timeout=60)
+        assert refused
+        assert proc.returncode == 0

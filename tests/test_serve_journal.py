@@ -1,0 +1,95 @@
+"""Write-ahead journal: recovery, torn lines, compaction."""
+
+import json
+
+from repro.serve.journal import JOURNAL_NAME, Journal, load_pending
+
+
+def test_roundtrip_done_requests_are_not_pending(tmp_path):
+    journal = Journal(tmp_path)
+    journal.open()
+    first = journal.accepted("key-1", {"workload": "a"})
+    second = journal.accepted("key-2", {"workload": "b"})
+    journal.done(first, "key-1")
+    journal.close()
+
+    pending, next_id = load_pending(tmp_path / JOURNAL_NAME)
+    assert [p.key for p in pending] == ["key-2"]
+    assert pending[0].id == second
+    assert pending[0].payload == {"workload": "b"}
+    assert next_id == second + 1
+
+
+def test_failed_requests_are_not_pending(tmp_path):
+    journal = Journal(tmp_path)
+    journal.open()
+    record = journal.accepted("key-1", {})
+    journal.failed(record, "key-1", "timeout: watchdog")
+    journal.close()
+    pending, _ = load_pending(tmp_path / JOURNAL_NAME)
+    assert pending == []
+
+
+def test_missing_journal_is_empty(tmp_path):
+    pending, next_id = load_pending(tmp_path / "absent.jsonl")
+    assert (pending, next_id) == ([], 1)
+
+
+def test_torn_final_line_is_tolerated(tmp_path):
+    path = tmp_path / JOURNAL_NAME
+    lines = [
+        json.dumps({"event": "accepted", "id": 1, "key": "k1",
+                    "request": {"workload": "a"}}),
+        json.dumps({"event": "accepted", "id": 2, "key": "k2",
+                    "request": {"workload": "b"}}),
+    ]
+    path.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2],
+                    encoding="utf-8")
+    pending, next_id = load_pending(path)
+    assert [p.key for p in pending] == ["k1"]
+    assert next_id == 2
+
+
+def test_corrupt_interior_lines_are_skipped(tmp_path):
+    path = tmp_path / JOURNAL_NAME
+    path.write_text(
+        "not json at all\n"
+        '{"event": "accepted"}\n'                       # missing id
+        '{"event": "accepted", "id": 3, "key": "k3", '
+        '"request": {"workload": "c"}}\n',
+        encoding="utf-8",
+    )
+    pending, next_id = load_pending(path)
+    assert [p.key for p in pending] == ["k3"]
+    assert next_id == 4
+
+
+def test_open_compacts_to_pending_only(tmp_path):
+    journal = Journal(tmp_path)
+    journal.open()
+    for n in range(5):
+        record = journal.accepted(f"key-{n}", {"n": n})
+        if n != 3:
+            journal.done(record, f"key-{n}")
+    journal.close()
+
+    reopened = Journal(tmp_path)
+    pending = reopened.open()
+    assert [p.key for p in pending] == ["key-3"]
+    # the compacted file holds exactly the pending accepted records
+    text = (tmp_path / JOURNAL_NAME).read_text(encoding="utf-8")
+    assert len(text.splitlines()) == 1
+    # ids keep ascending across the restart: no journal-id reuse
+    fresh = reopened.accepted("key-new", {})
+    assert fresh > pending[0].id
+    reopened.close()
+
+
+def test_append_requires_open(tmp_path):
+    journal = Journal(tmp_path)
+    try:
+        journal.accepted("k", {})
+    except RuntimeError as exc:
+        assert "not open" in str(exc)
+    else:
+        raise AssertionError("expected RuntimeError")

@@ -1,0 +1,114 @@
+"""Request protocol: strict validation, cell identity, family strings."""
+
+import pytest
+
+from repro.eval.cells import measure_cell, native_cell
+from repro.eval.runner import DEFAULT_FUEL
+from repro.host.profile import get_profile
+from repro.sdt.config import SDTConfig
+from repro.serve.protocol import (
+    CONFIG_FIELDS,
+    MAX_DEADLINE,
+    ProtocolError,
+    parse_request,
+)
+
+pytestmark = pytest.mark.usefixtures("no_faults")
+
+
+def _measure_payload(**overrides):
+    payload = {"kind": "measure", "workload": "gzip_like",
+               "scale": "tiny", "config": {"ib": "ibtc"}}
+    payload.update(overrides)
+    return payload
+
+
+class TestParsing:
+    def test_minimal_measure_request(self):
+        request = parse_request({"workload": "gzip_like"})
+        assert request.cell.kind == "measure"
+        assert request.cell.fuel == DEFAULT_FUEL
+        assert request.deadline is None
+
+    def test_key_matches_the_batch_executor_cell(self):
+        request = parse_request(_measure_payload(fuel=12345))
+        config = SDTConfig(profile=get_profile("simple"), ib="ibtc")
+        expected = measure_cell("gzip_like", "tiny", config, fuel=12345)
+        assert request.key == expected.key()
+
+    def test_native_cell(self):
+        request = parse_request({"kind": "native", "workload": "mcf_like",
+                                 "scale": "tiny"})
+        expected = native_cell("mcf_like", "tiny", get_profile("simple"),
+                               fuel=DEFAULT_FUEL)
+        assert request.key == expected.key()
+
+    def test_canonical_payload_round_trips(self):
+        request = parse_request(_measure_payload(deadline=5.0))
+        again = parse_request(request.payload)
+        assert again.key == request.key
+        assert again.payload == request.payload
+
+    def test_canonical_payload_sorts_config_keys(self):
+        request = parse_request(_measure_payload(
+            config={"returns": "shadow", "ib": "sieve"}))
+        assert list(request.payload["config"]) == ["ib", "returns"]
+
+
+class TestFamilies:
+    def test_family_excludes_fuel(self):
+        a = parse_request(_measure_payload(fuel=100))
+        b = parse_request(_measure_payload(fuel=10**9))
+        assert a.family == b.family
+        assert a.key != b.key
+
+    def test_family_distinguishes_configs(self):
+        a = parse_request(_measure_payload(config={"ib": "ibtc"}))
+        b = parse_request(_measure_payload(config={"ib": "sieve"}))
+        assert a.family != b.family
+
+    def test_family_kinds_are_disjoint(self):
+        measure = parse_request(_measure_payload())
+        native = parse_request({"kind": "native", "workload": "gzip_like"})
+        fanout = parse_request({"kind": "fanout", "workload": "gzip_like"})
+        assert len({measure.family, native.family, fanout.family}) == 3
+
+
+class TestRejection:
+    @pytest.mark.parametrize("payload", [
+        None,
+        [],
+        "text",
+        {},                                        # workload missing
+        {"workload": "no_such_workload"},
+        {"workload": "gzip_like", "kind": "bogus"},
+        {"workload": "gzip_like", "scale": "huge"},
+        {"workload": "gzip_like", "fuel": 0},
+        {"workload": "gzip_like", "fuel": True},
+        {"workload": "gzip_like", "fuel": "lots"},
+        {"workload": "gzip_like", "fuel": 10**13},
+        {"workload": "gzip_like", "profile": "no_such_profile"},
+        {"workload": "gzip_like", "deadline": 0},
+        {"workload": "gzip_like", "deadline": -1.0},
+        {"workload": "gzip_like", "deadline": MAX_DEADLINE + 1},
+        {"workload": "gzip_like", "deadline": "soon"},
+        {"workload": "gzip_like", "config": "ibtc"},
+        {"workload": "gzip_like", "surprise": 1},
+        {"workload": "gzip_like", "kind": "native", "config": {"ib": "ibtc"}},
+        {"workload": "gzip_like", "kind": "fanout", "config": {"ib": "ibtc"}},
+    ])
+    def test_malformed_payloads(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_request(payload)
+
+    @pytest.mark.parametrize("fieldname", ["engine", "faults", "trace",
+                                           "profile", "nonsense"])
+    def test_daemon_level_config_fields_rejected(self, fieldname):
+        assert fieldname not in CONFIG_FIELDS
+        with pytest.raises(ProtocolError):
+            parse_request(_measure_payload(config={fieldname: "x"}))
+
+    def test_invalid_config_value_is_client_safe(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(_measure_payload(config={"ib": "bogus"}))
+        assert "invalid config" in str(excinfo.value)

@@ -1,0 +1,373 @@
+"""In-process service tests: admission, coalescing, caching, breaker
+integration, deadlines, drain/replay, and metrics.
+
+The heavier lifecycle scenarios (SIGTERM against a live daemon process,
+kill-and-replay byte-identity) live in ``test_serve_daemon.py``; here
+the service core runs inside the test's own event loop, with the
+executor monkeypatched where determinism needs it.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+import repro.serve.service as service_mod
+from repro.eval.parallel import CellFailure, ExecutionReport, execute_cells
+from repro.serve.service import ExperimentService, ServeSettings
+
+pytestmark = pytest.mark.usefixtures("no_faults")
+
+MEASURE = {"kind": "measure", "workload": "gzip_like", "scale": "tiny",
+           "config": {"ib": "ibtc"}, "fuel": 3_000_000}
+NATIVE = {"kind": "native", "workload": "gzip_like", "scale": "tiny",
+          "fuel": 3_000_000}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def settings(tmp_path, **overrides):
+    defaults = dict(state_dir=tmp_path / "state",
+                    cache_dir=tmp_path / "cache",
+                    jobs=2, timeout=30.0, queue_depth=8,
+                    drain_timeout=5.0)
+    defaults.update(overrides)
+    return ServeSettings(**defaults)
+
+
+class FakeExecutor:
+    """Deterministic stand-in for execute_cells (injectable via
+    monkeypatching the name imported into the service module)."""
+
+    def __init__(self, mode="ok", block=None):
+        self.mode = mode
+        self.block = block       # threading.Event: wait before returning
+        self.calls = 0
+
+    def __call__(self, cells, **kwargs):
+        self.calls += 1
+        if self.block is not None:
+            self.block.wait(timeout=10)
+        report = ExecutionReport(requested=len(cells), unique=len(cells))
+        results = {}
+        for cell in cells:
+            if self.mode == "ok":
+                results[cell.key()] = _fake_result(cell)
+                report.computed += 1
+            else:
+                report.failures[cell.key()] = CellFailure(
+                    key=cell.key(), label=cell.label, kind=self.mode,
+                    attempts=1, error=f"fake {self.mode}")
+        report.cell_seconds = {key: 0.001 for key in results}
+        return results, report
+
+
+def _fake_result(cell):
+    # a real Measurement-shaped object is not needed: the service treats
+    # results opaquely; encode_result is bypassed with a stub
+    return {"fake": cell.key()}
+
+
+@pytest.fixture
+def fake_encode(monkeypatch):
+    monkeypatch.setattr(service_mod, "encode_result", lambda r: r)
+
+
+class TestComputeAndCache:
+    def test_compute_then_memory_then_disk(self, tmp_path):
+        async def scenario():
+            svc = ExperimentService(settings(tmp_path))
+            await svc.start()
+            first = await svc.submit(MEASURE)
+            second = await svc.submit(MEASURE)
+            await svc.drain()
+            return first, second
+
+        first, second = run(scenario())
+        assert (first.status, first.body["source"]) == (200, "computed")
+        assert (second.status, second.body["source"]) == (200,
+                                                          "cache-memory")
+        assert first.body["result"] == second.body["result"]
+
+        async def fresh():
+            svc = ExperimentService(settings(tmp_path))
+            await svc.start()
+            response = await svc.submit(MEASURE)
+            await svc.drain()
+            return response
+
+        third = run(fresh())   # fresh LRU, same disk cache
+        assert (third.status, third.body["source"]) == (200, "cache-disk")
+        assert third.body["result"] == first.body["result"]
+
+    def test_coalescing_single_execution(self, tmp_path, monkeypatch,
+                                         fake_encode):
+        executor = FakeExecutor()
+        monkeypatch.setattr(service_mod, "execute_cells", executor)
+
+        async def scenario():
+            svc = ExperimentService(settings(tmp_path))
+            await svc.start()
+            responses = await asyncio.gather(*[
+                svc.submit(NATIVE) for _ in range(4)
+            ])
+            await svc.drain()
+            return responses
+
+        responses = run(scenario())
+        assert executor.calls == 1
+        sources = sorted(r.body["source"] for r in responses)
+        assert sources == ["coalesced"] * 3 + ["computed"]
+        assert len({str(r.body["result"]) for r in responses}) == 1
+
+    def test_submit_before_start_is_503(self, tmp_path):
+        svc = ExperimentService(settings(tmp_path))
+        response = run(svc.submit(MEASURE))
+        assert response.status == 503
+
+
+class TestAdmission:
+    def test_queue_full_sheds_with_429(self, tmp_path, monkeypatch,
+                                       fake_encode):
+        gate = threading.Event()
+        executor = FakeExecutor(block=gate)
+        monkeypatch.setattr(service_mod, "execute_cells", executor)
+
+        async def scenario():
+            svc = ExperimentService(settings(
+                tmp_path, jobs=1, queue_depth=1))
+            await svc.start()
+            payloads = [dict(NATIVE, fuel=1000 + n) for n in range(4)]
+            # first entry: dispatched and parked in the blocked executor
+            tasks = [asyncio.create_task(svc.submit(payloads[0]))]
+            while not executor.calls:
+                await asyncio.sleep(0.01)
+            # second entry: fills the depth-1 queue
+            tasks.append(asyncio.create_task(svc.submit(payloads[1])))
+            await asyncio.sleep(0.05)
+            # the rest hit the full-queue fast path and are shed
+            tasks += [asyncio.create_task(svc.submit(p))
+                      for p in payloads[2:]]
+            await asyncio.sleep(0.05)
+            gate.set()
+            responses = await asyncio.gather(*tasks)
+            metrics = svc.metrics_payload()
+            await svc.drain()
+            return responses, metrics
+
+        responses, metrics = run(scenario())
+        statuses = sorted(r.status for r in responses)
+        assert statuses == [200, 200, 429, 429]
+        shed = [r for r in responses if r.status == 429]
+        assert all(r.headers.get("Retry-After") for r in shed)
+        assert metrics["metrics"]["counters"]["serve.shed"] == 2
+
+    def test_draining_rejects_new_work(self, tmp_path):
+        async def scenario():
+            svc = ExperimentService(settings(tmp_path))
+            await svc.start()
+            svc.begin_drain()
+            response = await svc.submit(MEASURE)
+            await svc.drain()
+            return response
+
+        response = run(scenario())
+        assert response.status == 503
+        assert "draining" in response.body["error"]
+
+
+class TestBreakerIntegration:
+    def test_failures_open_then_fast_fail_then_recover(
+            self, tmp_path, monkeypatch, fake_encode):
+        executor = FakeExecutor(mode="error")
+        monkeypatch.setattr(service_mod, "execute_cells", executor)
+
+        async def scenario():
+            svc = ExperimentService(settings(
+                tmp_path, breaker_threshold=2, breaker_base=0.05))
+            await svc.start()
+            errors = [await svc.submit(NATIVE) for _ in range(2)]
+            rejected = await svc.submit(NATIVE)
+            await asyncio.sleep(0.06)        # past the open interval
+            executor.mode = "ok"             # the probe now succeeds
+            probe = await svc.submit(NATIVE)
+            healthy = await svc.submit(dict(NATIVE, fuel=999))
+            snapshot = svc.metrics_payload()["breaker"]
+            await svc.drain()
+            return errors, rejected, probe, healthy, snapshot
+
+        errors, rejected, probe, healthy, snapshot = run(scenario())
+        assert [e.status for e in errors] == [500, 500]
+        assert rejected.status == 503
+        assert rejected.headers.get("Retry-After")
+        assert "circuit open" in rejected.body["error"]
+        assert probe.status == 200
+        assert healthy.status == 200
+        assert snapshot["open"] == []
+        assert snapshot["transitions"] == 3  # closed→open→half→closed
+
+    def test_timeout_failures_map_to_504(self, tmp_path, monkeypatch,
+                                         fake_encode):
+        executor = FakeExecutor(mode="timeout")
+        monkeypatch.setattr(service_mod, "execute_cells", executor)
+
+        async def scenario():
+            svc = ExperimentService(settings(tmp_path))
+            await svc.start()
+            response = await svc.submit(NATIVE)
+            await svc.drain()
+            return response
+
+        response = run(scenario())
+        assert response.status == 504
+        assert response.body["kind"] == "timeout"
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_is_504(self, tmp_path, monkeypatch,
+                                      fake_encode):
+        gate = threading.Event()
+        executor = FakeExecutor(block=gate)
+        monkeypatch.setattr(service_mod, "execute_cells", executor)
+
+        async def scenario():
+            svc = ExperimentService(settings(tmp_path, drain_timeout=0.3))
+            await svc.start()
+            response = await svc.submit(dict(NATIVE, deadline=0.1))
+            gate.set()
+            await svc.drain()
+            return response
+
+        response = run(scenario())
+        assert response.status == 504
+        assert "deadline" in response.body["error"]
+
+    def test_deadline_propagates_to_executor_watchdog(
+            self, tmp_path, monkeypatch, fake_encode):
+        seen = {}
+
+        def recording_executor(cells, **kwargs):
+            seen.update(kwargs)
+            return FakeExecutor()(cells)
+
+        monkeypatch.setattr(service_mod, "execute_cells",
+                            recording_executor)
+
+        async def scenario():
+            svc = ExperimentService(settings(tmp_path, timeout=60.0))
+            await svc.start()
+            response = await svc.submit(dict(NATIVE, deadline=5.0))
+            await svc.drain()
+            return response
+
+        response = run(scenario())
+        assert response.status == 200
+        assert seen["timeout"] is not None
+        assert seen["timeout"] <= 5.0   # client deadline, not the 60s
+
+
+class TestDrainAndReplay:
+    def test_unfinished_work_is_journaled_and_replayed(
+            self, tmp_path, monkeypatch, fake_encode):
+        gate = threading.Event()
+        blocked = FakeExecutor(block=gate)
+        monkeypatch.setattr(service_mod, "execute_cells", blocked)
+
+        async def interrupted():
+            svc = ExperimentService(settings(
+                tmp_path, jobs=1, drain_timeout=0.1))
+            await svc.start()
+            task = asyncio.create_task(svc.submit(NATIVE))
+            while not blocked.calls:
+                await asyncio.sleep(0.01)
+            drained = await svc.drain()
+            gate.set()
+            response = await task
+            return drained, response
+
+        drained, response = run(interrupted())
+        assert drained is False
+        assert response.status == 503
+        assert "journaled" in response.body["error"]
+
+        fast = FakeExecutor()
+        monkeypatch.setattr(service_mod, "execute_cells", fast)
+
+        async def restarted():
+            svc = ExperimentService(settings(tmp_path))
+            replayed = await svc.start()
+            while svc.metrics_payload()["queue"]["inflight"]:
+                await asyncio.sleep(0.01)
+            drained = await svc.drain()
+            return replayed, drained
+
+        replayed, drained = run(restarted())
+        assert replayed == 1
+        assert drained is True
+        assert fast.calls == 1
+
+        async def after():
+            svc = ExperimentService(settings(tmp_path))
+            replayed = await svc.start()
+            await svc.drain()
+            return replayed
+
+        assert run(after()) == 0   # the journal compacted to empty
+
+
+class TestMetrics:
+    def test_payload_shape_and_determinism(self, tmp_path):
+        async def scenario():
+            svc = ExperimentService(settings(tmp_path))
+            await svc.start()
+            await svc.submit(MEASURE)
+            await svc.submit(MEASURE)
+            await svc.submit({"workload": "nope"})
+            payload = svc.metrics_payload()
+            await svc.drain()
+            return payload
+
+        payload = run(scenario())
+        assert payload["ready"] is True
+        assert payload["queue"]["capacity"] == 8
+        assert payload["latency_ms"]["count"] == 3
+        assert payload["latency_ms"]["p50"] <= payload["latency_ms"]["p99"]
+        assert payload["cache"]["hit_rate"] == pytest.approx(0.5)
+        counters = payload["metrics"]["counters"]
+        assert counters["serve.requests"] == 3
+        assert counters["serve.bad_requests"] == 1
+        assert counters["serve.computed"] == 1
+        assert counters["serve.cache_hits_memory"] == 1
+        assert counters["serve.status.200"] == 2
+
+    def test_zero_traffic_ratios_do_not_divide_by_zero(self, tmp_path):
+        async def scenario():
+            svc = ExperimentService(settings(tmp_path))
+            await svc.start()
+            payload = svc.metrics_payload()
+            await svc.drain()
+            return payload
+
+        payload = run(scenario())
+        assert payload["cache"]["hit_rate"] == 0.0
+        assert payload["latency_ms"] == {
+            "count": 0, "p50": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0,
+        }
+
+
+class TestEmptyPlanRegression:
+    """Satellite: ratio properties must survive empty cell plans."""
+
+    def test_execute_cells_empty_plan(self):
+        results, report = execute_cells([])
+        assert results == {}
+        assert report.hit_rate == 0.0     # no ZeroDivisionError
+        assert report.ok
+        assert (report.requested, report.unique) == (0, 0)
+
+    def test_empty_report_defaults(self):
+        report = ExecutionReport()
+        assert report.hit_rate == 0.0
+        assert report.ok
