@@ -22,6 +22,12 @@ Re-asserts the robustness acceptance bar end-to-end (docs/robustness.md):
    --chaos`` drives the HTTP service with fault plans, worker kills and
    client disconnects: zero wrong results, and a tripped circuit
    breaker must recover through its half-open probe (docs/serve.md).
+6. **Tier-2 regions under chaos** — the region JIT (forced hot) stays
+   byte-identical to the oracle engine under ``chaos:1234`` with zero
+   region compile errors, and the chaos plan perturbations actually
+   exercise the deopt guards (> 0 deopts/discards observed).  The full
+   three-engine differential lives in ``scripts/tier2_check.py``; this
+   is the resilience slice of it.
 
 Writes every invariant-checker report to ``results/ci/CHAOS_report.json``
 (uploaded as a CI artifact) and exits non-zero on any failure.
@@ -225,6 +231,54 @@ def check_serve(failures: list[str], report: dict) -> None:
           f"0 wrong results required", flush=True)
 
 
+def check_tier2(failures: list[str], report: dict) -> None:
+    """Region JIT under chaos: oracle parity + live deopt guards."""
+    import os
+
+    from repro.workloads import workload_names
+
+    os.environ["REPRO_TIER2_THRESHOLD"] = "4"  # force promotions at tiny
+    try:
+        totals: dict[str, int] = {}
+        for name in workload_names():
+            # same chaos plan on both sides: the tier must be invisible
+            # even in the cycle ledger, not just architecturally
+            _, oracle = run(name, "ibtc", faults=CHAOS, engine="oracle")
+            vm, tiered = run(name, "ibtc", faults=CHAOS, engine="tier2")
+            for field in ("output", "exit_code", "retired"):
+                if getattr(tiered, field) != getattr(oracle, field):
+                    failures.append(
+                        f"{name}/tier2: {field} diverged from oracle "
+                        f"under {CHAOS}"
+                    )
+            if tiered.total_cycles != oracle.total_cycles:
+                failures.append(
+                    f"{name}/tier2: cycle total diverged from oracle "
+                    f"under {CHAOS}"
+                )
+            for key, value in vm.stats.tier2.items():
+                totals[key] = totals.get(key, 0) + value
+    finally:
+        del os.environ["REPRO_TIER2_THRESHOLD"]
+    report["tier2"] = totals
+    exercised = sum(
+        value for key, value in totals.items()
+        if key.startswith(("deopt.", "discard."))
+    )
+    if totals.get("promote", 0) == 0:
+        failures.append("tier2 chaos runs never promoted a region")
+    if exercised == 0:
+        failures.append("tier2 chaos runs never hit a deopt/discard guard")
+    if totals.get("compile_error", 0):
+        failures.append(
+            f"tier2 chaos runs hit {totals['compile_error']} region "
+            f"compile error(s)"
+        )
+    print(f"tier2:     {totals.get('promote', 0)} promotions, "
+          f"{exercised} deopts/discards, 0 divergences required",
+          flush=True)
+
+
 def main() -> int:
     failures: list[str] = []
     report: dict = {"identity": [], "storm": [], "coherence": []}
@@ -234,6 +288,7 @@ def main() -> int:
     check_e13(failures, report)
     check_coherence(failures, report)
     check_serve(failures, report)
+    check_tier2(failures, report)
 
     report["failures"] = failures
     REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CI guard: every Python file must be inside the ruff lint scope.
+
+The lint step runs ``ruff check src tests scripts benchmarks``.  That
+scope silently shrinks when a glob in ``[tool.ruff]`` ``exclude`` /
+``extend-exclude`` (or a stray ``.ruffignore``) matches a newly added
+file: the file lands, CI stays green, and the linter never sees it.
+
+This script asks ruff which files it would actually check
+(``ruff check --show-files``) and compares against the ``*.py`` files
+present on disk under the same directories.  Any file on disk that ruff
+skips fails the step with the exact paths, so scope regressions surface
+in the same PR that introduces them.
+
+Usage::
+
+    python scripts/check_ruff_scope.py            # same scope as CI lint
+    python scripts/check_ruff_scope.py src        # restrict to one tree
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+SCOPE = ("src", "tests", "scripts", "benchmarks")
+SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache"}
+
+
+def _files_on_disk(roots: tuple[str, ...]) -> set[Path]:
+    found: set[Path] = set()
+    for root in roots:
+        base = Path(root)
+        if not base.is_dir():
+            continue
+        for path in base.rglob("*.py"):
+            if not SKIP_DIRS.intersection(part for part in path.parts):
+                found.add(path.resolve())
+    return found
+
+
+def _ruff_scope(roots: tuple[str, ...]) -> set[Path]:
+    for launcher in (["ruff"], [sys.executable, "-m", "ruff"]):
+        try:
+            proc = subprocess.run(
+                [*launcher, "check", "--show-files", *roots],
+                capture_output=True, text=True, timeout=120,
+            )
+        except (FileNotFoundError, subprocess.TimeoutExpired):
+            continue
+        if proc.returncode != 0:
+            if "No module named" in proc.stderr:
+                continue  # bare python without the ruff package
+            raise SystemExit(
+                f"ruff scope check: '{' '.join(launcher)} check "
+                f"--show-files' failed:\n{proc.stderr.strip()}"
+            )
+        return {
+            Path(line.strip()).resolve()
+            for line in proc.stdout.splitlines() if line.strip()
+        }
+    raise SystemExit(
+        "ruff scope check: ruff is not installed (CI installs it in the "
+        "lint environment; run `pip install ruff` locally)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    roots = tuple(argv) if argv else SCOPE
+    on_disk = _files_on_disk(roots)
+    linted = _ruff_scope(roots)
+    missing = sorted(on_disk - linted)
+    if missing:
+        print("ruff scope check: FAIL - files outside the lint scope:",
+              file=sys.stderr)
+        cwd = Path.cwd()
+        for path in missing:
+            try:
+                shown = path.relative_to(cwd)
+            except ValueError:
+                shown = path
+            print(f"  - {shown}", file=sys.stderr)
+        print(
+            "check [tool.ruff] exclude patterns in pyproject.toml "
+            "(or .ruffignore)", file=sys.stderr,
+        )
+        return 1
+    print(f"ruff scope check: ok ({len(on_disk)} files under "
+          f"{', '.join(roots)} all linted)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -3,14 +3,14 @@
 
 Compares a fresh ``scripts/bench_engine.py`` report against the committed
 baseline (``benchmarks/baselines/BENCH_engine.baseline.json``) and fails
-when the threaded engine's advantage over the oracle engine regresses by
-more than the threshold.
+when either faster engine's advantage over the oracle engine regresses
+by more than the threshold.
 
-The gated metric is the **aggregate threaded/oracle speedup ratio** —
-dimensionless, so it transfers between machines of different absolute
-speed: a CI runner half as fast as the baseline machine still shows the
-same *ratio* unless the threaded engine itself got slower relative to
-the oracle.  Absolute instrs/sec are reported for context but never
+The gated metrics are the **aggregate threaded/oracle and tier2/oracle
+speedup ratios** — dimensionless, so they transfer between machines of
+different absolute speed: a CI runner half as fast as the baseline
+machine still shows the same *ratios* unless an engine itself got slower
+relative to the oracle.  Absolute instrs/sec are reported for context but never
 gated.  Engine *divergence* (differing results between engines) is
 detected upstream: ``bench_engine.py`` exits non-zero before writing a
 report, so a missing report also fails the gate.
@@ -60,18 +60,21 @@ def _load(path: Path, kind: str) -> dict:
     return data
 
 
-def _workload_speedups(report: dict) -> dict[str, dict[str, float]]:
-    """Per-workload threaded/oracle speedup ratios, per mode."""
-    table: dict[str, dict[str, float]] = {}
+def _workload_speedups(report: dict) -> dict[str, dict[str, dict[str, float]]]:
+    """Per-workload {mode: {engine: engine/oracle ratio}} table."""
+    table: dict[str, dict[str, dict[str, float]]] = {}
     for row in report.get("workloads", []):
-        ratios = {}
+        ratios: dict[str, dict[str, float]] = {}
         for mode in ("native", "sdt"):
             engines = row.get(mode, {})
             oracle = (engines.get("oracle") or {}).get("instrs_per_sec") or 0
-            threaded = (
-                (engines.get("threaded") or {}).get("instrs_per_sec") or 0
-            )
-            ratios[mode] = threaded / oracle if oracle else 0.0
+            ratios[mode] = {
+                engine: (
+                    ((engines.get(engine) or {}).get("instrs_per_sec") or 0)
+                    / oracle if oracle else 0.0
+                )
+                for engine in ("threaded", "tier2")
+            }
         table[row["workload"]] = ratios
     return table
 
@@ -80,20 +83,25 @@ def _delta_table(report: dict, baseline: dict) -> list[str]:
     current = _workload_speedups(report)
     blessed = _workload_speedups(baseline)
     lines = [
-        f"{'workload':16s} {'mode':7s} {'baseline':>9s} {'current':>9s} "
-        f"{'delta':>8s}"
+        f"{'workload':16s} {'mode':7s} {'engine':9s} {'baseline':>9s} "
+        f"{'current':>9s} {'delta':>8s}"
     ]
     for workload in sorted(set(current) | set(blessed)):
         for mode in ("native", "sdt"):
-            old = blessed.get(workload, {}).get(mode, 0.0)
-            new = current.get(workload, {}).get(mode, 0.0)
-            delta = (new - old) / old if old else 0.0
-            marker = "" if workload in blessed and workload in current else \
-                "  (not in both)"
-            lines.append(
-                f"{workload:16s} {mode:7s} {old:8.2f}x {new:8.2f}x "
-                f"{delta:+7.1%}{marker}"
-            )
+            for engine in ("threaded", "tier2"):
+                old = (
+                    blessed.get(workload, {}).get(mode, {}).get(engine, 0.0)
+                )
+                new = (
+                    current.get(workload, {}).get(mode, {}).get(engine, 0.0)
+                )
+                delta = (new - old) / old if old else 0.0
+                marker = "" if workload in blessed and workload in current \
+                    else "  (not in both)"
+                lines.append(
+                    f"{workload:16s} {mode:7s} {engine:9s} {old:8.2f}x "
+                    f"{new:8.2f}x {delta:+7.1%}{marker}"
+                )
     return lines
 
 
@@ -105,29 +113,47 @@ def update_baseline(report: dict, baseline_path: Path) -> int:
         json.dumps(blessed, indent=2, sort_keys=True) + "\n"
     )
     print(f"perf gate: baseline updated from report -> {baseline_path}")
-    print(f"perf gate: blessed aggregate speedup {blessed['speedup']:.3f}x")
+    for key, ratio in _aggregate_ratios(blessed).items():
+        print(f"perf gate: blessed aggregate {key} speedup {ratio:.3f}x")
     return 0
 
 
+def _aggregate_ratios(data: dict) -> dict[str, float]:
+    """Gated aggregate ratios; legacy reports only carry threaded/oracle."""
+    speedups = data.get("speedups")
+    if speedups:
+        return {
+            key: speedups[key]
+            for key in ("threaded/oracle", "tier2/oracle")
+            if speedups.get(key)
+        }
+    return {"threaded/oracle": data.get("speedup")}
+
+
 def gate(report: dict, baseline: dict, threshold: float) -> int:
-    current = report.get("speedup")
-    blessed = baseline.get("speedup")
-    if not current or not blessed:
+    current = _aggregate_ratios(report)
+    blessed = _aggregate_ratios(baseline)
+    gated = [key for key in blessed if key in current and blessed[key]]
+    if not gated:
         raise SystemExit(
-            "perf gate: missing aggregate speedup "
+            "perf gate: no common aggregate speedup to gate "
             f"(report={current!r}, baseline={blessed!r})"
         )
-    floor = blessed * (1.0 - threshold)
-    regression = (blessed - current) / blessed
 
-    print(f"baseline aggregate speedup : {blessed:.3f}x "
-          f"(scale={baseline.get('scale')}, "
-          f"{len(baseline.get('workloads', []))} workloads)")
-    print(f"current  aggregate speedup : {current:.3f}x "
-          f"(scale={report.get('scale')}, "
-          f"{len(report.get('workloads', []))} workloads)")
-    print(f"gate                       : >= {floor:.3f}x "
-          f"(baseline - {threshold:.0%})")
+    print(f"baseline: scale={baseline.get('scale')}, "
+          f"{len(baseline.get('workloads', []))} workloads")
+    print(f"current : scale={report.get('scale')}, "
+          f"{len(report.get('workloads', []))} workloads")
+    failures = []
+    for key in gated:
+        old, new = blessed[key], current[key]
+        floor = old * (1.0 - threshold)
+        regression = (old - new) / old
+        status = "ok" if new >= floor else "FAIL"
+        print(f"{key:16s}: baseline {old:.3f}x, current {new:.3f}x, "
+              f"gate >= {floor:.3f}x ({regression:+.1%}) {status}")
+        if new < floor:
+            failures.append((key, old, new, regression))
     print()
     print("\n".join(_delta_table(report, baseline)))
     print()
@@ -138,16 +164,17 @@ def gate(report: dict, baseline: dict, threshold: float) -> int:
             f"report against scale={baseline.get('scale')} baseline",
             file=sys.stderr,
         )
-    if current < floor:
-        print(
-            f"perf gate: FAIL - aggregate speedup regressed "
-            f"{regression:.1%} (> {threshold:.0%} allowed): "
-            f"{blessed:.3f}x -> {current:.3f}x",
-            file=sys.stderr,
-        )
+    if failures:
+        for key, old, new, regression in failures:
+            print(
+                f"perf gate: FAIL - {key} aggregate speedup regressed "
+                f"{regression:.1%} (> {threshold:.0%} allowed): "
+                f"{old:.3f}x -> {new:.3f}x",
+                file=sys.stderr,
+            )
         return 1
-    print(f"perf gate: OK ({regression:+.1%} vs baseline, "
-          f"{threshold:.0%} allowed)")
+    print(f"perf gate: OK ({len(gated)} ratios within {threshold:.0%} "
+          f"of baseline)")
     return 0
 
 

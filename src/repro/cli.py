@@ -523,7 +523,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--engine", default=None, choices=ENGINES,
         help="simulation engine (default: threaded, or $REPRO_ENGINE); "
-        "results are identical, only simulator speed differs",
+        "oracle/threaded/tier2 results are identical, only simulator "
+        "speed differs",
     )
     run.add_argument(
         "--faults", default=None, metavar="PLAN",

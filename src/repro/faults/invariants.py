@@ -74,8 +74,9 @@ def collect_violations(
 
     Checked stores: the generic IB mechanism and the return mechanism
     (via their ``live_fragment_refs()``), the static-targets runtime's
-    devirtualized edges (when bound), every live fragment's link stubs,
-    and every live fragment's attached superblock plan.
+    devirtualized edges (when bound), the tier-2 region engine's member
+    fragments (when bound), every live fragment's link stubs, and every
+    live fragment's attached superblock plan.
 
     ``include_plans=False`` skips the plan-coherence leg: the coherence
     manager's post-invalidation walk runs *between* flushes, where a
@@ -99,6 +100,12 @@ def collect_violations(
     if static_rt is not None:
         _check_refs(
             "static-devirt", static_rt.live_fragment_refs(),
+            live_ids, violations,
+        )
+    tier2 = getattr(vm, "_tier2", None)
+    if tier2 is not None:
+        _check_refs(
+            "tier2-region", tier2.live_fragment_refs(),
             live_ids, violations,
         )
 

@@ -48,10 +48,14 @@ from repro.machine.executor import _sdiv, _srem, execute
 from repro.machine.memory import Memory
 from repro.machine.syscalls import SyscallHandler
 
-#: The two execution engines.  ``oracle`` steps through
+#: The execution engines.  ``oracle`` steps through
 #: :func:`repro.machine.executor.execute` (the semantics reference);
-#: ``threaded`` runs closure-specialised superblocks.
-ENGINES = ("oracle", "threaded")
+#: ``threaded`` runs closure-specialised superblocks; ``tier2`` adds
+#: profile-guided region compilation to generated Python source on top
+#: of the threaded tier (:mod:`repro.machine.tier2`), deoptimizing back
+#: to it at any guard failure.  All three are architecturally and
+#: cycle-count identical.
+ENGINES = ("oracle", "threaded", "tier2")
 
 #: Straight-line superblock length cap for the interpreter (fragments are
 #: already capped by ``max_fragment_instrs``).
@@ -462,14 +466,18 @@ class Superblock:
             per-step exit checks when executing it.
         term_pc / term_iclass / term_rd: terminator metadata (host
             predictor events and SDT call/return bookkeeping key on these).
-        hits: full fast-path executions not yet folded into aggregate
-            accounting (used by the interpreter's deferred folding).
+        hits: full fast-path executions — the tier-2 engine's heat
+            counter; crossing the promotion threshold triggers region
+            formation (:mod:`repro.machine.tier2`).
+        region: tier-2 promotion state — ``None`` until probed, a
+            compiled region once promoted, or ``False`` when the block
+            is permanently region-ineligible.
     """
 
     __slots__ = (
         "entry_pc", "pcs", "fns", "iclasses", "n", "class_counts",
         "app_cycles", "has_syscall", "term_pc", "term_iclass", "term_rd",
-        "hits",
+        "hits", "region",
     )
 
     def __init__(
@@ -506,6 +514,7 @@ class Superblock:
         self.term_iclass = iclasses[-1]
         self.term_rd = term_instr.rd
         self.hits = 0
+        self.region = None
         if trace is not None:
             trace.emit("plan.build", entry=self.entry_pc, instrs=self.n,
                        syscall=self.has_syscall)

@@ -20,6 +20,13 @@ Two execution engines are available (see docs/performance.md):
     Observable results (output, exit code, retired count, iclass counts,
     charged cycles, fault timing, fuel semantics) are identical; only
     wall-clock speed differs.
+``tier2``
+    the threaded engine plus profile-guided region compilation
+    (:mod:`repro.machine.tier2`): superblocks whose execution counter
+    crosses the promotion threshold are compiled — along their hot
+    static successors — into generated Python functions with registers
+    as locals, deoptimizing back to this loop at any guard failure.
+    Same observable-identity contract as ``threaded``.
 """
 
 from __future__ import annotations
@@ -93,6 +100,11 @@ class Interpreter:
         self.iclass_counts: Counter = Counter()
         self._decoded: dict[int, Instruction] = {}
         self._blocks: dict[int, Superblock] = {}
+        self._tier2 = None
+        if self.engine == "tier2":
+            from repro.machine.tier2 import InterpreterTier2
+
+            self._tier2 = InterpreterTier2(self)
         self._text_lo = program.text.base
         self._text_hi = program.text.end
         # The interpreter is the correctness oracle, so it must observe
@@ -136,6 +148,8 @@ class Interpreter:
             ]
             for entry in stale:
                 del blocks[entry]
+        if self._tier2 is not None:
+            self._tier2.on_code_write(addr, length)
 
     def step(self) -> None:
         """Execute exactly one instruction."""
@@ -152,14 +166,14 @@ class Interpreter:
 
     def run(self, fuel: int = DEFAULT_FUEL) -> RunResult:
         """Run until the program exits or ``fuel`` instructions retire."""
-        # The threaded engine only models the cost events the native
+        # The block engines only model the cost events the native
         # observer generates; arbitrary observers (profilers etc.) need
         # the per-instruction callback, so they get the oracle loop.
-        if self.engine == "threaded" and (
+        if self.engine in ("threaded", "tier2") and (
             self.observer is None
             or isinstance(self.observer, NativeCostObserver)
         ):
-            self._run_threaded(fuel)
+            self._run_threaded(fuel, tier2=self._tier2)
         else:
             self._run_oracle(fuel)
         syscalls = self.syscalls
@@ -216,7 +230,7 @@ class Interpreter:
         self._blocks[pc] = block
         return block
 
-    def _run_threaded(self, fuel: int) -> None:
+    def _run_threaded(self, fuel: int, tier2=None) -> None:
         cpu = self.cpu
         syscalls = self.syscalls
         counts = self.iclass_counts
@@ -225,6 +239,7 @@ class Interpreter:
         model = observer.model if observer is not None else None
         blocks = self._blocks
         block_at = self._block_at
+        threshold = tier2.threshold if tier2 is not None else 0
         remaining = fuel
 
         while not syscalls.exited:
@@ -236,6 +251,16 @@ class Interpreter:
                 block = block_at(pc)
             n = block.n
             if n <= remaining:
+                if tier2 is not None:
+                    region = block.region
+                    if region is None and block.hits >= threshold:
+                        region = tier2.try_promote(block)
+                    if region:
+                        # head-block fuel already checked (n <= remaining);
+                        # every further block is fuel-guarded in-region
+                        remaining = tier2.execute(region, remaining)
+                        continue
+                    block.hits += 1
                 fns = block.fns
                 k = 0
                 next_pc = pc

@@ -173,7 +173,8 @@ class CoherenceManager:
             vm.translator.invalidate_decoded_page(index)
 
         # derived structures, in flush-hook order: mechanisms, then the
-        # static-targets runtime, then surviving links, checker last
+        # static-targets runtime, then surviving links, then tier-2
+        # regions, checker last
         vm.generic_ib.scrub_invalid()
         vm.return_mech.scrub_invalid()
         if vm.static_rt is not None:
@@ -186,6 +187,9 @@ class CoherenceManager:
                 ]
                 for key in stale:
                     del links[key]
+        tier2 = vm._tier2
+        if tier2 is not None:
+            tier2.on_invalidate(dead)
         checker = vm.invariant_checker
         if checker is not None:
             checker.on_invalidate()

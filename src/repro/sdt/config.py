@@ -81,11 +81,16 @@ class SDTConfig:
             the architectural results of self-modifying guests — so it
             is fingerprint-relevant and appears in :attr:`label`.
         engine: simulation execution engine — ``"threaded"`` (closure
-            superblocks, the default) or ``"oracle"`` (per-instruction
-            reference dispatch).  Results are identical; only simulator
-            wall-clock speed differs, so this field is exempt from
-            :meth:`fingerprint` and from :attr:`label`.  The default can
-            be overridden with the ``REPRO_ENGINE`` environment variable.
+            superblocks, the default), ``"oracle"`` (per-instruction
+            reference dispatch) or ``"tier2"`` (threaded plus
+            profile-guided region compilation to generated Python,
+            :mod:`repro.machine.tier2`).  Results — output, retired
+            count, cycle totals, fault timing — are identical across all
+            three; only simulator wall-clock speed differs, so this
+            field is exempt from :meth:`fingerprint` and from
+            :attr:`label` (tier-2 promotion state is profile data, never
+            architecture; see docs/performance.md).  The default can be
+            overridden with the ``REPRO_ENGINE`` environment variable.
         faults: optional deterministic fault-injection plan
             (:class:`repro.faults.plan.FaultPlan`, a spec string, or
             ``None``).  Injected faults never change architectural

@@ -64,6 +64,12 @@ class Fragment:
         demoted: permanently pinned to the oracle execution engine after
             a plan-coherence failure (the graceful-degradation path; see
             docs/robustness.md).  Never set without fault injection.
+        region: tier-2 promotion state (engine ``tier2`` only): ``None``
+            until the fragment is probed for promotion, a compiled
+            :class:`repro.machine.tier2.SDTRegion` headed by this
+            fragment once promoted, or ``False`` when the fragment is
+            permanently region-ineligible.  Profile state, not
+            architecture — results are identical with or without it.
     """
 
     guest_pc: int
@@ -75,6 +81,7 @@ class Fragment:
     executions: int = 0
     plan: object | None = None
     demoted: bool = False
+    region: object | None = None
 
     @property
     def size_bytes(self) -> int:

@@ -36,6 +36,12 @@ class SDTStats:
     #: "fragments_invalidated" (selective page/targeted evictions) and
     #: "noop_writes" (targeted writes intersecting no fragment)
     coherence: Counter = field(default_factory=Counter)
+    #: tier-2 region engine events (empty unless ``engine=tier2``):
+    #: "promote", "deopt.link"/"deopt.fuel"/"deopt.plan" (guard-failure
+    #: exits back to the threaded tier), "discard.invalidate"/
+    #: "discard.flush" (regions dropped by coherence events) and
+    #: "compile_error" (region codegen failures — always 0 in CI)
+    tier2: Counter = field(default_factory=Counter)
 
     def hit_rate(self, mechanism: str) -> float:
         """Hit rate for a mechanism (0.0 if it never dispatched)."""
@@ -57,6 +63,7 @@ class SDTStats:
             "faults": dict(self.faults),
             "static": dict(self.static),
             "coherence": dict(self.coherence),
+            "tier2": dict(self.tier2),
         }
 
     def static_precision(self) -> float:

@@ -85,7 +85,9 @@ class SDTVM:
         )
         self.cache.trace = self.trace
         self.cpu, self.mem, self.syscalls = load_program(program, inputs)
-        self._threaded = self.config.engine == "threaded"
+        # tier2 layers region compilation on top of the threaded tier, so
+        # every threaded structure (plans, block accounting) stays active
+        self._threaded = self.config.engine in ("threaded", "tier2")
         self._coherent = self.config.coherence != "none"
         self.translator = Translator(
             program,
@@ -122,6 +124,15 @@ class SDTVM:
 
             self.coherence = CoherenceManager(self)
             self.coherence.install()
+        # tier-2 region engine (see repro.machine.tier2): installed after
+        # the coherence manager (selective invalidations must discard
+        # regions before the invariant checker walks tier-2 state) and
+        # before the checker (its flush hook must see regions dropped).
+        self._tier2 = None
+        if self.config.engine == "tier2":
+            from repro.machine.tier2 import Tier2Runtime
+
+            self._tier2 = Tier2Runtime(self)
         # fault injection + coherence watchdog (see repro.faults).  The
         # checker's flush hook registers *after* the mechanisms' so it
         # observes their post-invalidation state.
@@ -227,6 +238,18 @@ class SDTVM:
                 return self._run_oracle(fragment)
             budget = self._fuel - self.retired
             if not plan.has_syscall and plan.n <= budget:
+                tier2 = self._tier2
+                if tier2 is not None:
+                    region = fragment.region
+                    if region is None and \
+                            fragment.executions >= tier2.threshold:
+                        region = tier2.try_promote(fragment)
+                    if region:
+                        # entry gate: the head block fits the budget and
+                        # (under chaos) its plan is coherent — both were
+                        # just checked above; every further block is
+                        # guarded inside the region.
+                        return tier2.execute(fragment, region, budget)
                 return self._run_fast(fragment, plan)
             return self._run_slow(fragment, plan, budget)
         return self._run_oracle(fragment)

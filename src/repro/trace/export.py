@@ -28,6 +28,7 @@ _POP_NAMES = {
     "reentry.exit": "translator",
     "translate.end": "translate",
     "translate.abort": "translate",
+    "tier2.exit": "tier2",
 }
 
 

@@ -24,6 +24,9 @@ maintained as a stack driven by bracket events:
   switches, map lookups, the dispatch jump back),
 - ``translate.start`` / ``translate.end`` / ``translate.abort`` →
   ``translate`` (fragment building),
+- ``tier2.enter`` / ``tier2.exit``     → ``tier2`` (generated-region
+  execution under ``engine=tier2``; its exits re-open the surrounding
+  phase, so a deopt's slow-path cycles attribute outside the bracket),
 - everything outside any bracket       → ``execute`` (application work,
   link patching, call-site bookkeeping, native-style mispredictions).
 
@@ -52,6 +55,7 @@ PUSH_PHASES: dict[str, str] = {
     "dispatch.start": "dispatch",
     "reentry.enter": "translator",
     "translate.start": "translate",
+    "tier2.enter": "tier2",
 }
 
 #: Bracket-closing event kinds (``translate.abort`` closes the
@@ -61,6 +65,7 @@ POP_KINDS = frozenset({
     "reentry.exit",
     "translate.end",
     "translate.abort",
+    "tier2.exit",
 })
 
 #: Event payload fields that feed value histograms automatically: an
@@ -97,29 +102,42 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def __bool__(self) -> bool:
+        """Truthiness is "has recorded anything", so gating call sites
+        (``hist.quantile(q) if hist else 0``) treat an allocated-but-
+        empty histogram exactly like a missing one instead of reporting
+        phantom quantiles before the first sample."""
+        return self.count > 0
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> int:
-        """Upper bucket bound at quantile ``q`` in [0, 1] (0 when empty).
+        """Upper bucket bound at quantile ``q`` in [0, 1].
 
-        Resolution is the bucket geometry (a power of two), which is
-        exactly what the serve layer's queue-depth and batch-size
-        distributions need; exact latency quantiles use a reservoir
-        instead (see :mod:`repro.serve.service`).
+        An empty histogram always answers 0 — never a bucket bound or a
+        stale ``max`` — for every ``q`` including the extremes; callers
+        that must distinguish "empty" from "all zeros" gate on the
+        histogram's truthiness.  Resolution is the bucket geometry (a
+        power of two), which is exactly what the serve layer's
+        queue-depth and batch-size distributions need; exact latency
+        quantiles use a reservoir instead (see
+        :mod:`repro.serve.service`).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be within [0, 1], got {q}")
         if not self.count:
             return 0
+        # target is clamped to [1, count] and bucket counts sum to
+        # count, so the scan always terminates inside the loop
         target = max(1, min(self.count, math.ceil(q * self.count)))
         seen = 0
         for bound in sorted(self.buckets):
             seen += self.buckets[bound]
             if seen >= target:
                 return bound
-        return self.max or 0
+        raise AssertionError("bucket counts diverged from self.count")
 
     def as_dict(self) -> dict[str, object]:
         """Deterministic JSON-ready form (buckets sorted numerically)."""

@@ -213,7 +213,7 @@ class TestSuperblock:
 
 class TestEngineSelection:
     def test_engines_tuple(self):
-        assert ENGINES == ("oracle", "threaded")
+        assert ENGINES == ("oracle", "threaded", "tier2")
 
     def test_default_is_threaded(self, monkeypatch):
         monkeypatch.delenv("REPRO_ENGINE", raising=False)
@@ -269,7 +269,8 @@ class TestInterpreterThreaded:
                 program, observer=NativeCostObserver(model), engine=engine
             ).run()
             cycles[engine] = (model.total_cycles, dict(model.cycles))
-        assert cycles["oracle"] == cycles["threaded"]
+        for engine in ENGINES[1:]:
+            assert cycles[engine] == cycles["oracle"], engine
 
     def test_fuel_parity_at_every_boundary(self):
         """Both engines stop at exactly the same retired count."""
@@ -284,8 +285,9 @@ class TestInterpreterThreaded:
                 with pytest.raises(FuelExhausted):
                     interp.run(fuel)
                 assert interp.retired == fuel, (engine, fuel)
-            assert (interps["oracle"].iclass_counts
-                    == interps["threaded"].iclass_counts), fuel
+            for engine in ENGINES[1:]:
+                assert (interps[engine].iclass_counts
+                        == interps["oracle"].iclass_counts), (engine, fuel)
 
     def test_fuel_exactly_sufficient(self):
         program = self._program()
@@ -313,7 +315,8 @@ class TestInterpreterThreaded:
                 interp.run()
             outcomes[engine] = (type(excinfo.value), interp.retired,
                                 interp.cpu.pc)
-        assert outcomes["oracle"] == outcomes["threaded"]
+        for engine in ENGINES[1:]:
+            assert outcomes[engine] == outcomes["oracle"], engine
 
     def test_arbitrary_observer_falls_back_to_oracle(self):
         """Custom observers still see every instruction under threaded."""

@@ -42,6 +42,7 @@ class TestAsDict:
             "faults",
             "static",
             "coherence",
+            "tier2",
         }
 
     def test_snapshot_is_detached(self):

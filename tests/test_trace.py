@@ -119,6 +119,32 @@ class TestHistogram:
         assert hist.mean == 0.0
         assert hist.as_dict()["min"] is None
 
+    def test_empty_quantile_is_zero(self):
+        # pinned: an empty histogram answers 0 for every quantile —
+        # never a stale max or a bucket bound (it used to scan an empty
+        # bucket table and fall through)
+        hist = Histogram()
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 0
+
+    def test_truthiness_gates_on_samples(self):
+        hist = Histogram()
+        assert not hist  # allocated-but-empty == missing for callers
+        hist.record(0)
+        assert hist  # a recorded zero is still a sample
+
+    def test_quantile_bounds_and_extremes(self):
+        hist = Histogram()
+        for value in (1, 2, 3, 5, 8):
+            hist.record(value)
+        assert hist.quantile(0.0) == 1  # clamps to the first sample
+        assert hist.quantile(1.0) == 8
+        assert hist.quantile(0.5) == 4  # bucket bound for value 3
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.1)
+
 
 class TestMetricsRegistry:
     def test_counters_and_histograms(self):
@@ -256,6 +282,16 @@ class TestExporters:
         text = summary(self._session())
         assert "== total (exact)" in text
         assert "ibtc.hit" in text
+
+    def test_every_pop_kind_has_a_slice_name(self):
+        # pinned: adding a bracket kind to session.POP_KINDS without
+        # teaching the Chrome exporter its slice name crashed export
+        # (KeyError on the first tier2.exit event)
+        from repro.trace.export import _POP_NAMES
+        from repro.trace.session import POP_KINDS, PUSH_PHASES
+
+        assert set(_POP_NAMES) == POP_KINDS
+        assert set(_POP_NAMES.values()) == set(PUSH_PHASES.values())
 
 
 class TestCLI:
